@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+use hd_tensor::TensorError;
+use hdc::HdcError;
+
+/// Error type for bagged training and merging.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaggingError {
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+    /// An underlying HDC operation failed.
+    Hdc(HdcError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for BaggingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaggingError::InvalidConfig(msg) => write!(f, "invalid bagging config: {msg}"),
+            BaggingError::Hdc(e) => write!(f, "hdc error: {e}"),
+            BaggingError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for BaggingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaggingError::Hdc(e) => Some(e),
+            BaggingError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HdcError> for BaggingError {
+    fn from(e: HdcError) -> Self {
+        BaggingError::Hdc(e)
+    }
+}
+
+impl From<TensorError> for BaggingError {
+    fn from(e: TensorError) -> Self {
+        BaggingError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = BaggingError::InvalidConfig("M is zero".into());
+        assert!(e.to_string().contains("M is zero"));
+        assert!(e.source().is_none());
+        let e: BaggingError = HdcError::EmptyDataset.into();
+        assert!(e.source().is_some());
+        let e: BaggingError = TensorError::EmptyDimension { op: "x" }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,265 @@
+use serde::{Deserialize, Serialize};
+
+use hd_tensor::rng::DetRng;
+use hd_tensor::Matrix;
+use hdc::{train_encoded, BaseHypervectors, NonlinearEncoder, TrainConfig, TrainStats};
+
+use crate::config::BaggingConfig;
+use crate::error::BaggingError;
+use crate::merge::{BaggedModel, SubModel};
+use crate::sample::{bootstrap_rows, feature_subset};
+
+/// Telemetry for one trained sub-model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubModelStats {
+    /// Sub-model index.
+    pub index: usize,
+    /// Rows in its bootstrap sample.
+    pub sampled_rows: usize,
+    /// Features it was allowed to see.
+    pub sampled_features: usize,
+    /// The inner training telemetry (per-iteration updates/accuracy).
+    pub train: TrainStats,
+}
+
+/// Telemetry for a full bagged training run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BaggingStats {
+    /// One entry per sub-model, in index order.
+    pub sub_models: Vec<SubModelStats>,
+}
+
+impl BaggingStats {
+    /// Total class-hypervector updates across every sub-model — the number
+    /// that drives the host-side update runtime in the co-design model.
+    pub fn total_updates(&self) -> usize {
+        self.sub_models.iter().map(|s| s.train.total_updates()).sum()
+    }
+}
+
+/// Trains `M` bagged HDC sub-models per the paper's recipe.
+///
+/// For each sub-model `m`:
+///
+/// 1. derive an independent RNG stream from the master seed,
+/// 2. bootstrap-sample `alpha x samples` rows **with replacement**,
+/// 3. pick a `beta` fraction of features; base-hypervector rows of
+///    *unsampled* features are zeroed, which makes the later merge
+///    implement feature sampling "automatically" (Section III-B),
+/// 4. generate an `n x d'` base matrix, encode the sampled rows, and run
+///    `I'` iterations of class-hypervector update.
+///
+/// Encoding runs on the host in `f32`; use [`train_bagged_with`] to route
+/// it through an accelerator (the paper's co-designed flow).
+///
+/// # Errors
+///
+/// * [`BaggingError::InvalidConfig`] — bad configuration.
+/// * Wrapped [`hdc::HdcError`] — label or shape problems.
+pub fn train_bagged(
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    config: &BaggingConfig,
+) -> Result<(BaggedModel, BaggingStats), BaggingError> {
+    train_bagged_with(features, labels, classes, config, |encoder, batch| {
+        encoder.encode(batch).map_err(BaggingError::from)
+    })
+}
+
+/// [`train_bagged`] with a caller-supplied encoding step.
+///
+/// The `encode` closure receives each sub-model's encoder and its
+/// bootstrap-sampled batch and returns the encoded hypervectors. The
+/// paper's framework passes a closure that compiles the sub-encoder to an
+/// accelerator model and invokes the device, so the training-time
+/// encoding exhibits genuine int8 quantization; the default in
+/// [`train_bagged`] encodes on the host in `f32`.
+///
+/// # Errors
+///
+/// Same as [`train_bagged`], plus whatever the closure returns.
+pub fn train_bagged_with(
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    config: &BaggingConfig,
+    mut encode: impl FnMut(&NonlinearEncoder, &Matrix) -> Result<Matrix, BaggingError>,
+) -> Result<(BaggedModel, BaggingStats), BaggingError> {
+    config.validate()?;
+    if features.rows() == 0 || classes == 0 {
+        return Err(BaggingError::Hdc(hdc::HdcError::EmptyDataset));
+    }
+    if labels.len() != features.rows() {
+        return Err(BaggingError::Hdc(hdc::HdcError::LabelCount {
+            samples: features.rows(),
+            labels: labels.len(),
+        }));
+    }
+
+    let n = features.cols();
+    let mut master = DetRng::new(config.seed);
+    let mut sub_models = Vec::with_capacity(config.sub_models);
+    let mut stats = BaggingStats::default();
+
+    for m in 0..config.sub_models {
+        let mut rng = master.fork(m as u64);
+
+        // Bootstrap sampling: rows with replacement, features without.
+        let rows = bootstrap_rows(&mut rng, features.rows(), config.dataset_ratio);
+        let kept_features = feature_subset(&mut rng, n, config.feature_ratio);
+
+        // Base hypervectors with unsampled feature rows zeroed — the
+        // merged encoder then ignores those features for this sub-model.
+        let mut base = Matrix::random_normal(n, config.sub_dim, &mut rng);
+        if kept_features.len() < n {
+            let mut keep = vec![false; n];
+            for &f in &kept_features {
+                keep[f] = true;
+            }
+            for f in 0..n {
+                if !keep[f] {
+                    base.row_mut(f).fill(0.0);
+                }
+            }
+        }
+
+        let sub_features = features.select_rows(&rows)?;
+        let sub_labels: Vec<usize> = rows.iter().map(|&r| labels[r]).collect();
+
+        let encoder = NonlinearEncoder::new(BaseHypervectors::from_matrix(base));
+        let encoded = encode(&encoder, &sub_features)?;
+        let train_config = TrainConfig::new(config.sub_dim)
+            .with_iterations(config.iterations)
+            .with_learning_rate(config.learning_rate)
+            .with_seed(config.seed.wrapping_add(m as u64));
+        let (class_hvs, train_stats) = train_encoded(&encoded, &sub_labels, classes, &train_config)?;
+
+        stats.sub_models.push(SubModelStats {
+            index: m,
+            sampled_rows: rows.len(),
+            sampled_features: kept_features.len(),
+            train: train_stats,
+        });
+        sub_models.push(SubModel {
+            encoder,
+            classes: class_hvs,
+        });
+    }
+
+    Ok((BaggedModel::new(sub_models, classes)?, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered(samples_per_class: usize, n: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = DetRng::new(seed);
+        let centers: Vec<Vec<f32>> = (0..classes)
+            .map(|_| (0..n).map(|_| 1.5 * rng.next_normal()).collect())
+            .collect();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..samples_per_class {
+                rows.push(
+                    center
+                        .iter()
+                        .map(|&v| v + 0.5 * rng.next_normal())
+                        .collect::<Vec<f32>>(),
+                );
+                labels.push(c);
+            }
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs).unwrap(), labels)
+    }
+
+    #[test]
+    fn bagged_training_produces_m_sub_models() {
+        let (features, labels) = clustered(15, 10, 3, 1);
+        let config = BaggingConfig::paper_defaults(512).with_seed(2);
+        let (model, stats) = train_bagged(&features, &labels, 3, &config).unwrap();
+        assert_eq!(model.sub_model_count(), 4);
+        assert_eq!(stats.sub_models.len(), 4);
+        for s in &stats.sub_models {
+            assert_eq!(s.sampled_rows, (45.0_f64 * 0.6).round() as usize);
+            assert_eq!(s.sampled_features, 10); // beta = 1.0
+            assert_eq!(s.train.iterations.len(), 6);
+        }
+    }
+
+    #[test]
+    fn bagged_model_learns_clusters() {
+        let (features, labels) = clustered(20, 12, 3, 3);
+        let config = BaggingConfig::paper_defaults(1024).with_seed(4);
+        let (model, _) = train_bagged(&features, &labels, 3, &config).unwrap();
+        let merged = model.merge().unwrap();
+        let preds = merged.predict(&features).unwrap();
+        let acc = hdc::eval::accuracy(&preds, &labels).unwrap();
+        assert!(acc > 0.9, "bagged accuracy {acc}");
+    }
+
+    #[test]
+    fn feature_sampling_zeroes_unsampled_rows() {
+        let (features, labels) = clustered(10, 20, 2, 5);
+        let config = BaggingConfig::paper_defaults(256)
+            .with_feature_ratio(0.5)
+            .with_seed(6);
+        let (model, stats) = train_bagged(&features, &labels, 2, &config).unwrap();
+        for (m, s) in stats.sub_models.iter().enumerate() {
+            assert_eq!(s.sampled_features, 10);
+            // Exactly n - 10 zero rows in each sub-model's base matrix.
+            let base = model.sub_model(m).unwrap().encoder.base().as_matrix();
+            let zero_rows = (0..base.rows())
+                .filter(|&r| base.row(r).iter().all(|&v| v == 0.0))
+                .count();
+            assert_eq!(zero_rows, 10);
+        }
+    }
+
+    #[test]
+    fn sub_models_differ_from_each_other() {
+        let (features, labels) = clustered(10, 8, 2, 7);
+        let config = BaggingConfig::paper_defaults(256).with_seed(8);
+        let (model, _) = train_bagged(&features, &labels, 2, &config).unwrap();
+        let a = model.sub_model(0).unwrap().encoder.base().as_matrix();
+        let b = model.sub_model(1).unwrap().encoder.base().as_matrix();
+        assert_ne!(a, b, "sub-models must use independent base hypervectors");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (features, labels) = clustered(10, 8, 2, 9);
+        let config = BaggingConfig::paper_defaults(256).with_seed(10);
+        let (a, _) = train_bagged(&features, &labels, 2, &config).unwrap();
+        let (b, _) = train_bagged(&features, &labels, 2, &config).unwrap();
+        assert_eq!(
+            a.merge().unwrap().classes().as_matrix(),
+            b.merge().unwrap().classes().as_matrix()
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let config = BaggingConfig::paper_defaults(256);
+        assert!(train_bagged(&Matrix::zeros(0, 4), &[], 2, &config).is_err());
+        assert!(train_bagged(&Matrix::zeros(4, 4), &[0, 1], 2, &config).is_err());
+        let bad = config.with_sub_models(0);
+        assert!(train_bagged(&Matrix::zeros(4, 4), &[0; 4], 2, &bad).is_err());
+    }
+
+    #[test]
+    fn stats_total_updates_sums() {
+        let (features, labels) = clustered(10, 8, 2, 11);
+        let config = BaggingConfig::paper_defaults(256).with_seed(12);
+        let (_, stats) = train_bagged(&features, &labels, 2, &config).unwrap();
+        let manual: usize = stats
+            .sub_models
+            .iter()
+            .map(|s| s.train.total_updates())
+            .sum();
+        assert_eq!(stats.total_updates(), manual);
+    }
+}

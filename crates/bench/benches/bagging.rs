@@ -1,0 +1,71 @@
+//! Microbenchmarks for bagged training and the sub-model merge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hd_bagging::{train_bagged, BaggingConfig};
+use hd_tensor::rng::DetRng;
+use hd_tensor::Matrix;
+
+fn dataset(samples: usize, n: usize, classes: usize) -> (Matrix, Vec<usize>) {
+    let mut rng = DetRng::new(17);
+    let centers: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..n).map(|_| rng.next_normal()).collect())
+        .collect();
+    let mut m = Matrix::zeros(samples, n);
+    let mut labels = Vec::with_capacity(samples);
+    for s in 0..samples {
+        let c = s % classes;
+        labels.push(c);
+        for (v, center) in m.row_mut(s).iter_mut().zip(&centers[c]) {
+            *v = center + 0.5 * rng.next_normal();
+        }
+    }
+    (m, labels)
+}
+
+fn bench_train_bagged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bagging/train");
+    group.sample_size(10);
+    let (features, labels) = dataset(240, 64, 6);
+    let config = BaggingConfig::paper_defaults(1024).with_seed(1);
+    group.bench_function("M4-d256-240samples", |bench| {
+        bench.iter(|| train_bagged(black_box(&features), black_box(&labels), 6, &config).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let (features, labels) = dataset(240, 64, 6);
+    let config = BaggingConfig::paper_defaults(1024).with_seed(2);
+    let (bagged, _) = train_bagged(&features, &labels, 6, &config).unwrap();
+    c.bench_function("bagging/merge-M4-d256", |bench| {
+        bench.iter(|| black_box(&bagged).merge().unwrap());
+    });
+}
+
+fn bench_consensus_vs_merged_inference(c: &mut Criterion) {
+    // The paper's motivation for merging: one full-width pass beats M
+    // separate sub-model passes plus aggregation.
+    let mut group = c.benchmark_group("bagging/inference");
+    group.sample_size(10);
+    let (features, labels) = dataset(240, 64, 6);
+    let config = BaggingConfig::paper_defaults(1024).with_seed(3);
+    let (bagged, _) = train_bagged(&features, &labels, 6, &config).unwrap();
+    let merged = bagged.merge().unwrap();
+    group.bench_function("per-sub-model-consensus", |bench| {
+        bench.iter(|| bagged.predict_consensus(black_box(&features)).unwrap());
+    });
+    group.bench_function("merged-single-model", |bench| {
+        bench.iter(|| merged.predict(black_box(&features)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_train_bagged,
+    bench_merge,
+    bench_consensus_vs_merged_inference
+);
+criterion_main!(benches);

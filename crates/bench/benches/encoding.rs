@@ -1,0 +1,60 @@
+//! Microbenchmarks for the HDC non-linear encoder — the paper's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hd_tensor::rng::DetRng;
+use hd_tensor::Matrix;
+use hdc::{BaseHypervectors, NonlinearEncoder};
+
+fn encoder(n: usize, d: usize) -> NonlinearEncoder {
+    let mut rng = DetRng::new(7);
+    NonlinearEncoder::new(BaseHypervectors::generate(n, d, &mut rng))
+}
+
+fn bench_encode_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding/batch64");
+    group.sample_size(10);
+    // Feature counts spanning the paper's dataset range (PAMAP2's 27 up
+    // to MNIST's 784), d = 2048.
+    for &n in &[27usize, 256, 617, 784] {
+        let enc = encoder(n, 2048);
+        let mut rng = DetRng::new(8);
+        let batch = Matrix::random_normal(64, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| enc.encode(black_box(&batch)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_dim_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding/dim-scaling");
+    group.sample_size(10);
+    for &d in &[512usize, 1024, 2048, 4096] {
+        let enc = encoder(128, d);
+        let mut rng = DetRng::new(9);
+        let batch = Matrix::random_normal(32, 128, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
+            bench.iter(|| enc.encode(black_box(&batch)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_single_sample(c: &mut Criterion) {
+    let enc = encoder(617, 2048);
+    let mut rng = DetRng::new(10);
+    let sample: Vec<f32> = (0..617).map(|_| rng.next_normal()).collect();
+    c.bench_function("encoding/single-sample-617x2048", |bench| {
+        bench.iter(|| enc.encode_sample(black_box(&sample)).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode_batch,
+    bench_encode_dim_scaling,
+    bench_encode_single_sample
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks for the dense GEMM substrate that every HDC encoding
+//! and similarity search bottoms out in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hd_tensor::rng::DetRng;
+use hd_tensor::{gemm, Matrix};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm/matmul");
+    group.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        let mut rng = DetRng::new(1);
+        let a = Matrix::random_normal(n, n, &mut rng);
+        let b = Matrix::random_normal(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| gemm::matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_shaped(c: &mut Criterion) {
+    // The encoding GEMM shape: (batch x n) x (n x d).
+    let mut group = c.benchmark_group("gemm/encode-shaped");
+    group.sample_size(10);
+    let mut rng = DetRng::new(2);
+    let batch = Matrix::random_normal(64, 617, &mut rng);
+    let base = Matrix::random_normal(617, 2048, &mut rng);
+    group.bench_function("64x617x2048", |bench| {
+        bench.iter(|| gemm::matmul(black_box(&batch), black_box(&base)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut rng = DetRng::new(3);
+    let base = Matrix::random_normal(617, 2048, &mut rng);
+    let x: Vec<f32> = (0..617).map(|_| rng.next_normal()).collect();
+    c.bench_function("gemm/matvec-617x2048", |bench| {
+        bench.iter(|| gemm::matvec(black_box(&x), black_box(&base)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_encode_shaped, bench_matvec);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Extension experiment: see `hd_bench::ablations::ablation_batch`.
+
+fn main() {
+    hd_bench::ablations::ablation_batch().emit("ablation_batch");
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: see `hd_bench::ablations::ablation_dim`.
+
+fn main() {
+    hd_bench::ablations::ablation_dim().emit("ablation_dim");
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: see `hd_bench::ablations::ablation_encoding`.
+
+fn main() {
+    hd_bench::ablations::ablation_encoding().emit("ablation_encoding");
+}

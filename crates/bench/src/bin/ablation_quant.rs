@@ -1,0 +1,5 @@
+//! Extension experiment: see `hd_bench::ablations::ablation_quant`.
+
+fn main() {
+    hd_bench::ablations::ablation_quant().emit("ablation_quant");
+}

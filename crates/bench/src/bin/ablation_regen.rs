@@ -1,0 +1,5 @@
+//! Extension experiment: see `hd_bench::ablations::ablation_regen`.
+
+fn main() {
+    hd_bench::ablations::ablation_regen().emit("ablation_regen");
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: see `hd_bench::ablations::energy`.
+
+fn main() {
+    hd_bench::ablations::energy().emit("energy");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10. See `hd_bench::experiments` for details.
+
+fn main() {
+    hd_bench::experiments::fig10().emit("fig10");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig4. See `hd_bench::experiments` for details.
+
+fn main() {
+    hd_bench::experiments::fig4().emit("fig4");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig5. See `hd_bench::experiments` for details.
+
+fn main() {
+    hd_bench::experiments::fig5().emit("fig5");
+}

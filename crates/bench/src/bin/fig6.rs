@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6. See `hd_bench::experiments` for details.
+
+fn main() {
+    hd_bench::experiments::fig6().emit("fig6");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7. See `hd_bench::experiments` for details.
+
+fn main() {
+    hd_bench::experiments::fig7().emit("fig7");
+}

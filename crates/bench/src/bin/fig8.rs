@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8. See `hd_bench::experiments` for details.
+
+fn main() {
+    hd_bench::experiments::fig8().emit("fig8");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig9. See `hd_bench::experiments` for details.
+
+fn main() {
+    hd_bench::experiments::fig9().emit("fig9");
+}

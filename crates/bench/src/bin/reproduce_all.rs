@@ -1,0 +1,28 @@
+//! Regenerates every table and figure of the paper, plus the extension
+//! ablations, in sequence; each result also lands as CSV under
+//! `results/`.
+
+use hd_bench::{ablations, experiments};
+
+fn main() {
+    println!("HyperEdge — full experiment reproduction\n");
+    experiments::table1().emit("table1");
+    experiments::fig4().emit("fig4");
+    experiments::fig5().emit("fig5");
+    experiments::fig6().emit("fig6");
+    experiments::fig7().emit("fig7");
+    experiments::fig8().emit("fig8");
+    experiments::fig9().emit("fig9");
+    experiments::fig10().emit("fig10");
+    experiments::table2().emit("table2");
+
+    println!("-- extension experiments --\n");
+    ablations::ablation_encoding().emit("ablation_encoding");
+    ablations::ablation_dim().emit("ablation_dim");
+    ablations::ablation_quant().emit("ablation_quant");
+    ablations::ablation_batch().emit("ablation_batch");
+    ablations::ablation_regen().emit("ablation_regen");
+    ablations::robustness().emit("robustness");
+    ablations::scaling().emit("scaling");
+    ablations::energy().emit("energy");
+}

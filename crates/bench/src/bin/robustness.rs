@@ -1,0 +1,5 @@
+//! Extension experiment: see `hd_bench::ablations::robustness`.
+
+fn main() {
+    hd_bench::ablations::robustness().emit("robustness");
+}

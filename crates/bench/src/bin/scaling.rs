@@ -1,0 +1,5 @@
+//! Extension experiment: see `hd_bench::ablations::scaling`.
+
+fn main() {
+    hd_bench::ablations::scaling().emit("scaling");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1. See `hd_bench::experiments` for details.
+
+fn main() {
+    hd_bench::experiments::table1().emit("table1");
+}

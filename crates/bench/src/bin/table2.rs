@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2. See `hd_bench::experiments` for details.
+
+fn main() {
+    hd_bench::experiments::table2().emit("table2");
+}

@@ -1,0 +1,185 @@
+//! Minimal dependency-free argument parsing: `--key value` flags after a
+//! subcommand.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus its `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from parsing or typed flag access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// A `--flag` had no following value.
+    MissingValue(String),
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+    /// A required flag was absent.
+    RequiredFlag(String),
+    /// A flag value failed to parse as the requested type.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// The raw value that failed to parse.
+        value: String,
+        /// Expected type name.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given (try `hyperedge help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument `{arg}` (flags are --key value)")
+            }
+            ArgError::RequiredFlag(flag) => write!(f, "required flag --{flag} is missing"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag --{flag}: `{value}` is not a valid {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a missing subcommand, a flag without a
+    /// value, or stray positional arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut iter = args.into_iter();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(ParsedArgs { command, flags })
+    }
+
+    /// The raw string value of a flag, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::RequiredFlag`] when absent.
+    pub fn required(&self, flag: &str) -> Result<&str, ArgError> {
+        self.get(flag)
+            .ok_or_else(|| ArgError::RequiredFlag(flag.to_string()))
+    }
+
+    /// A typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// All flag names present (for unknown-flag diagnostics).
+    pub fn flag_names(&self) -> impl Iterator<Item = &str> {
+        self.flags.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = parse(&["train", "--dataset", "mnist", "--dim", "2048"]).unwrap();
+        assert_eq!(p.command, "train");
+        assert_eq!(p.get("dataset"), Some("mnist"));
+        assert_eq!(p.get_or("dim", 0usize).unwrap(), 2048);
+        assert_eq!(p.get_or("iterations", 20usize).unwrap(), 20);
+    }
+
+    #[test]
+    fn missing_command() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn flag_without_value() {
+        assert_eq!(
+            parse(&["train", "--dataset"]).unwrap_err(),
+            ArgError::MissingValue("dataset".into())
+        );
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert_eq!(
+            parse(&["train", "mnist"]).unwrap_err(),
+            ArgError::UnexpectedPositional("mnist".into())
+        );
+    }
+
+    #[test]
+    fn required_flag_error() {
+        let p = parse(&["train"]).unwrap();
+        assert_eq!(
+            p.required("dataset").unwrap_err(),
+            ArgError::RequiredFlag("dataset".into())
+        );
+    }
+
+    #[test]
+    fn bad_typed_value() {
+        let p = parse(&["train", "--dim", "lots"]).unwrap();
+        assert!(matches!(
+            p.get_or("dim", 0usize).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn display_messages_are_actionable() {
+        assert!(ArgError::RequiredFlag("out".into()).to_string().contains("--out"));
+        assert!(ArgError::MissingValue("dim".into()).to_string().contains("--dim"));
+    }
+
+    #[test]
+    fn flag_names_enumerates() {
+        let p = parse(&["x", "--b", "1", "--a", "2"]).unwrap();
+        let names: Vec<&str> = p.flag_names().collect();
+        assert_eq!(names, vec!["a", "b"]); // BTreeMap order
+    }
+}

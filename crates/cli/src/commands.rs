@@ -1,0 +1,444 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+
+use cpu_model::Platform;
+use hd_datasets::{registry, Dataset, SampleBudget};
+use hdc::serialize as hdm;
+use hyperedge::{runtime, ExecutionSetting, Pipeline, PipelineConfig, UpdateProfile, WorkloadSpec};
+
+use crate::args::ParsedArgs;
+
+type CmdResult = Result<String, Box<dyn Error>>;
+
+/// Usage text for `help` and error paths.
+pub const USAGE: &str = "\
+hyperedge — algorithm/hardware co-designed HDC on a simulated edge accelerator
+
+USAGE:
+    hyperedge <command> [--flag value]...
+
+COMMANDS:
+    datasets                          list the built-in (synthetic) paper datasets
+    train      --dataset <name> | --csv <file.csv> [--header true]
+               --out <model.hdm>
+               [--setting cpu|tpu|tpu-bagging] [--dim N] [--iterations N]
+               [--train N] [--test N] [--seed N]
+                                      train a model and save it (CSV: label
+                                      in the last column, 20% tail held out)
+    evaluate   --model <model.hdm> --dataset <name>
+               [--test N] [--seed N]  evaluate a saved model
+    info       --model <model.hdm>    describe a saved model
+    runtime    --dataset <name> [--setting ...] [--platform i5|a53]
+                                      paper-scale runtime & energy breakdown
+    federated  --dataset <name> [--nodes N] [--rounds N] [--skew P]
+               [--dim N] [--train N] [--test N] [--seed N]
+                                      collaborative training across edge nodes
+    help                              show this message
+";
+
+/// Rejects flags that no subcommand argument matches, catching typos
+/// like `--dataest` before they silently fall back to defaults.
+fn check_flags(args: &ParsedArgs, allowed: &[&str]) -> Result<(), String> {
+    for name in args.flag_names() {
+        if !allowed.contains(&name) {
+            return Err(format!(
+                "unknown flag --{name} for `{}` (allowed: {})",
+                args.command,
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_setting(raw: &str) -> Result<ExecutionSetting, String> {
+    match raw {
+        "cpu" => Ok(ExecutionSetting::CpuBaseline),
+        "tpu" => Ok(ExecutionSetting::Tpu),
+        "tpu-bagging" | "tpu_b" => Ok(ExecutionSetting::TpuBagging),
+        other => Err(format!("unknown setting `{other}` (cpu | tpu | tpu-bagging)")),
+    }
+}
+
+fn load_dataset(
+    args: &ParsedArgs,
+    default_train: usize,
+    default_test: usize,
+) -> Result<Dataset, Box<dyn Error>> {
+    if let Some(path) = args.get("csv") {
+        let options = hd_datasets::csv::CsvOptions {
+            has_header: args.get("header").is_some_and(|v| v == "true"),
+            label: hd_datasets::csv::LabelColumn::Last,
+        };
+        let import = hd_datasets::csv::load_csv(path, &options)?;
+        let mut data = hd_datasets::csv::into_dataset(import, path, 0.2)?;
+        data.normalize();
+        return Ok(data);
+    }
+    let name = args.required("dataset")?;
+    let spec = registry::by_name(name)
+        .ok_or_else(|| format!("unknown dataset `{name}` (try `hyperedge datasets`)"))?;
+    let train = args.get_or("train", default_train)?;
+    let test = args.get_or("test", default_test)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let mut data = spec.generate(SampleBudget::Reduced { train, test }, seed)?;
+    data.normalize();
+    Ok(data)
+}
+
+/// `hyperedge datasets`
+pub fn datasets(_args: &ParsedArgs) -> CmdResult {
+    let mut out = String::from("name      samples  features  classes  description\n");
+    for spec in registry::paper_datasets() {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>9} {:>8}  {}\n",
+            spec.name, spec.train_samples, spec.features, spec.classes, spec.description
+        ));
+    }
+    Ok(out)
+}
+
+/// `hyperedge train`
+pub fn train(args: &ParsedArgs) -> CmdResult {
+    check_flags(args, &["dataset", "csv", "header", "out", "setting", "dim", "iterations", "train", "test", "seed"])?;
+    let out_path = args.required("out")?.to_string();
+    let setting = parse_setting(args.get("setting").unwrap_or("tpu"))?;
+    let dim = args.get_or("dim", 2048usize)?;
+    let iterations = args.get_or("iterations", 10usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let data = load_dataset(args, 600, 200)?;
+
+    let config = PipelineConfig::new(dim)
+        .with_iterations(iterations)
+        .with_seed(seed);
+    let pipeline = Pipeline::new(config);
+    let outcome = pipeline.train(&data.train.features, &data.train.labels, data.classes, setting)?;
+    let report = pipeline.evaluate(&outcome, &data.test.features, &data.test.labels)?;
+    hdm::save_model(&outcome.model, &out_path)?;
+
+    Ok(format!(
+        "trained {} on {} ({} samples, d = {dim}, {iterations} iterations)\n\
+         test accuracy: {:.1}%\n\
+         modeled training time: {:.4}s (encode {:.4} + update {:.4} + model-gen {:.4})\n\
+         saved to {out_path}\n",
+        setting.label(),
+        data.name,
+        data.train.len(),
+        100.0 * report.accuracy,
+        outcome.runtime.total_s(),
+        outcome.runtime.encode_s,
+        outcome.runtime.update_s,
+        outcome.runtime.model_gen_s,
+    ))
+}
+
+/// `hyperedge evaluate`
+pub fn evaluate(args: &ParsedArgs) -> CmdResult {
+    check_flags(args, &["model", "dataset", "csv", "header", "train", "test", "seed"])?;
+    let model = hdm::load_model(args.required("model")?)?;
+    let data = load_dataset(args, 1, 400)?;
+    if data.feature_count() != model.feature_count() {
+        return Err(format!(
+            "model expects {} features but dataset has {}",
+            model.feature_count(),
+            data.feature_count()
+        )
+        .into());
+    }
+    let predictions = model.predict(&data.test.features)?;
+    let accuracy = hdc::eval::accuracy(&predictions, &data.test.labels)?;
+    let cm = hdc::eval::ConfusionMatrix::from_predictions(
+        &predictions,
+        &data.test.labels,
+        model.class_count(),
+    )?;
+    let mut out = format!(
+        "accuracy: {:.1}% over {} test samples\nper-class recall:\n",
+        100.0 * accuracy,
+        data.test.len()
+    );
+    for class in 0..model.class_count() {
+        match cm.recall(class) {
+            Some(r) => out.push_str(&format!("  class {class}: {:.1}%\n", 100.0 * r)),
+            None => out.push_str(&format!("  class {class}: (no samples)\n")),
+        }
+    }
+    Ok(out)
+}
+
+/// `hyperedge info`
+pub fn info(args: &ParsedArgs) -> CmdResult {
+    check_flags(args, &["model"])?;
+    let path = args.required("model")?;
+    let model = hdm::load_model(path)?;
+    let params = model.feature_count() * model.dim() + model.dim() * model.class_count();
+    Ok(format!(
+        "model: {path}\n\
+         features (n):        {}\n\
+         dimensionality (d):  {}\n\
+         classes (k):         {}\n\
+         similarity:          {:?}\n\
+         f32 parameters:      {params} ({:.2} MB)\n\
+         int8 on accelerator: {:.2} MB\n",
+        model.feature_count(),
+        model.dim(),
+        model.class_count(),
+        model.similarity(),
+        params as f64 * 4.0 / 1e6,
+        params as f64 / 1e6,
+    ))
+}
+
+/// `hyperedge runtime`
+pub fn runtime_report(args: &ParsedArgs) -> CmdResult {
+    check_flags(args, &["dataset", "platform", "dim"])?;
+    let name = args.required("dataset")?;
+    let spec = registry::by_name(name)
+        .ok_or_else(|| format!("unknown dataset `{name}` (try `hyperedge datasets`)"))?;
+    let platform = match args.get("platform").unwrap_or("i5") {
+        "i5" => Platform::MobileI5,
+        "a53" | "pi" => Platform::CortexA53,
+        other => return Err(format!("unknown platform `{other}` (i5 | a53)").into()),
+    };
+    let dim = args.get_or("dim", 10_000usize)?;
+    let config = PipelineConfig::new(dim).with_platform(platform);
+    let workload = WorkloadSpec::from_dataset(&spec);
+    let profile = UpdateProfile::geometric(config.iterations, 0.5, 0.75);
+
+    let mut out = format!(
+        "paper-scale runtime model for {name} ({} train / {} test samples, d = {dim})\n\n\
+         setting  encode_s  update_s  modelgen_s  train_total  infer_s  energy_J\n",
+        workload.train_samples, workload.test_samples
+    );
+    for setting in ExecutionSetting::all() {
+        let b = runtime::training_breakdown(&config, &workload, setting, &profile);
+        let infer = runtime::inference_time_s(&config, &workload, setting);
+        let energy = runtime::training_energy_j(&config, &workload, setting, &profile).total_j()
+            + runtime::inference_energy_j(&config, &workload, setting).total_j();
+        out.push_str(&format!(
+            "{:<8} {:>9.2} {:>9.2} {:>11.2} {:>12.2} {:>8.2} {:>9.1}\n",
+            setting.label(),
+            b.encode_s,
+            b.update_s,
+            b.model_gen_s,
+            b.total_s(),
+            infer,
+            energy,
+        ));
+    }
+    Ok(out)
+}
+
+/// `hyperedge federated`
+pub fn federated(args: &ParsedArgs) -> CmdResult {
+    check_flags(args, &["dataset", "csv", "header", "nodes", "rounds", "skew", "dim", "train", "test", "seed"])?;
+    let nodes = args.get_or("nodes", 4usize)?;
+    let rounds = args.get_or("rounds", 5usize)?;
+    let dim = args.get_or("dim", 2048usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let data = load_dataset(args, 600, 200)?;
+
+    let mut config = hyperedge::federated::FederatedConfig::new(dim)
+        .with_nodes(nodes)
+        .with_rounds(rounds)
+        .with_seed(seed);
+    if let Some(raw) = args.get("skew") {
+        let skew: f64 = raw
+            .parse()
+            .map_err(|_| format!("--skew `{raw}` is not a number"))?;
+        config = config.with_partition(hyperedge::federated::Partition::ClassSkew(skew));
+    }
+    let (model, stats) = hyperedge::federated::federated_fit(
+        &data.train.features,
+        &data.train.labels,
+        data.classes,
+        &config,
+    )?;
+    let predictions = model.predict(&data.test.features)?;
+    let accuracy = hdc::eval::accuracy(&predictions, &data.test.labels)?;
+
+    let mut out = format!(
+        "federated training: {} nodes, {} rounds, d = {dim}
+shard sizes: {:?}
+",
+        nodes, rounds, stats.shard_sizes
+    );
+    for round in &stats.rounds {
+        out.push_str(&format!(
+            "  round {}: mean local accuracy {:.1}%, {} updates
+",
+            round.round + 1,
+            100.0 * round.mean_local_accuracy,
+            round.updates
+        ));
+    }
+    out.push_str(&format!(
+        "global model test accuracy: {:.1}% over {} samples
+",
+        100.0 * accuracy,
+        data.test.len()
+    ));
+    Ok(out)
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &ParsedArgs) -> CmdResult {
+    match args.command.as_str() {
+        "datasets" => datasets(args),
+        "train" => train(args),
+        "evaluate" | "eval" => evaluate(args),
+        "info" => info(args),
+        "runtime" => runtime_report(args),
+        "federated" => federated(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn datasets_lists_all_five() {
+        let out = datasets(&parsed(&["datasets"])).unwrap();
+        for name in ["face", "isolet", "ucihar", "mnist", "pamap2"] {
+            assert!(out.contains(name), "missing {name} in\n{out}");
+        }
+    }
+
+    #[test]
+    fn train_info_evaluate_roundtrip() {
+        let dir = std::env::temp_dir().join("hyperedge-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("cli-model.hdm");
+        let model_str = model_path.to_str().unwrap();
+
+        let out = train(&parsed(&[
+            "train", "--dataset", "pamap2", "--out", model_str, "--dim", "512",
+            "--iterations", "4", "--train", "150", "--test", "60", "--setting", "cpu",
+        ]))
+        .unwrap();
+        assert!(out.contains("test accuracy"), "{out}");
+
+        let out = info(&parsed(&["info", "--model", model_str])).unwrap();
+        assert!(out.contains("dimensionality (d):  512"), "{out}");
+
+        let out = evaluate(&parsed(&[
+            "evaluate", "--model", model_str, "--dataset", "pamap2", "--test", "60",
+        ]))
+        .unwrap();
+        assert!(out.contains("accuracy:"), "{out}");
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn evaluate_rejects_feature_mismatch() {
+        let dir = std::env::temp_dir().join("hyperedge-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("cli-mismatch.hdm");
+        let model_str = model_path.to_str().unwrap();
+        train(&parsed(&[
+            "train", "--dataset", "pamap2", "--out", model_str, "--dim", "256",
+            "--iterations", "2", "--train", "60", "--test", "20", "--setting", "cpu",
+        ]))
+        .unwrap();
+        let err = evaluate(&parsed(&[
+            "evaluate", "--model", model_str, "--dataset", "mnist", "--test", "20",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("features"), "{err}");
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn runtime_report_covers_settings() {
+        let out = runtime_report(&parsed(&["runtime", "--dataset", "mnist"])).unwrap();
+        for label in ["CPU", "TPU", "TPU_B"] {
+            assert!(out.contains(label), "{out}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_and_dataset_fail_cleanly() {
+        assert!(run(&parsed(&["frobnicate"])).is_err());
+        assert!(train(&parsed(&["train", "--dataset", "cifar", "--out", "/tmp/x.hdm"])).is_err());
+        assert!(runtime_report(&parsed(&["runtime", "--dataset", "mnist", "--platform", "m1"])).is_err());
+    }
+
+    #[test]
+    fn setting_parser() {
+        assert!(parse_setting("cpu").is_ok());
+        assert!(parse_setting("tpu").is_ok());
+        assert!(parse_setting("tpu-bagging").is_ok());
+        assert!(parse_setting("gpu").is_err());
+    }
+
+    #[test]
+    fn train_from_csv_works() {
+        let dir = std::env::temp_dir().join("hyperedge-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("train.csv");
+        // Two separable classes, 40 rows.
+        let mut text = String::new();
+        for i in 0..40 {
+            let c = i % 2;
+            let base = if c == 0 { 1.0 } else { -1.0 };
+            text.push_str(&format!("{},{},{c}\n", base + 0.01 * i as f32, -base));
+        }
+        std::fs::write(&csv_path, text).unwrap();
+        let model_path = dir.join("csv-model.hdm");
+        let out = train(&parsed(&[
+            "train", "--csv", csv_path.to_str().unwrap(), "--out",
+            model_path.to_str().unwrap(), "--dim", "128", "--iterations", "3",
+            "--setting", "cpu",
+        ]))
+        .unwrap();
+        assert!(out.contains("test accuracy"), "{out}");
+        std::fs::remove_file(&csv_path).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn federated_command_runs() {
+        let out = federated(&parsed(&[
+            "federated", "--dataset", "pamap2", "--nodes", "3", "--rounds", "2",
+            "--dim", "256", "--train", "120", "--test", "60",
+        ]))
+        .unwrap();
+        assert!(out.contains("global model test accuracy"), "{out}");
+        assert!(out.contains("round 2"), "{out}");
+    }
+
+    #[test]
+    fn federated_rejects_bad_skew() {
+        let err = federated(&parsed(&[
+            "federated", "--dataset", "pamap2", "--skew", "lots",
+            "--train", "40", "--test", "20",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("skew"), "{err}");
+    }
+
+    #[test]
+    fn typoed_flag_is_rejected() {
+        let err = info(&parsed(&["info", "--modle", "x.hdm"])).unwrap_err();
+        assert!(err.to_string().contains("--modle"), "{err}");
+    }
+
+    #[test]
+    fn help_runs() {
+        let out = run(&parsed(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,36 @@
+//! `hyperedge` — command-line interface for training, evaluating, and
+//! inspecting HDC models on the simulated co-designed edge stack.
+//!
+//! ```text
+//! hyperedge datasets
+//! hyperedge train --dataset isolet --out isolet.hdm --setting tpu-bagging
+//! hyperedge evaluate --model isolet.hdm --dataset isolet
+//! hyperedge info --model isolet.hdm
+//! hyperedge runtime --dataset mnist --platform a53
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::ParsedArgs::parse(raw) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

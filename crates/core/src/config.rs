@@ -1,0 +1,205 @@
+use serde::{Deserialize, Serialize};
+
+use cpu_model::Platform;
+use hd_bagging::BaggingConfig;
+use tpu_sim::DeviceConfig;
+
+use crate::error::FrameworkError;
+
+/// Which of the paper's three framework settings to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionSetting {
+    /// Everything on the host CPU — the paper's baseline.
+    CpuBaseline,
+    /// Encoding and inference on the accelerator, class-hypervector
+    /// update on the host (the paper's "TPU" setting).
+    Tpu,
+    /// The TPU setting plus bagged training with a merged inference model
+    /// (the paper's "TPU_B").
+    TpuBagging,
+}
+
+impl ExecutionSetting {
+    /// All three settings, in the order the paper's figures list them.
+    pub fn all() -> [ExecutionSetting; 3] {
+        [
+            ExecutionSetting::CpuBaseline,
+            ExecutionSetting::Tpu,
+            ExecutionSetting::TpuBagging,
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionSetting::CpuBaseline => "CPU",
+            ExecutionSetting::Tpu => "TPU",
+            ExecutionSetting::TpuBagging => "TPU_B",
+        }
+    }
+}
+
+/// Full configuration of the co-designed pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Hypervector dimensionality `d` (the paper uses 10 000).
+    pub dim: usize,
+    /// Full-model training iterations (the paper uses 20).
+    pub iterations: usize,
+    /// Update coefficient `lambda`.
+    pub learning_rate: f32,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Bagging parameters for the `TpuBagging` setting.
+    pub bagging: BaggingConfig,
+    /// Samples per accelerator invocation during (offline, throughput
+    /// oriented) training-set encoding.
+    pub encode_batch: usize,
+    /// Samples per accelerator invocation during (latency-oriented)
+    /// inference.
+    pub infer_batch: usize,
+    /// Host CPU profile.
+    pub platform: Platform,
+    /// Accelerator profile.
+    pub device: DeviceConfig,
+}
+
+impl PipelineConfig {
+    /// Paper-style defaults at the given dimensionality: 20 iterations,
+    /// `lambda = 1`, bagging at `M = 4`, `I' = 6`, `alpha = 0.6`,
+    /// `beta = 1`, encode batch 256, inference batch 16, mobile-i5 host,
+    /// Edge-TPU-like device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by 4 (the default bagging `M`).
+    pub fn new(dim: usize) -> Self {
+        PipelineConfig {
+            dim,
+            iterations: 20,
+            learning_rate: 1.0,
+            seed: 0xED6E,
+            bagging: BaggingConfig::paper_defaults(dim),
+            encode_batch: 256,
+            infer_batch: 16,
+            platform: Platform::MobileI5,
+            device: DeviceConfig::default(),
+        }
+    }
+
+    /// Sets the full-model iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the master seed (also reseeds the bagging stream).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.bagging = self.bagging.with_seed(seed ^ 0xBA66);
+        self
+    }
+
+    /// Replaces the bagging configuration.
+    pub fn with_bagging(mut self, bagging: BaggingConfig) -> Self {
+        self.bagging = bagging;
+        self
+    }
+
+    /// Sets the host platform.
+    pub fn with_platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the accelerator configuration.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the encode/inference batch sizes.
+    pub fn with_batches(mut self, encode_batch: usize, infer_batch: usize) -> Self {
+        self.encode_batch = encode_batch;
+        self.infer_batch = infer_batch;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::InvalidConfig`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), FrameworkError> {
+        if self.dim == 0 {
+            return Err(FrameworkError::InvalidConfig("dim is zero".into()));
+        }
+        if self.iterations == 0 {
+            return Err(FrameworkError::InvalidConfig("iterations is zero".into()));
+        }
+        if self.encode_batch == 0 || self.infer_batch == 0 {
+            return Err(FrameworkError::InvalidConfig("batch sizes must be positive".into()));
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(FrameworkError::InvalidConfig(
+                "learning_rate must be positive".into(),
+            ));
+        }
+        self.bagging
+            .validate()
+            .map_err(|e| FrameworkError::InvalidConfig(e.to_string()))?;
+        if self.bagging.merged_dim() != self.dim {
+            return Err(FrameworkError::InvalidConfig(format!(
+                "bagging merged dim {} differs from pipeline dim {}",
+                self.bagging.merged_dim(),
+                self.dim
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(PipelineConfig::new(10_000).validate().is_ok());
+        assert!(PipelineConfig::new(1024).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_fields() {
+        let ok = PipelineConfig::new(1024);
+        let mut bad = ok.clone();
+        bad.dim = 0;
+        assert!(bad.validate().is_err());
+        let bad = ok.clone().with_iterations(0);
+        assert!(bad.validate().is_err());
+        let bad = ok.clone().with_batches(0, 16);
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.learning_rate = -1.0;
+        assert!(bad.validate().is_err());
+        // Mismatched bagging width.
+        let bad = ok.clone().with_bagging(BaggingConfig::paper_defaults(512));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(ExecutionSetting::CpuBaseline.label(), "CPU");
+        assert_eq!(ExecutionSetting::Tpu.label(), "TPU");
+        assert_eq!(ExecutionSetting::TpuBagging.label(), "TPU_B");
+        assert_eq!(ExecutionSetting::all().len(), 3);
+    }
+
+    #[test]
+    fn with_seed_reseeds_bagging() {
+        let a = PipelineConfig::new(1024).with_seed(1);
+        let b = PipelineConfig::new(1024).with_seed(2);
+        assert_ne!(a.bagging.seed, b.bagging.seed);
+    }
+}

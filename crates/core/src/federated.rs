@@ -1,0 +1,408 @@
+//! Collaborative (federated-style) HDC training across edge nodes.
+//!
+//! The paper's introduction motivates edge learning with exactly this
+//! deployment: many devices collect data locally and a central model must
+//! be trained without shipping raw data to the cloud (its reference \[21\]
+//! trains HDC collaboratively in "secure high-dimensional space"). HDC
+//! federates unusually cheaply: if every node derives the *same* base
+//! hypervectors from a shared seed, a node's entire local knowledge is
+//! its `d x k` class-hypervector matrix, and the server aggregates by
+//! **summing class matrices** — bundling, the same operation training
+//! itself uses. No gradients, no model deltas, one matrix per round.
+//!
+//! Each round:
+//!
+//! 1. the server broadcasts the global class hypervectors,
+//! 2. every node warm-starts local training on its shard
+//!    ([`hdc::train_encoded_warm`]) for a few passes,
+//! 3. the server averages the nodes' class matrices into the new global
+//!    model.
+//!
+//! # Examples
+//!
+//! ```
+//! use hd_tensor::{rng::DetRng, Matrix};
+//! use hyperedge::federated::{federated_fit, FederatedConfig, Partition};
+//!
+//! # fn main() -> Result<(), hyperedge::FrameworkError> {
+//! let mut rng = DetRng::new(1);
+//! let mut features = Matrix::random_normal(120, 8, &mut rng);
+//! let labels: Vec<usize> = (0..120).map(|i| i % 3).collect();
+//! for (i, &l) in labels.iter().enumerate() {
+//!     features.row_mut(i)[l] += 2.5;
+//! }
+//! let config = FederatedConfig::new(512).with_nodes(4).with_rounds(3);
+//! let (model, stats) = federated_fit(&features, &labels, 3, &config)?;
+//! assert_eq!(stats.rounds.len(), 3);
+//! assert!(model.predict(&features)?.len() == 120);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use hd_tensor::rng::DetRng;
+use hd_tensor::Matrix;
+use hdc::{
+    train_encoded_warm, BaseHypervectors, ClassHypervectors, HdcModel, NonlinearEncoder,
+    Similarity, TrainConfig,
+};
+
+use crate::error::FrameworkError;
+use crate::Result;
+
+/// How training samples distribute across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Partition {
+    /// Samples are dealt round-robin: every node sees every class.
+    Iid,
+    /// Each node's shard is skewed toward a subset of classes:
+    /// a sample of class `c` lands on node `c % nodes` with the given
+    /// probability, else uniformly. `1.0` gives fully disjoint class
+    /// shards; `0.0` degenerates to uniform.
+    ClassSkew(f64),
+}
+
+/// Configuration of a federated training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederatedConfig {
+    /// Hypervector dimensionality `d` (shared across nodes).
+    pub dim: usize,
+    /// Number of participating edge nodes.
+    pub nodes: usize,
+    /// Aggregation rounds.
+    pub rounds: usize,
+    /// Local training passes per node per round.
+    pub local_iterations: usize,
+    /// Update coefficient `lambda`.
+    pub learning_rate: f32,
+    /// Shared seed: base hypervectors AND the partition derive from it.
+    pub seed: u64,
+    /// Sample-to-node assignment policy.
+    pub partition: Partition,
+}
+
+impl FederatedConfig {
+    /// Defaults: 4 nodes, 5 rounds, 2 local passes, IID partition.
+    pub fn new(dim: usize) -> Self {
+        FederatedConfig {
+            dim,
+            nodes: 4,
+            rounds: 5,
+            local_iterations: 2,
+            learning_rate: 1.0,
+            seed: 0xFED5,
+            partition: Partition::Iid,
+        }
+    }
+
+    /// Sets the node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the round count.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets local passes per round.
+    pub fn with_local_iterations(mut self, iterations: usize) -> Self {
+        self.local_iterations = iterations;
+        self
+    }
+
+    /// Sets the partition policy.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Sets the shared seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.dim == 0 || self.nodes == 0 || self.rounds == 0 || self.local_iterations == 0 {
+            return Err(FrameworkError::InvalidConfig(
+                "dim, nodes, rounds and local_iterations must be positive".into(),
+            ));
+        }
+        if let Partition::ClassSkew(p) = self.partition {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(FrameworkError::InvalidConfig(format!(
+                    "class skew {p} outside [0, 1]"
+                )));
+            }
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(FrameworkError::InvalidConfig(
+                "learning_rate must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-round telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Mean local training accuracy across nodes after their passes.
+    pub mean_local_accuracy: f64,
+    /// Total class-hypervector updates performed across nodes this round.
+    pub updates: usize,
+}
+
+/// Full federated-run telemetry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FederatedStats {
+    /// Samples held by each node.
+    pub shard_sizes: Vec<usize>,
+    /// One entry per aggregation round.
+    pub rounds: Vec<RoundStats>,
+}
+
+/// Splits sample indices across nodes per the partition policy.
+fn partition_indices(
+    labels: &[usize],
+    nodes: usize,
+    partition: Partition,
+    rng: &mut DetRng,
+) -> Vec<Vec<usize>> {
+    let mut shards = vec![Vec::new(); nodes];
+    for (i, &label) in labels.iter().enumerate() {
+        let node = match partition {
+            Partition::Iid => i % nodes,
+            Partition::ClassSkew(p) => {
+                if rng.next_f64() < p {
+                    label % nodes
+                } else {
+                    rng.next_index(nodes)
+                }
+            }
+        };
+        shards[node].push(i);
+    }
+    shards
+}
+
+/// Runs federated HDC training and returns the aggregated global model.
+///
+/// # Errors
+///
+/// * [`FrameworkError::InvalidConfig`] — bad configuration.
+/// * Wrapped [`hdc::HdcError`] — label or shape problems.
+pub fn federated_fit(
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    config: &FederatedConfig,
+) -> Result<(HdcModel, FederatedStats)> {
+    config.validate()?;
+    if features.rows() == 0 || classes == 0 {
+        return Err(FrameworkError::Hdc(hdc::HdcError::EmptyDataset));
+    }
+    if labels.len() != features.rows() {
+        return Err(FrameworkError::Hdc(hdc::HdcError::LabelCount {
+            samples: features.rows(),
+            labels: labels.len(),
+        }));
+    }
+
+    // Shared randomness: every node regenerates the same base
+    // hypervectors from the seed, so class matrices are interoperable.
+    let mut rng = DetRng::new(config.seed);
+    let encoder = NonlinearEncoder::new(BaseHypervectors::generate(
+        features.cols(),
+        config.dim,
+        &mut rng,
+    ));
+
+    let shards = partition_indices(labels, config.nodes, config.partition, &mut rng);
+    let mut stats = FederatedStats {
+        shard_sizes: shards.iter().map(Vec::len).collect(),
+        ..FederatedStats::default()
+    };
+
+    // Each node encodes its shard once (on its own accelerator, in the
+    // deployed setting).
+    let mut node_data = Vec::with_capacity(config.nodes);
+    for shard in &shards {
+        if shard.is_empty() {
+            node_data.push(None);
+            continue;
+        }
+        let shard_features = features.select_rows(shard)?;
+        let shard_labels: Vec<usize> = shard.iter().map(|&i| labels[i]).collect();
+        let encoded = encoder.encode(&shard_features)?;
+        node_data.push(Some((encoded, shard_labels)));
+    }
+
+    let mut global = ClassHypervectors::zeros(config.dim, classes);
+    let local_config = TrainConfig::new(config.dim)
+        .with_iterations(config.local_iterations)
+        .with_learning_rate(config.learning_rate)
+        .with_seed(config.seed);
+
+    for round in 0..config.rounds {
+        let mut sum: Option<Matrix> = None;
+        let mut participating = 0usize;
+        let mut accuracy_sum = 0.0;
+        let mut updates = 0usize;
+        for data in node_data.iter().flatten() {
+            let (encoded, shard_labels) = data;
+            let (local, local_stats) = train_encoded_warm(
+                encoded,
+                shard_labels,
+                global.clone(),
+                &local_config,
+                None,
+            )?;
+            participating += 1;
+            accuracy_sum += local_stats.final_train_accuracy();
+            updates += local_stats.total_updates();
+            let m = local.into_matrix();
+            sum = Some(match sum {
+                None => m,
+                Some(acc) => acc.add(&m)?,
+            });
+        }
+        let participating = participating.max(1);
+        let mut aggregated = sum.ok_or_else(|| {
+            FrameworkError::InvalidConfig("no node received any samples".into())
+        })?;
+        aggregated.scale_inplace(1.0 / participating as f32);
+        global = ClassHypervectors::from_matrix(aggregated);
+        stats.rounds.push(RoundStats {
+            round,
+            mean_local_accuracy: accuracy_sum / participating as f64,
+            updates,
+        });
+    }
+
+    let model = HdcModel::from_parts(encoder, global, Similarity::Dot)?;
+    Ok((model, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered(samples_per_class: usize, n: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = DetRng::new(seed);
+        let centers: Vec<Vec<f32>> = (0..classes)
+            .map(|_| (0..n).map(|_| 1.5 * rng.next_normal()).collect())
+            .collect();
+        let total = samples_per_class * classes;
+        let mut m = Matrix::zeros(total, n);
+        let mut labels = Vec::with_capacity(total);
+        for s in 0..total {
+            let c = s % classes;
+            labels.push(c);
+            for (v, center) in m.row_mut(s).iter_mut().zip(&centers[c]) {
+                *v = center + 0.5 * rng.next_normal();
+            }
+        }
+        (m, labels)
+    }
+
+    #[test]
+    fn iid_federation_learns_the_task() {
+        let (features, labels) = clustered(30, 12, 3, 1);
+        let config = FederatedConfig::new(512).with_nodes(4).with_rounds(4);
+        let (model, stats) = federated_fit(&features, &labels, 3, &config).unwrap();
+        let acc =
+            hdc::eval::accuracy(&model.predict(&features).unwrap(), &labels).unwrap();
+        assert!(acc > 0.9, "federated accuracy {acc}");
+        assert_eq!(stats.shard_sizes.len(), 4);
+        assert_eq!(stats.shard_sizes.iter().sum::<usize>(), 90);
+    }
+
+    #[test]
+    fn non_iid_federation_still_converges() {
+        let (features, labels) = clustered(30, 12, 4, 2);
+        let config = FederatedConfig::new(512)
+            .with_nodes(4)
+            .with_rounds(6)
+            .with_partition(Partition::ClassSkew(0.9));
+        let (model, _) = federated_fit(&features, &labels, 4, &config).unwrap();
+        let acc =
+            hdc::eval::accuracy(&model.predict(&features).unwrap(), &labels).unwrap();
+        // Non-IID is harder; the consensus still must beat chance widely.
+        assert!(acc > 0.7, "non-iid federated accuracy {acc}");
+    }
+
+    #[test]
+    fn federation_approaches_centralized_accuracy() {
+        let (features, labels) = clustered(30, 12, 3, 3);
+        let fed_config = FederatedConfig::new(512).with_nodes(3).with_rounds(5);
+        let (fed_model, _) = federated_fit(&features, &labels, 3, &fed_config).unwrap();
+        let central_config = hdc::TrainConfig::new(512).with_iterations(10).with_seed(0xFED5);
+        let (central_model, _) =
+            HdcModel::fit(&features, &labels, 3, &central_config).unwrap();
+        let fed_acc =
+            hdc::eval::accuracy(&fed_model.predict(&features).unwrap(), &labels).unwrap();
+        let central_acc =
+            hdc::eval::accuracy(&central_model.predict(&features).unwrap(), &labels).unwrap();
+        assert!(
+            fed_acc > central_acc - 0.1,
+            "federated {fed_acc} vs centralized {central_acc}"
+        );
+    }
+
+    #[test]
+    fn round_telemetry_shows_convergence() {
+        let (features, labels) = clustered(30, 12, 3, 4);
+        let config = FederatedConfig::new(512).with_nodes(4).with_rounds(5);
+        let (_, stats) = federated_fit(&features, &labels, 3, &config).unwrap();
+        let first = stats.rounds.first().unwrap().mean_local_accuracy;
+        let last = stats.rounds.last().unwrap().mean_local_accuracy;
+        assert!(last >= first, "local accuracy regressed: {first} -> {last}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = FederatedConfig::new(128);
+        assert!(ok.validate().is_ok());
+        assert!(FederatedConfig::new(0).validate().is_err());
+        assert!(ok.clone().with_nodes(0).validate().is_err());
+        assert!(ok.clone().with_rounds(0).validate().is_err());
+        assert!(ok.clone().with_local_iterations(0).validate().is_err());
+        assert!(ok
+            .clone()
+            .with_partition(Partition::ClassSkew(1.5))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        let config = FederatedConfig::new(128);
+        assert!(federated_fit(&Matrix::zeros(0, 4), &[], 2, &config).is_err());
+        assert!(federated_fit(&Matrix::zeros(4, 4), &[0, 1], 2, &config).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (features, labels) = clustered(10, 8, 2, 5);
+        let config = FederatedConfig::new(256).with_nodes(2).with_rounds(2);
+        let (a, _) = federated_fit(&features, &labels, 2, &config).unwrap();
+        let (b, _) = federated_fit(&features, &labels, 2, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_nodes_than_samples_is_handled() {
+        let (features, labels) = clustered(2, 6, 2, 6);
+        let config = FederatedConfig::new(128).with_nodes(16).with_rounds(2);
+        let (model, stats) = federated_fit(&features, &labels, 2, &config).unwrap();
+        assert_eq!(stats.shard_sizes.iter().sum::<usize>(), 4);
+        assert_eq!(model.class_count(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+use hd_tensor::{ops, Matrix};
+use hdc::HdcModel;
+use tpu_sim::Device;
+use wide_nn::compile;
+
+use crate::config::{ExecutionSetting, PipelineConfig};
+use crate::runtime::{self, WorkloadSpec};
+use crate::wide_model;
+use crate::Result;
+
+/// Result of running inference over a test batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReport {
+    /// Predicted class per test sample.
+    pub predictions: Vec<usize>,
+    /// Modeled inference time for this batch at its actual size, in
+    /// seconds (model load is one-time and excluded, as in the paper).
+    pub runtime_s: f64,
+}
+
+/// Runs trained HDC models on test data under each execution setting.
+///
+/// On the CPU path the model predicts in `f32`; on the accelerator paths
+/// the full three-layer wide-NN inference model is compiled, loaded once,
+/// and invoked in latency-oriented batches, so predictions carry genuine
+/// int8 quantization effects.
+#[derive(Debug, Clone)]
+pub struct InferenceEngine {
+    config: PipelineConfig,
+}
+
+impl InferenceEngine {
+    /// Creates an engine with the given pipeline configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        InferenceEngine { config }
+    }
+
+    /// Runs inference under `setting`, returning predictions and the
+    /// modeled runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation/device/shape errors.
+    pub fn run(
+        &self,
+        model: &HdcModel,
+        features: &Matrix,
+        setting: ExecutionSetting,
+    ) -> Result<InferenceReport> {
+        let workload = WorkloadSpec {
+            train_samples: 0,
+            test_samples: features.rows(),
+            features: model.feature_count(),
+            classes: model.class_count(),
+        };
+        let runtime_s = runtime::inference_time_s(&self.config, &workload, setting);
+        let predictions = match setting {
+            ExecutionSetting::CpuBaseline => model.predict(features)?,
+            ExecutionSetting::Tpu | ExecutionSetting::TpuBagging => {
+                self.predict_on_device(model, features)?
+            }
+        };
+        Ok(InferenceReport {
+            predictions,
+            runtime_s,
+        })
+    }
+
+    fn predict_on_device(&self, model: &HdcModel, features: &Matrix) -> Result<Vec<usize>> {
+        let network = wide_model::inference_network(model)?;
+        // Calibrate on (a subset of) the test batch, as a deployment
+        // pipeline would calibrate on representative data.
+        let calib_rows = features.rows().min(256);
+        let calibration = features.slice_rows(0, calib_rows)?;
+        let compiled = compile::compile(&network, &calibration, &self.config.device.target)?;
+        let device = Device::new(self.config.device.clone());
+        device.load_model(compiled)?;
+        let (scores, _stats) = device.invoke_chunked(features, self.config.infer_batch)?;
+        (0..scores.rows())
+            .map(|r| ops::argmax(scores.row(r)).map_err(crate::FrameworkError::from))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_tensor::rng::DetRng;
+    use hdc::TrainConfig;
+
+    fn trained() -> (HdcModel, Matrix, Vec<usize>) {
+        let mut rng = DetRng::new(31);
+        let mut features = Matrix::random_normal(60, 10, &mut rng);
+        let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        for (i, &l) in labels.iter().enumerate() {
+            features.row_mut(i)[l] += 3.0;
+        }
+        let config = TrainConfig::new(512).with_iterations(5).with_seed(32);
+        let (model, _) = HdcModel::fit(&features, &labels, 3, &config).unwrap();
+        (model, features, labels)
+    }
+
+    #[test]
+    fn cpu_and_tpu_paths_agree_on_separable_data() {
+        let (model, features, labels) = trained();
+        let engine = InferenceEngine::new(PipelineConfig::new(512));
+        let cpu = engine
+            .run(&model, &features, ExecutionSetting::CpuBaseline)
+            .unwrap();
+        let tpu = engine.run(&model, &features, ExecutionSetting::Tpu).unwrap();
+        let cpu_acc = hdc::eval::accuracy(&cpu.predictions, &labels).unwrap();
+        let tpu_acc = hdc::eval::accuracy(&tpu.predictions, &labels).unwrap();
+        assert!(cpu_acc > 0.95, "cpu accuracy {cpu_acc}");
+        // int8 quantization may cost a little accuracy, but not much.
+        assert!(tpu_acc > cpu_acc - 0.1, "tpu accuracy {tpu_acc} vs cpu {cpu_acc}");
+    }
+
+    #[test]
+    fn bagging_setting_runs_the_merged_model_identically() {
+        let (model, features, _) = trained();
+        let engine = InferenceEngine::new(PipelineConfig::new(512));
+        let a = engine.run(&model, &features, ExecutionSetting::Tpu).unwrap();
+        let b = engine
+            .run(&model, &features, ExecutionSetting::TpuBagging)
+            .unwrap();
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.runtime_s, b.runtime_s, "merged model must add zero overhead");
+    }
+
+    #[test]
+    fn runtime_is_positive_and_scales_with_batch() {
+        let (model, features, _) = trained();
+        let engine = InferenceEngine::new(PipelineConfig::new(512));
+        let full = engine
+            .run(&model, &features, ExecutionSetting::CpuBaseline)
+            .unwrap();
+        let half = engine
+            .run(
+                &model,
+                &features.slice_rows(0, 30).unwrap(),
+                ExecutionSetting::CpuBaseline,
+            )
+            .unwrap();
+        assert!(full.runtime_s > half.runtime_s);
+        assert!(half.runtime_s > 0.0);
+    }
+}

@@ -1,0 +1,436 @@
+use hd_tensor::rng::DetRng;
+use hd_tensor::Matrix;
+use hd_bagging::{train_bagged_with, BaggingError, BaggingStats};
+use hdc::{train_encoded, BaseHypervectors, HdcModel, NonlinearEncoder, Similarity, TrainConfig, TrainStats};
+use tpu_sim::Device;
+use wide_nn::compile;
+
+use crate::config::{ExecutionSetting, PipelineConfig};
+use crate::error::FrameworkError;
+use crate::inference::{InferenceEngine, InferenceReport};
+use crate::runtime::{self, RuntimeBreakdown, UpdateProfile, WorkloadSpec};
+use crate::wide_model;
+use crate::Result;
+
+/// Functional training telemetry, per setting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainingTelemetry {
+    /// Single full-width model (CPU baseline and plain TPU settings).
+    Single(TrainStats),
+    /// Bagged sub-models (the TPU_B setting).
+    Bagged(BaggingStats),
+}
+
+/// Everything a training run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingOutcome {
+    /// Which setting trained this model.
+    pub setting: ExecutionSetting,
+    /// The trained model (for bagging, the merged full-width model).
+    pub model: HdcModel,
+    /// Per-iteration telemetry.
+    pub telemetry: TrainingTelemetry,
+    /// Measured update-fraction profile, for extrapolating runtimes to
+    /// other workload scales.
+    pub update_profile: UpdateProfile,
+    /// Modeled per-phase runtime at this run's actual workload size.
+    pub runtime: RuntimeBreakdown,
+}
+
+impl TrainingOutcome {
+    /// Final training-set accuracy (averaged over sub-models for
+    /// bagging).
+    pub fn final_train_accuracy(&self) -> f64 {
+        match &self.telemetry {
+            TrainingTelemetry::Single(stats) => stats.final_train_accuracy(),
+            TrainingTelemetry::Bagged(stats) => {
+                let n = stats.sub_models.len().max(1);
+                stats
+                    .sub_models
+                    .iter()
+                    .map(|s| s.train.final_train_accuracy())
+                    .sum::<f64>()
+                    / n as f64
+            }
+        }
+    }
+}
+
+/// Result of evaluating a trained model on held-out data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationReport {
+    /// Test accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// The underlying inference run.
+    pub inference: InferenceReport,
+}
+
+/// The paper's co-designed training/inference orchestrator.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Trains a model under `setting` and reports per-phase runtimes at
+    /// the actual workload size.
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameworkError::InvalidConfig`] — bad configuration.
+    /// * Wrapped algorithm/device errors for label, shape, or capacity
+    ///   problems.
+    pub fn train(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        classes: usize,
+        setting: ExecutionSetting,
+    ) -> Result<TrainingOutcome> {
+        self.config.validate()?;
+        let workload = WorkloadSpec {
+            train_samples: features.rows(),
+            test_samples: 0,
+            features: features.cols(),
+            classes,
+        };
+        match setting {
+            ExecutionSetting::CpuBaseline => self.train_cpu(features, labels, classes, &workload),
+            ExecutionSetting::Tpu => self.train_tpu(features, labels, classes, &workload),
+            ExecutionSetting::TpuBagging => {
+                self.train_tpu_bagging(features, labels, classes, &workload)
+            }
+        }
+    }
+
+    fn train_cpu(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        classes: usize,
+        workload: &WorkloadSpec,
+    ) -> Result<TrainingOutcome> {
+        let mut rng = DetRng::new(self.config.seed);
+        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(
+            features.cols(),
+            self.config.dim,
+            &mut rng,
+        ));
+        let encoded = encoder.encode(features)?;
+        let (class_hvs, stats) = train_encoded(&encoded, labels, classes, &self.train_config())?;
+        let profile = UpdateProfile::from_train_stats(&stats, features.rows());
+        let runtime = runtime::training_breakdown(
+            &self.config,
+            workload,
+            ExecutionSetting::CpuBaseline,
+            &profile,
+        );
+        Ok(TrainingOutcome {
+            setting: ExecutionSetting::CpuBaseline,
+            model: HdcModel::from_parts(encoder, class_hvs, Similarity::Dot)?,
+            telemetry: TrainingTelemetry::Single(stats),
+            update_profile: profile,
+            runtime,
+        })
+    }
+
+    fn train_tpu(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        classes: usize,
+        workload: &WorkloadSpec,
+    ) -> Result<TrainingOutcome> {
+        let mut rng = DetRng::new(self.config.seed);
+        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(
+            features.cols(),
+            self.config.dim,
+            &mut rng,
+        ));
+
+        // Lower the encoder half of the wide NN to the accelerator and
+        // encode the whole training set there — quantization and all.
+        let encoded = self.encode_on_device(&encoder, features)?;
+
+        let (class_hvs, stats) = train_encoded(&encoded, labels, classes, &self.train_config())?;
+        let profile = UpdateProfile::from_train_stats(&stats, features.rows());
+        let runtime =
+            runtime::training_breakdown(&self.config, workload, ExecutionSetting::Tpu, &profile);
+        Ok(TrainingOutcome {
+            setting: ExecutionSetting::Tpu,
+            model: HdcModel::from_parts(encoder, class_hvs, Similarity::Dot)?,
+            telemetry: TrainingTelemetry::Single(stats),
+            update_profile: profile,
+            runtime,
+        })
+    }
+
+    fn train_tpu_bagging(
+        &self,
+        features: &Matrix,
+        labels: &[usize],
+        classes: usize,
+        workload: &WorkloadSpec,
+    ) -> Result<TrainingOutcome> {
+        let (bagged, stats) = train_bagged_with(
+            features,
+            labels,
+            classes,
+            &self.config.bagging,
+            |encoder, batch| {
+                self.encode_on_device(encoder, batch).map_err(|e| {
+                    BaggingError::InvalidConfig(format!("device encoding failed: {e}"))
+                })
+            },
+        )?;
+        let model = bagged.merge()?;
+
+        // Average measured fractions across sub-models, iteration-wise.
+        let iters = self.config.bagging.iterations;
+        let mut fractions = vec![0.0f64; iters];
+        for sub in &stats.sub_models {
+            let p = UpdateProfile::from_train_stats(&sub.train, sub.sampled_rows);
+            for (i, f) in fractions.iter_mut().enumerate() {
+                *f += p.fraction(i) / stats.sub_models.len() as f64;
+            }
+        }
+        let profile = UpdateProfile::from_fractions(fractions);
+        let runtime = runtime::training_breakdown(
+            &self.config,
+            workload,
+            ExecutionSetting::TpuBagging,
+            &profile,
+        );
+        Ok(TrainingOutcome {
+            setting: ExecutionSetting::TpuBagging,
+            model,
+            telemetry: TrainingTelemetry::Bagged(stats),
+            update_profile: profile,
+            runtime,
+        })
+    }
+
+    /// Compiles an encoder to the accelerator target, loads it, and
+    /// encodes a batch there (chunked at the configured encode batch).
+    fn encode_on_device(&self, encoder: &NonlinearEncoder, batch: &Matrix) -> Result<Matrix> {
+        let network = wide_model::encoder_network(encoder)?;
+        let calib_rows = batch.rows().min(256);
+        let calibration = batch.slice_rows(0, calib_rows)?;
+        let compiled = compile::compile(&network, &calibration, &self.config.device.target)?;
+        let device = Device::new(self.config.device.clone());
+        device.load_model(compiled)?;
+        let (encoded, _stats) = device.invoke_chunked(batch, self.config.encode_batch)?;
+        Ok(encoded)
+    }
+
+    fn train_config(&self) -> TrainConfig {
+        TrainConfig::new(self.config.dim)
+            .with_iterations(self.config.iterations)
+            .with_learning_rate(self.config.learning_rate)
+            .with_seed(self.config.seed)
+    }
+
+    /// Evaluates a training outcome on held-out data under the outcome's
+    /// own setting (CPU-trained models evaluate on the CPU; TPU-trained
+    /// models evaluate through the accelerator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-count and device errors.
+    pub fn evaluate(
+        &self,
+        outcome: &TrainingOutcome,
+        test_features: &Matrix,
+        test_labels: &[usize],
+    ) -> Result<EvaluationReport> {
+        let engine = InferenceEngine::new(self.config.clone());
+        let inference = engine.run(&outcome.model, test_features, outcome.setting)?;
+        let accuracy = hdc::eval::accuracy(&inference.predictions, test_labels)
+            .map_err(FrameworkError::from)?;
+        Ok(EvaluationReport {
+            accuracy,
+            inference,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_datasets::{registry, SampleBudget};
+
+    fn small_dataset(seed: u64) -> hd_datasets::Dataset {
+        let spec = registry::by_name("pamap2").unwrap();
+        let mut d = spec
+            .generate(SampleBudget::Reduced { train: 150, test: 60 }, seed)
+            .unwrap();
+        d.normalize();
+        d
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(PipelineConfig::new(1024).with_iterations(5).with_seed(7))
+    }
+
+    #[test]
+    fn cpu_baseline_trains_and_evaluates() {
+        let data = small_dataset(1);
+        let p = pipeline();
+        let outcome = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::CpuBaseline,
+            )
+            .unwrap();
+        assert!(outcome.final_train_accuracy() > 0.5);
+        assert!(outcome.runtime.encode_s > 0.0);
+        assert!(outcome.runtime.update_s > 0.0);
+        assert_eq!(outcome.runtime.model_gen_s, 0.0);
+
+        let report = p
+            .evaluate(&outcome, &data.test.features, &data.test.labels)
+            .unwrap();
+        assert!(report.accuracy > 0.4, "accuracy {}", report.accuracy);
+    }
+
+    #[test]
+    fn tpu_setting_matches_cpu_accuracy_closely() {
+        let data = small_dataset(2);
+        let p = pipeline();
+        let cpu = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::CpuBaseline,
+            )
+            .unwrap();
+        let tpu = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::Tpu,
+            )
+            .unwrap();
+        let cpu_acc = p
+            .evaluate(&cpu, &data.test.features, &data.test.labels)
+            .unwrap()
+            .accuracy;
+        let tpu_acc = p
+            .evaluate(&tpu, &data.test.features, &data.test.labels)
+            .unwrap()
+            .accuracy;
+        assert!(
+            (cpu_acc - tpu_acc).abs() < 0.15,
+            "cpu {cpu_acc} vs tpu {tpu_acc}"
+        );
+        // One-time model generation shows up only on the TPU path.
+        assert!(tpu.runtime.model_gen_s > 0.0);
+    }
+
+    #[test]
+    fn bagging_trains_merged_full_width_model() {
+        let data = small_dataset(3);
+        let p = pipeline();
+        let outcome = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::TpuBagging,
+            )
+            .unwrap();
+        assert_eq!(outcome.model.dim(), 1024);
+        match &outcome.telemetry {
+            TrainingTelemetry::Bagged(stats) => assert_eq!(stats.sub_models.len(), 4),
+            other => panic!("expected bagged telemetry, got {other:?}"),
+        }
+        let report = p
+            .evaluate(&outcome, &data.test.features, &data.test.labels)
+            .unwrap();
+        assert!(report.accuracy > 0.4, "accuracy {}", report.accuracy);
+    }
+
+    #[test]
+    fn bagging_update_time_is_lower_than_full_training() {
+        let data = small_dataset(4);
+        // Use the paper's 20-iteration full model so the I'/I ratio bites.
+        let p = Pipeline::new(PipelineConfig::new(1024).with_iterations(20).with_seed(8));
+        let cpu = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::CpuBaseline,
+            )
+            .unwrap();
+        let bag = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::TpuBagging,
+            )
+            .unwrap();
+        assert!(
+            bag.runtime.update_s < cpu.runtime.update_s,
+            "bagging update {} vs cpu {}",
+            bag.runtime.update_s,
+            cpu.runtime.update_s
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_train_time() {
+        let data = small_dataset(5);
+        let p = Pipeline::new(PipelineConfig::new(1024).with_iterations(0));
+        assert!(matches!(
+            p.train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::CpuBaseline,
+            )
+            .unwrap_err(),
+            FrameworkError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_per_seed() {
+        let data = small_dataset(6);
+        let p = pipeline();
+        let a = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::Tpu,
+            )
+            .unwrap();
+        let b = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::Tpu,
+            )
+            .unwrap();
+        assert_eq!(a.model, b.model);
+    }
+}

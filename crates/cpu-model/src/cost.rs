@@ -1,0 +1,141 @@
+//! Closed-form host-side cost functions.
+//!
+//! Every phase of the paper's training-runtime breakdown (Fig. 5) that
+//! touches the host is priced here: encoding GEMMs for the CPU baseline,
+//! class-hypervector similarity search and bundling/detaching updates,
+//! int8 quantize/dequantize around accelerator invocations, and the
+//! one-time generation of accelerator model files.
+
+use crate::platform::PlatformSpec;
+
+/// Fixed host time to emit and compile one accelerator model file
+/// (serialization setup, graph lowering, compiler invocation), seconds.
+pub const MODEL_GEN_FIXED_S: f64 = 0.05;
+
+/// Host throughput for writing/compiling model bytes, bytes/second.
+pub const MODEL_GEN_BYTES_PER_S: f64 = 200.0e6;
+
+/// Seconds for a dense `m x k` by `k x n` single-precision GEMM.
+///
+/// # Examples
+///
+/// ```
+/// use cpu_model::{cost, Platform};
+///
+/// let spec = Platform::MobileI5.spec();
+/// let t = cost::gemm_s(&spec, 1, 784, 10_000);
+/// assert!(t > 0.0 && t < 1e-3); // one encoding is sub-millisecond
+/// ```
+pub fn gemm_s(spec: &PlatformSpec, m: usize, k: usize, n: usize) -> f64 {
+    2.0 * (m as f64) * (k as f64) * (n as f64) / spec.gemm_flops
+}
+
+/// Seconds to evaluate `tanh` on `elements` values.
+pub fn tanh_s(spec: &PlatformSpec, elements: usize) -> f64 {
+    elements as f64 / spec.tanh_ops
+}
+
+/// Seconds for `ops` element-wise arithmetic operations.
+pub fn elementwise_s(spec: &PlatformSpec, ops: usize) -> f64 {
+    ops as f64 / spec.elementwise_ops
+}
+
+/// Seconds to quantize or dequantize `elements` values on the host (one
+/// multiply-add plus a clamp per element, priced as two element-wise ops).
+pub fn quantize_s(spec: &PlatformSpec, elements: usize) -> f64 {
+    elementwise_s(spec, 2 * elements)
+}
+
+/// Seconds for the HDC similarity search of `samples` encoded
+/// hypervectors (width `d`) against `k` class hypervectors — a
+/// `samples x d` by `d x k` GEMM.
+pub fn similarity_s(spec: &PlatformSpec, samples: usize, d: usize, k: usize) -> f64 {
+    gemm_s(spec, samples, d, k)
+}
+
+/// Seconds to apply `updates` class-hypervector corrections of width `d`.
+///
+/// Each misclassified sample triggers a bundling into the true class and
+/// a detaching from the predicted class (paper, Section III-A): two
+/// `y +/- lambda x` sweeps, each a multiply and an add per element, i.e.
+/// `4 d` element-wise ops per update.
+pub fn class_update_s(spec: &PlatformSpec, updates: usize, d: usize) -> f64 {
+    elementwise_s(spec, 4 * d * updates)
+}
+
+/// Seconds of host time to generate one accelerator model of
+/// `param_bytes` (serialize the graph plus run the compiler) — the
+/// "model generation" bars of Fig. 5, a one-time cost.
+pub fn model_generation_s(param_bytes: usize) -> f64 {
+    MODEL_GEN_FIXED_S + param_bytes as f64 / MODEL_GEN_BYTES_PER_S
+}
+
+/// Seconds for the full CPU-baseline non-linear encoding of `samples`
+/// rows with `n` features into width-`d` hypervectors:
+/// `E = tanh(F x B)`.
+pub fn encode_s(spec: &PlatformSpec, samples: usize, n: usize, d: usize) -> f64 {
+    gemm_s(spec, samples, n, d) + tanh_s(spec, samples * d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    fn i5() -> PlatformSpec {
+        Platform::MobileI5.spec()
+    }
+
+    #[test]
+    fn gemm_scales_linearly_in_each_dim() {
+        let s = i5();
+        let base = gemm_s(&s, 10, 20, 30);
+        assert!((gemm_s(&s, 20, 20, 30) - 2.0 * base).abs() < 1e-15);
+        assert!((gemm_s(&s, 10, 40, 30) - 2.0 * base).abs() < 1e-15);
+        assert!((gemm_s(&s, 10, 20, 60) - 2.0 * base).abs() < 1e-15);
+    }
+
+    #[test]
+    fn encode_is_gemm_plus_tanh() {
+        let s = i5();
+        let total = encode_s(&s, 100, 64, 1000);
+        let parts = gemm_s(&s, 100, 64, 1000) + tanh_s(&s, 100 * 1000);
+        assert!((total - parts).abs() < 1e-15);
+    }
+
+    #[test]
+    fn class_update_counts_four_ops_per_element() {
+        let s = i5();
+        let t = class_update_s(&s, 10, 1000);
+        assert!((t - 4.0 * 10.0 * 1000.0 / s.elementwise_ops).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_work_costs_nothing() {
+        let s = i5();
+        assert_eq!(gemm_s(&s, 0, 5, 5), 0.0);
+        assert_eq!(tanh_s(&s, 0), 0.0);
+        assert_eq!(class_update_s(&s, 0, 100), 0.0);
+        assert_eq!(quantize_s(&s, 0), 0.0);
+    }
+
+    #[test]
+    fn model_generation_has_fixed_floor() {
+        assert!(model_generation_s(0) >= MODEL_GEN_FIXED_S);
+        assert!(model_generation_s(10_000_000) > model_generation_s(1000));
+    }
+
+    #[test]
+    fn paper_scale_encode_time_is_plausible() {
+        // MNIST-like encode on the i5: ~0.45 ms per sample.
+        let s = i5();
+        let per_sample = encode_s(&s, 1, 784, 10_000);
+        assert!((1e-4..1e-3).contains(&per_sample), "{per_sample}");
+    }
+
+    #[test]
+    fn similarity_matches_gemm() {
+        let s = i5();
+        assert_eq!(similarity_s(&s, 7, 100, 5), gemm_s(&s, 7, 100, 5));
+    }
+}

@@ -1,0 +1,153 @@
+use hd_tensor::Matrix;
+use wide_nn::{Activation, Layer, Model, NnError};
+
+use crate::cost;
+use crate::platform::{Platform, PlatformSpec};
+
+/// Functional `f32` execution of wide-NN models on a host processor, with
+/// the analytic runtime charged alongside each result.
+///
+/// This is the "CPU baseline" of the paper: the exact same HDC arithmetic,
+/// run in full precision on the host, priced by the platform's sustained
+/// throughputs.
+///
+/// # Examples
+///
+/// ```
+/// use cpu_model::{CpuEngine, Platform};
+/// use hd_tensor::{rng::DetRng, Matrix};
+/// use wide_nn::{Activation, ModelBuilder};
+///
+/// # fn main() -> Result<(), wide_nn::NnError> {
+/// let mut rng = DetRng::new(2);
+/// let model = ModelBuilder::new(8)
+///     .fully_connected(Matrix::random_normal(8, 32, &mut rng))?
+///     .activation(Activation::Tanh)
+///     .build()?;
+/// let engine = CpuEngine::new(Platform::MobileI5);
+/// let batch = Matrix::random_normal(4, 8, &mut rng);
+/// let (out, seconds) = engine.forward_timed(&model, &batch)?;
+/// assert_eq!(out.shape(), (4, 32));
+/// assert!(seconds > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuEngine {
+    spec: PlatformSpec,
+}
+
+impl CpuEngine {
+    /// Creates an engine for the given platform.
+    pub fn new(platform: Platform) -> Self {
+        CpuEngine {
+            spec: platform.spec(),
+        }
+    }
+
+    /// The platform profile this engine prices against.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// Runs a model functionally and returns `(output, seconds)` where
+    /// the seconds come from the platform's analytic cost model, not
+    /// wall-clock measurement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Model::forward`] errors (width mismatch, element-wise
+    /// layers).
+    pub fn forward_timed(&self, model: &Model, batch: &Matrix) -> Result<(Matrix, f64), NnError> {
+        let output = model.forward(batch)?;
+        Ok((output, self.forward_cost_s(model, batch.rows())))
+    }
+
+    /// The analytic cost of running `model` on `samples` rows, without
+    /// executing — used by the harness to price paper-scale workloads.
+    pub fn forward_cost_s(&self, model: &Model, samples: usize) -> f64 {
+        let mut seconds = 0.0;
+        let mut width = model.input_dim();
+        for layer in model.layers() {
+            match layer {
+                Layer::FullyConnected { weights } => {
+                    seconds += cost::gemm_s(&self.spec, samples, weights.rows(), weights.cols());
+                    width = weights.cols();
+                }
+                Layer::Activation(act) => {
+                    seconds += match act {
+                        Activation::Tanh => cost::tanh_s(&self.spec, samples * width),
+                        _ => cost::elementwise_s(&self.spec, samples * width),
+                    };
+                }
+                Layer::Elementwise { .. } => {
+                    seconds += cost::elementwise_s(&self.spec, 2 * samples * width);
+                }
+            }
+        }
+        seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_tensor::rng::DetRng;
+    use wide_nn::ModelBuilder;
+
+    fn model(seed: u64) -> Model {
+        let mut rng = DetRng::new(seed);
+        ModelBuilder::new(16)
+            .fully_connected(Matrix::random_normal(16, 64, &mut rng))
+            .unwrap()
+            .activation(Activation::Tanh)
+            .fully_connected(Matrix::random_normal(64, 4, &mut rng))
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn functional_output_matches_model_forward() {
+        let m = model(1);
+        let mut rng = DetRng::new(2);
+        let batch = Matrix::random_normal(5, 16, &mut rng);
+        let engine = CpuEngine::new(Platform::MobileI5);
+        let (out, _) = engine.forward_timed(&m, &batch).unwrap();
+        assert_eq!(out, m.forward(&batch).unwrap());
+    }
+
+    #[test]
+    fn cost_scales_with_samples() {
+        let m = model(3);
+        let engine = CpuEngine::new(Platform::MobileI5);
+        let one = engine.forward_cost_s(&m, 1);
+        let hundred = engine.forward_cost_s(&m, 100);
+        assert!((hundred - 100.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a53_charges_more_than_i5() {
+        let m = model(4);
+        let i5 = CpuEngine::new(Platform::MobileI5).forward_cost_s(&m, 10);
+        let a53 = CpuEngine::new(Platform::CortexA53).forward_cost_s(&m, 10);
+        assert!(a53 > 2.0 * i5);
+    }
+
+    #[test]
+    fn timed_cost_matches_analytic_cost() {
+        let m = model(5);
+        let mut rng = DetRng::new(6);
+        let batch = Matrix::random_normal(7, 16, &mut rng);
+        let engine = CpuEngine::new(Platform::MobileI5);
+        let (_, t) = engine.forward_timed(&m, &batch).unwrap();
+        assert_eq!(t, engine.forward_cost_s(&m, 7));
+    }
+
+    #[test]
+    fn width_mismatch_propagates() {
+        let m = model(7);
+        let engine = CpuEngine::new(Platform::MobileI5);
+        assert!(engine.forward_timed(&m, &Matrix::zeros(1, 17)).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! CSV import/export, so the synthetic stand-ins can be swapped for real
+//! datasets (ISOLET, UCIHAR, ... as distributed by the UCI repository)
+//! without any new dependencies.
+//!
+//! The dialect is deliberately plain: comma-separated numeric fields,
+//! optional header line, one sample per row, the class label in a chosen
+//! column. Labels may be arbitrary integers or strings; they are remapped
+//! densely to `0..k` in first-appearance order and the mapping is
+//! returned alongside the data.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use hd_tensor::Matrix;
+
+use crate::dataset::{Dataset, Split};
+use crate::error::DatasetError;
+use crate::Result;
+
+/// Which column holds the class label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelColumn {
+    /// The last column (the most common convention).
+    Last,
+    /// A zero-based column index.
+    Index(usize),
+}
+
+/// CSV parsing options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvOptions {
+    /// Skip the first line as a header.
+    pub has_header: bool,
+    /// Which column holds the label.
+    pub label: LabelColumn,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            has_header: false,
+            label: LabelColumn::Last,
+        }
+    }
+}
+
+/// The result of a CSV import: the samples plus the label mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvImport {
+    /// The parsed samples.
+    pub split: Split,
+    /// Number of distinct classes.
+    pub classes: usize,
+    /// Original label text of each dense class index.
+    pub label_names: Vec<String>,
+}
+
+/// Parses CSV text into a [`Split`].
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] with the line number for ragged
+/// rows, non-numeric features, an out-of-range label column, or an empty
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use hd_datasets::csv::{parse_csv, CsvOptions};
+///
+/// # fn main() -> Result<(), hd_datasets::DatasetError> {
+/// let text = "1.0,2.0,cat\n3.0,4.0,dog\n5.0,6.0,cat\n";
+/// let import = parse_csv(text, &CsvOptions::default())?;
+/// assert_eq!(import.split.len(), 3);
+/// assert_eq!(import.classes, 2);
+/// assert_eq!(import.label_names, vec!["cat", "dog"]);
+/// assert_eq!(import.split.labels, vec![0, 1, 0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<CsvImport> {
+    let mut lines = text.lines().enumerate();
+    if options.has_header {
+        lines.next();
+    }
+
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut raw_labels: Vec<String> = Vec::new();
+    let mut width: Option<usize> = None;
+
+    for (line_no, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let w = *width.get_or_insert(fields.len());
+        if fields.len() != w {
+            return Err(DatasetError::InvalidConfig(format!(
+                "line {}: expected {w} fields, found {}",
+                line_no + 1,
+                fields.len()
+            )));
+        }
+        let label_idx = match options.label {
+            LabelColumn::Last => w - 1,
+            LabelColumn::Index(i) => {
+                if i >= w {
+                    return Err(DatasetError::InvalidConfig(format!(
+                        "label column {i} out of range for {w} fields"
+                    )));
+                }
+                i
+            }
+        };
+        let mut features = Vec::with_capacity(w - 1);
+        for (i, field) in fields.iter().enumerate() {
+            if i == label_idx {
+                raw_labels.push(field.to_string());
+            } else {
+                let value: f32 = field.parse().map_err(|_| {
+                    DatasetError::InvalidConfig(format!(
+                        "line {}: `{field}` is not a number",
+                        line_no + 1
+                    ))
+                })?;
+                features.push(value);
+            }
+        }
+        rows.push(features);
+    }
+
+    if rows.is_empty() {
+        return Err(DatasetError::InvalidConfig("no data rows".into()));
+    }
+
+    // Dense label remapping in first-appearance order.
+    let mut mapping: BTreeMap<String, usize> = BTreeMap::new();
+    let mut label_names = Vec::new();
+    let mut labels = Vec::with_capacity(raw_labels.len());
+    for raw in &raw_labels {
+        let next = mapping.len();
+        let idx = *mapping.entry(raw.clone()).or_insert_with(|| {
+            label_names.push(raw.clone());
+            next
+        });
+        labels.push(idx);
+    }
+
+    let cols = rows[0].len();
+    let mut features = Matrix::zeros(rows.len(), cols);
+    for (r, row) in rows.iter().enumerate() {
+        features.row_mut(r).copy_from_slice(row);
+    }
+    Ok(CsvImport {
+        split: Split { features, labels },
+        classes: mapping.len(),
+        label_names,
+    })
+}
+
+/// Reads and parses a CSV file.
+///
+/// # Errors
+///
+/// I/O failures surface as [`DatasetError::InvalidConfig`] with the path;
+/// parse failures as in [`parse_csv`].
+pub fn load_csv(path: impl AsRef<Path>, options: &CsvOptions) -> Result<CsvImport> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        DatasetError::InvalidConfig(format!("cannot read {}: {e}", path.display()))
+    })?;
+    parse_csv(&text, options)
+}
+
+/// Splits an import into a [`Dataset`] with the trailing `test_fraction`
+/// of rows held out (rows are assumed pre-shuffled; shuffle first
+/// otherwise).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] if the fraction leaves either
+/// side empty.
+pub fn into_dataset(import: CsvImport, name: &str, test_fraction: f64) -> Result<Dataset> {
+    if !(0.0..1.0).contains(&test_fraction) {
+        return Err(DatasetError::InvalidConfig(format!(
+            "test fraction {test_fraction} outside [0, 1)"
+        )));
+    }
+    let total = import.split.len();
+    let test_len = (total as f64 * test_fraction).round() as usize;
+    let train_len = total - test_len;
+    if train_len == 0 {
+        return Err(DatasetError::InvalidConfig(
+            "test fraction leaves no training rows".into(),
+        ));
+    }
+    let train_features = import.split.features.slice_rows(0, train_len)?;
+    let test_features = import.split.features.slice_rows(train_len, total)?;
+    Ok(Dataset {
+        name: name.to_owned(),
+        classes: import.classes,
+        train: Split {
+            features: train_features,
+            labels: import.split.labels[..train_len].to_vec(),
+        },
+        test: Split {
+            features: test_features,
+            labels: import.split.labels[train_len..].to_vec(),
+        },
+    })
+}
+
+/// Serializes a split back to CSV (features then the numeric label, one
+/// sample per line).
+pub fn to_csv(split: &Split) -> String {
+    let mut out = String::new();
+    for r in 0..split.len() {
+        for v in split.features.row(r) {
+            out.push_str(&format!("{v},"));
+        }
+        out.push_str(&format!("{}\n", split.labels[r]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_numeric_labels_densely() {
+        let text = "0.5,1.5,7\n1.0,2.0,3\n0.0,1.0,7\n";
+        let import = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(import.classes, 2);
+        assert_eq!(import.split.labels, vec![0, 1, 0]);
+        assert_eq!(import.label_names, vec!["7", "3"]);
+        assert_eq!(import.split.features.shape(), (3, 2));
+        assert_eq!(import.split.features[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn header_is_skipped_when_requested() {
+        let text = "a,b,label\n1,2,0\n";
+        let options = CsvOptions {
+            has_header: true,
+            ..CsvOptions::default()
+        };
+        let import = parse_csv(text, &options).unwrap();
+        assert_eq!(import.split.len(), 1);
+        // Without the flag the header row fails to parse as numbers.
+        assert!(parse_csv(text, &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn label_column_index_works() {
+        let text = "cat,1.0,2.0\ndog,3.0,4.0\n";
+        let options = CsvOptions {
+            has_header: false,
+            label: LabelColumn::Index(0),
+        };
+        let import = parse_csv(text, &options).unwrap();
+        assert_eq!(import.label_names, vec!["cat", "dog"]);
+        assert_eq!(import.split.features[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn ragged_rows_report_line_numbers() {
+        let text = "1,2,0\n1,2,3,0\n";
+        let err = parse_csv(text, &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn non_numeric_feature_reports_field() {
+        let text = "1,potato,0\n";
+        let err = parse_csv(text, &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("potato"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_label_column_rejected() {
+        let options = CsvOptions {
+            has_header: false,
+            label: LabelColumn::Index(9),
+        };
+        assert!(parse_csv("1,2,3\n", &options).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_csv("", &CsvOptions::default()).is_err());
+        assert!(parse_csv("\n\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "1,2,0\n\n3,4,1\n";
+        let import = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(import.split.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_through_to_csv() {
+        let text = "1,2,0\n3,4,1\n";
+        let import = parse_csv(text, &CsvOptions::default()).unwrap();
+        let emitted = to_csv(&import.split);
+        let reparsed = parse_csv(&emitted, &CsvOptions::default()).unwrap();
+        assert_eq!(reparsed.split, import.split);
+    }
+
+    #[test]
+    fn into_dataset_splits_tail() {
+        let text = "1,0\n2,0\n3,1\n4,1\n5,0\n";
+        let import = parse_csv(text, &CsvOptions::default()).unwrap();
+        let data = into_dataset(import, "csvset", 0.4).unwrap();
+        assert_eq!(data.train.len(), 3);
+        assert_eq!(data.test.len(), 2);
+        assert_eq!(data.name, "csvset");
+        assert_eq!(data.classes, 2);
+    }
+
+    #[test]
+    fn into_dataset_validates_fraction() {
+        let import = parse_csv("1,0\n", &CsvOptions::default()).unwrap();
+        assert!(into_dataset(import.clone(), "x", 1.0).is_err());
+        assert!(into_dataset(import, "x", -0.1).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hyperedge-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.csv");
+        std::fs::write(&path, "1,2,0\n3,4,1\n").unwrap();
+        let import = load_csv(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(import.split.len(), 2);
+        assert!(load_csv(dir.join("missing.csv"), &CsvOptions::default()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

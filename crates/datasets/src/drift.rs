@@ -1,0 +1,328 @@
+//! Concept-drift generators for online-adaptation experiments.
+//!
+//! Edge deployments face "the dynamics of many IoT practices, which
+//! require model updates frequently to follow the rapidly changing
+//! inputs" (paper, introduction). This module synthesizes those dynamics:
+//! a [`DriftConfig`] perturbs a trained-on distribution the way a
+//! re-mounted wearable or recalibrated sensor would, and
+//! [`DriftStream`] yields progressively drifting batches for evaluating
+//! online adaptation (see the `activity_monitoring` example and the
+//! online trainer in the `hdc` crate).
+
+use hd_tensor::rng::DetRng;
+use hd_tensor::Matrix;
+
+use crate::dataset::Split;
+use crate::error::DatasetError;
+use crate::Result;
+
+/// A feature-space drift: a fixed offset applied to a random subset of
+/// features, optionally with per-feature gain change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// Fraction of features affected, in `(0, 1]`.
+    pub affected_fraction: f64,
+    /// Mean of the additive offset applied to affected features.
+    pub offset: f32,
+    /// Standard deviation of the per-feature offset jitter.
+    pub offset_jitter: f32,
+    /// Multiplicative gain applied to affected features (1.0 = none).
+    pub gain: f32,
+    /// Seed selecting which features drift.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            affected_fraction: 0.3,
+            offset: 0.8,
+            offset_jitter: 0.1,
+            gain: 1.0,
+            seed: 0xD81F7,
+        }
+    }
+}
+
+impl DriftConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.affected_fraction > 0.0 && self.affected_fraction <= 1.0) {
+            return Err(DatasetError::InvalidConfig(format!(
+                "affected_fraction {} outside (0, 1]",
+                self.affected_fraction
+            )));
+        }
+        if !self.offset.is_finite() || !self.offset_jitter.is_finite() || !self.gain.is_finite() {
+            return Err(DatasetError::InvalidConfig(
+                "drift parameters must be finite".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A concrete drift realization: which features moved and by how much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    offsets: Vec<f32>,
+    gains: Vec<f32>,
+}
+
+impl Drift {
+    /// Samples a drift realization for `features`-wide data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] for out-of-range
+    /// parameters or zero features.
+    pub fn sample(features: usize, config: &DriftConfig) -> Result<Self> {
+        config.validate()?;
+        if features == 0 {
+            return Err(DatasetError::InvalidConfig("features is zero".into()));
+        }
+        let mut rng = DetRng::new(config.seed);
+        let count = ((features as f64 * config.affected_fraction).round() as usize)
+            .clamp(1, features);
+        let affected = rng.sample_without_replacement(features, count);
+        let mut offsets = vec![0.0f32; features];
+        let mut gains = vec![1.0f32; features];
+        for &f in &affected {
+            offsets[f] = config.offset + config.offset_jitter * rng.next_normal();
+            gains[f] = config.gain;
+        }
+        Ok(Drift { offsets, gains })
+    }
+
+    /// Number of features this drift was sampled for.
+    pub fn feature_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Number of features actually affected.
+    pub fn affected_count(&self) -> usize {
+        self.offsets
+            .iter()
+            .zip(&self.gains)
+            .filter(|(&o, &g)| o != 0.0 || g != 1.0)
+            .count()
+    }
+
+    /// Applies the drift to a feature matrix in place
+    /// (`x' = gain * x + offset` per feature).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] on a width mismatch.
+    pub fn apply(&self, features: &mut Matrix) -> Result<()> {
+        if features.cols() != self.offsets.len() {
+            return Err(DatasetError::InvalidConfig(format!(
+                "drift sampled for {} features, data has {}",
+                self.offsets.len(),
+                features.cols()
+            )));
+        }
+        for r in 0..features.rows() {
+            let row = features.row_mut(r);
+            for ((v, &o), &g) in row.iter_mut().zip(&self.offsets).zip(&self.gains) {
+                *v = g * *v + o;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the drift to a split's features in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] on a width mismatch.
+    pub fn apply_split(&self, split: &mut Split) -> Result<()> {
+        self.apply(&mut split.features)
+    }
+}
+
+/// An iterator of progressively drifting copies of a base split: step `t`
+/// carries `t / steps` of the full drift, modeling gradual sensor decay
+/// rather than an abrupt change.
+#[derive(Debug, Clone)]
+pub struct DriftStream {
+    base: Split,
+    drift: Drift,
+    steps: usize,
+    current: usize,
+}
+
+impl DriftStream {
+    /// Creates a stream of `steps` progressively drifted snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `steps == 0` or the
+    /// drift width does not match the split.
+    pub fn new(base: Split, drift: Drift, steps: usize) -> Result<Self> {
+        if steps == 0 {
+            return Err(DatasetError::InvalidConfig("steps is zero".into()));
+        }
+        if base.features.cols() != drift.feature_count() {
+            return Err(DatasetError::InvalidConfig(
+                "drift width does not match split".into(),
+            ));
+        }
+        Ok(DriftStream {
+            base,
+            drift,
+            steps,
+            current: 0,
+        })
+    }
+
+    /// Steps remaining.
+    pub fn remaining(&self) -> usize {
+        self.steps - self.current
+    }
+}
+
+impl Iterator for DriftStream {
+    type Item = Split;
+
+    fn next(&mut self) -> Option<Split> {
+        if self.current >= self.steps {
+            return None;
+        }
+        self.current += 1;
+        let t = self.current as f32 / self.steps as f32;
+        let partial = Drift {
+            offsets: self.drift.offsets.iter().map(|o| o * t).collect(),
+            gains: self.drift.gains.iter().map(|g| 1.0 + (g - 1.0) * t).collect(),
+        };
+        let mut snapshot = self.base.clone();
+        partial
+            .apply_split(&mut snapshot)
+            .expect("widths matched at construction");
+        Some(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(rows: usize, cols: usize) -> Split {
+        Split {
+            features: Matrix::filled(rows, cols, 1.0),
+            labels: vec![0; rows],
+        }
+    }
+
+    #[test]
+    fn sample_affects_requested_fraction() {
+        let config = DriftConfig {
+            affected_fraction: 0.5,
+            ..DriftConfig::default()
+        };
+        let drift = Drift::sample(10, &config).unwrap();
+        assert_eq!(drift.feature_count(), 10);
+        assert_eq!(drift.affected_count(), 5);
+    }
+
+    #[test]
+    fn apply_shifts_only_affected_features() {
+        let config = DriftConfig {
+            affected_fraction: 0.4,
+            offset: 2.0,
+            offset_jitter: 0.0,
+            gain: 1.0,
+            seed: 3,
+        };
+        let drift = Drift::sample(10, &config).unwrap();
+        let mut m = Matrix::filled(3, 10, 1.0);
+        drift.apply(&mut m).unwrap();
+        let moved = m.row(0).iter().filter(|&&v| (v - 3.0).abs() < 1e-6).count();
+        let stayed = m.row(0).iter().filter(|&&v| (v - 1.0).abs() < 1e-6).count();
+        assert_eq!(moved, 4);
+        assert_eq!(stayed, 6);
+    }
+
+    #[test]
+    fn gain_multiplies() {
+        let config = DriftConfig {
+            affected_fraction: 1.0,
+            offset: 0.0,
+            offset_jitter: 0.0,
+            gain: 2.0,
+            seed: 4,
+        };
+        let drift = Drift::sample(4, &config).unwrap();
+        let mut m = Matrix::filled(1, 4, 3.0);
+        drift.apply(&mut m).unwrap();
+        assert!(m.iter().all(|&v| (v - 6.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let drift = Drift::sample(4, &DriftConfig::default()).unwrap();
+        let mut m = Matrix::zeros(1, 5);
+        assert!(drift.apply(&mut m).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = DriftConfig {
+            affected_fraction: 0.0,
+            ..DriftConfig::default()
+        };
+        assert!(Drift::sample(4, &bad).is_err());
+        let bad = DriftConfig {
+            offset: f32::NAN,
+            ..DriftConfig::default()
+        };
+        assert!(Drift::sample(4, &bad).is_err());
+        assert!(Drift::sample(0, &DriftConfig::default()).is_err());
+    }
+
+    #[test]
+    fn drift_is_deterministic_per_seed() {
+        let a = Drift::sample(16, &DriftConfig::default()).unwrap();
+        let b = Drift::sample(16, &DriftConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_interpolates_monotonically() {
+        let config = DriftConfig {
+            affected_fraction: 1.0,
+            offset: 4.0,
+            offset_jitter: 0.0,
+            gain: 1.0,
+            seed: 5,
+        };
+        let drift = Drift::sample(3, &config).unwrap();
+        let stream = DriftStream::new(split(1, 3), drift, 4).unwrap();
+        let snapshots: Vec<Split> = stream.collect();
+        assert_eq!(snapshots.len(), 4);
+        // Feature value climbs 1 -> 5 in equal steps.
+        for (i, snap) in snapshots.iter().enumerate() {
+            let expected = 1.0 + 4.0 * (i + 1) as f32 / 4.0;
+            assert!(
+                (snap.features[(0, 0)] - expected).abs() < 1e-5,
+                "step {i}: {} vs {expected}",
+                snap.features[(0, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn stream_validates_construction() {
+        let drift = Drift::sample(3, &DriftConfig::default()).unwrap();
+        assert!(DriftStream::new(split(1, 3), drift.clone(), 0).is_err());
+        assert!(DriftStream::new(split(1, 4), drift, 2).is_err());
+    }
+
+    #[test]
+    fn stream_remaining_counts_down() {
+        let drift = Drift::sample(2, &DriftConfig::default()).unwrap();
+        let mut stream = DriftStream::new(split(1, 2), drift, 3).unwrap();
+        assert_eq!(stream.remaining(), 3);
+        stream.next();
+        assert_eq!(stream.remaining(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use hd_tensor::TensorError;
+
+/// Error type for dataset generation and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// A generator parameter was out of range.
+    InvalidConfig(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid dataset config: {msg}"),
+            DatasetError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DatasetError {
+    fn from(e: TensorError) -> Self {
+        DatasetError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DatasetError::InvalidConfig("zero classes".into());
+        assert!(e.to_string().contains("zero classes"));
+        assert!(e.source().is_none());
+        let e: DatasetError = TensorError::EmptyDimension { op: "x" }.into();
+        assert!(e.source().is_some());
+    }
+}

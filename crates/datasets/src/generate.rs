@@ -1,0 +1,293 @@
+use hd_tensor::rng::DetRng;
+use hd_tensor::Matrix;
+
+use crate::dataset::{Dataset, Split};
+use crate::error::DatasetError;
+use crate::spec::DifficultyProfile;
+use crate::Result;
+
+/// Full parameter set of the synthetic generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Dataset name recorded in the output.
+    pub name: String,
+    /// Training samples to generate.
+    pub train_samples: usize,
+    /// Test samples to generate.
+    pub test_samples: usize,
+    /// Features per sample (`n`).
+    pub features: usize,
+    /// Number of classes (`k`).
+    pub classes: usize,
+    /// Cluster geometry.
+    pub difficulty: DifficultyProfile,
+    /// RNG seed; equal seeds give identical datasets.
+    pub seed: u64,
+}
+
+fn validate(config: &SyntheticConfig) -> Result<()> {
+    if config.train_samples == 0 {
+        return Err(DatasetError::InvalidConfig("train_samples is zero".into()));
+    }
+    if config.features == 0 {
+        return Err(DatasetError::InvalidConfig("features is zero".into()));
+    }
+    if config.classes == 0 {
+        return Err(DatasetError::InvalidConfig("classes is zero".into()));
+    }
+    let f = config.difficulty.informative_fraction;
+    if !(f > 0.0 && f <= 1.0) {
+        return Err(DatasetError::InvalidConfig(format!(
+            "informative_fraction {f} outside (0, 1]"
+        )));
+    }
+    if config.difficulty.noise < 0.0 || config.difficulty.separation < 0.0 {
+        return Err(DatasetError::InvalidConfig(
+            "noise and separation must be non-negative".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Generates a Gaussian class-cluster dataset.
+///
+/// Each class gets a random center whose first
+/// `informative_fraction * features` coordinates are drawn from
+/// `N(0, separation^2)` (the rest are zero); samples are the center plus
+/// `N(0, noise^2)` perturbations in every coordinate, and labels cycle
+/// round-robin so class sizes are balanced. Samples are shuffled within
+/// each split.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] for zero dimensions or
+/// out-of-range difficulty parameters.
+///
+/// # Examples
+///
+/// ```
+/// use hd_datasets::{generate, SyntheticConfig, DifficultyProfile};
+///
+/// # fn main() -> Result<(), hd_datasets::DatasetError> {
+/// let config = SyntheticConfig {
+///     name: "demo".into(),
+///     train_samples: 60,
+///     test_samples: 20,
+///     features: 10,
+///     classes: 3,
+///     difficulty: DifficultyProfile::default(),
+///     seed: 1,
+/// };
+/// let data = generate(&config)?;
+/// assert_eq!(data.train.len(), 60);
+/// assert_eq!(data.classes, 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate(config: &SyntheticConfig) -> Result<Dataset> {
+    validate(config)?;
+    let mut rng = DetRng::new(config.seed);
+    let n = config.features;
+    let k = config.classes;
+    let informative = ((n as f32 * config.difficulty.informative_fraction).ceil() as usize)
+        .clamp(1, n);
+
+    // Class centers: signal in the first `informative` coordinates.
+    let centers: Vec<Vec<f32>> = (0..k)
+        .map(|_| {
+            (0..n)
+                .map(|f| {
+                    if f < informative {
+                        config.difficulty.separation * rng.next_normal()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let make_split = |samples: usize, rng: &mut DetRng| -> Split {
+        let mut features_m = Matrix::zeros(samples, n);
+        let mut labels = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let class = s % k;
+            labels.push(class);
+            let row = features_m.row_mut(s);
+            for (f, v) in row.iter_mut().enumerate() {
+                *v = centers[class][f] + config.difficulty.noise * rng.next_normal();
+            }
+        }
+        let mut split = Split {
+            features: features_m,
+            labels,
+        };
+        split.shuffle(rng);
+        split
+    };
+
+    let train = make_split(config.train_samples, &mut rng);
+    let test = make_split(config.test_samples, &mut rng);
+    Ok(Dataset {
+        name: config.name.clone(),
+        classes: k,
+        train,
+        test,
+    })
+}
+
+/// Generates the Fig. 10 synthetic feature sweep: one dataset per entry
+/// of `feature_counts`, with everything else held fixed.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] as [`generate`] does.
+pub fn feature_sweep(
+    feature_counts: &[usize],
+    train_samples: usize,
+    test_samples: usize,
+    classes: usize,
+    seed: u64,
+) -> Result<Vec<Dataset>> {
+    feature_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            generate(&SyntheticConfig {
+                name: format!("sweep-{n}"),
+                train_samples,
+                test_samples,
+                features: n,
+                classes,
+                difficulty: DifficultyProfile::default(),
+                seed: seed.wrapping_add(i as u64),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> SyntheticConfig {
+        SyntheticConfig {
+            name: "t".into(),
+            train_samples: 90,
+            test_samples: 30,
+            features: 12,
+            classes: 3,
+            difficulty: DifficultyProfile::default(),
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn balanced_classes() {
+        let d = generate(&base_config()).unwrap();
+        for c in 0..3 {
+            let count = d.train.labels.iter().filter(|&&l| l == c).count();
+            assert_eq!(count, 30, "class {c} imbalanced");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&base_config()).unwrap();
+        let b = generate(&base_config()).unwrap();
+        assert_eq!(a, b);
+        let mut other = base_config();
+        other.seed = 6;
+        assert_ne!(generate(&other).unwrap(), a);
+    }
+
+    #[test]
+    fn labels_in_range() {
+        let d = generate(&base_config()).unwrap();
+        assert!(d.train.labels.iter().all(|&l| l < 3));
+        assert!(d.test.labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn higher_separation_is_more_separable() {
+        // Measure separability as ratio of between-center to within-class
+        // distances on the raw data.
+        fn spread_ratio(sep: f32) -> f32 {
+            let mut cfg = base_config();
+            cfg.difficulty.separation = sep;
+            cfg.train_samples = 300;
+            let d = generate(&cfg).unwrap();
+            // Class means.
+            let n = d.feature_count();
+            let mut means = vec![vec![0.0f32; n]; 3];
+            let mut counts = [0usize; 3];
+            for (i, &l) in d.train.labels.iter().enumerate() {
+                counts[l] += 1;
+                for (f, v) in d.train.features.row(i).iter().enumerate() {
+                    means[l][f] += v;
+                }
+            }
+            for (m, &c) in means.iter_mut().zip(&counts) {
+                for v in m.iter_mut() {
+                    *v /= c as f32;
+                }
+            }
+            let between: f32 = (0..n).map(|f| (means[0][f] - means[1][f]).abs()).sum();
+            let mut within = 0.0f32;
+            for (i, &l) in d.train.labels.iter().enumerate() {
+                within += d
+                    .train
+                    .features
+                    .row(i)
+                    .iter()
+                    .zip(&means[l])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f32>();
+            }
+            between / (within / d.train.len() as f32)
+        }
+        assert!(spread_ratio(3.0) > spread_ratio(0.3));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = base_config();
+        c.train_samples = 0;
+        assert!(generate(&c).is_err());
+        let mut c = base_config();
+        c.features = 0;
+        assert!(generate(&c).is_err());
+        let mut c = base_config();
+        c.classes = 0;
+        assert!(generate(&c).is_err());
+        let mut c = base_config();
+        c.difficulty.informative_fraction = 0.0;
+        assert!(generate(&c).is_err());
+        let mut c = base_config();
+        c.difficulty.informative_fraction = 1.5;
+        assert!(generate(&c).is_err());
+        let mut c = base_config();
+        c.difficulty.noise = -1.0;
+        assert!(generate(&c).is_err());
+    }
+
+    #[test]
+    fn sweep_produces_requested_widths() {
+        let sweep = feature_sweep(&[20, 100, 700], 30, 10, 4, 1).unwrap();
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0].feature_count(), 20);
+        assert_eq!(sweep[2].feature_count(), 700);
+        for d in &sweep {
+            assert_eq!(d.train.len(), 30);
+            assert_eq!(d.classes, 4);
+        }
+    }
+
+    #[test]
+    fn zero_test_split_is_allowed() {
+        let mut c = base_config();
+        c.test_samples = 0;
+        let d = generate(&c).unwrap();
+        assert!(d.test.is_empty());
+    }
+}

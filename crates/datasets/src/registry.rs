@@ -1,0 +1,146 @@
+//! The Table I dataset inventory.
+//!
+//! Each entry reproduces one paper dataset's shape exactly and assigns a
+//! difficulty profile chosen so the synthetic stand-in lands in the same
+//! broad accuracy band the paper reports for HDC on the real data (FACE
+//! near-binary-easy, ISOLET/UCIHAR moderate multi-class, MNIST moderate,
+//! PAMAP2 few-feature activity data).
+
+use crate::spec::{DatasetSpec, DifficultyProfile};
+
+/// All five paper datasets, in Table I order.
+///
+/// # Examples
+///
+/// ```
+/// let all = hd_datasets::registry::paper_datasets();
+/// assert_eq!(all.len(), 5);
+/// assert_eq!(all[3].name, "mnist");
+/// ```
+pub fn paper_datasets() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "face",
+            train_samples: 80_854,
+            test_samples: 80_854 / 5,
+            features: 608,
+            classes: 2,
+            description: "Facial images (synthetic stand-in)",
+            difficulty: DifficultyProfile {
+                separation: 0.32,
+                noise: 1.0,
+                informative_fraction: 0.3,
+            },
+        },
+        DatasetSpec {
+            name: "isolet",
+            train_samples: 7_797,
+            test_samples: 7_797 / 5,
+            features: 617,
+            classes: 26,
+            description: "Speech data (synthetic stand-in)",
+            difficulty: DifficultyProfile {
+                separation: 0.45,
+                noise: 1.0,
+                informative_fraction: 0.5,
+            },
+        },
+        DatasetSpec {
+            name: "ucihar",
+            train_samples: 7_667,
+            test_samples: 7_667 / 5,
+            features: 561,
+            classes: 12,
+            description: "Human activity logs (synthetic stand-in)",
+            difficulty: DifficultyProfile {
+                separation: 0.45,
+                noise: 1.0,
+                informative_fraction: 0.4,
+            },
+        },
+        DatasetSpec {
+            name: "mnist",
+            train_samples: 60_000,
+            test_samples: 10_000,
+            features: 784,
+            classes: 10,
+            description: "Handwritten digits (synthetic stand-in)",
+            difficulty: DifficultyProfile {
+                separation: 0.40,
+                noise: 1.0,
+                informative_fraction: 0.4,
+            },
+        },
+        DatasetSpec {
+            name: "pamap2",
+            train_samples: 32_768,
+            test_samples: 32_768 / 5,
+            features: 27,
+            classes: 5,
+            description: "Human activity logs (synthetic stand-in)",
+            difficulty: DifficultyProfile {
+                separation: 0.6,
+                noise: 1.0,
+                informative_fraction: 0.9,
+            },
+        },
+    ]
+}
+
+/// Looks up a paper dataset by its lower-case name.
+///
+/// # Examples
+///
+/// ```
+/// assert!(hd_datasets::registry::by_name("mnist").is_some());
+/// assert!(hd_datasets::registry::by_name("cifar").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<DatasetSpec> {
+    paper_datasets().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_shapes_are_exact() {
+        let expect = [
+            ("face", 80_854, 608, 2),
+            ("isolet", 7_797, 617, 26),
+            ("ucihar", 7_667, 561, 12),
+            ("mnist", 60_000, 784, 10),
+            ("pamap2", 32_768, 27, 5),
+        ];
+        let all = paper_datasets();
+        assert_eq!(all.len(), expect.len());
+        for (spec, (name, samples, features, classes)) in all.iter().zip(expect) {
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.train_samples, samples, "{name}");
+            assert_eq!(spec.features, features, "{name}");
+            assert_eq!(spec.classes, classes, "{name}");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase() {
+        assert!(by_name("isolet").is_some());
+        assert!(by_name("ISOLET").is_none());
+    }
+
+    #[test]
+    fn pamap2_has_the_fewest_features() {
+        let all = paper_datasets();
+        let min = all.iter().min_by_key(|s| s.features).unwrap();
+        assert_eq!(min.name, "pamap2");
+    }
+
+    #[test]
+    fn every_dataset_has_valid_difficulty() {
+        for spec in paper_datasets() {
+            let f = spec.difficulty.informative_fraction;
+            assert!(f > 0.0 && f <= 1.0, "{}", spec.name);
+            assert!(spec.difficulty.separation > 0.0, "{}", spec.name);
+        }
+    }
+}

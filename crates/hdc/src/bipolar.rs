@@ -1,0 +1,297 @@
+//! Bipolar (1-bit) hypervectors: the classic Kanerva-style HDC
+//! representation used by the FPGA and in-memory accelerators in the
+//! paper's related work.
+//!
+//! A trained real-valued model binarizes to signs: each hypervector
+//! component becomes `+1` or `-1`, packed 64 components per machine word,
+//! and the dot-product similarity becomes a Hamming distance
+//! (`dot(sign(a), sign(b)) = d - 2 * hamming(a, b)`), computable with XOR
+//! and popcount. This cuts model storage 32x and turns the associative
+//! search into pure bit arithmetic — the trade the paper's "lightweight
+//! edge" motivation points at, at a small accuracy cost that
+//! [`BipolarModel`] lets a user measure directly.
+
+use serde::{Deserialize, Serialize};
+
+use hd_tensor::Matrix;
+
+use crate::error::HdcError;
+use crate::model::{ClassHypervectors, HdcModel};
+use crate::Result;
+
+/// A packed vector of `+1`/`-1` components (bit set = `+1`).
+///
+/// # Examples
+///
+/// ```
+/// use hdc::bipolar::BipolarVector;
+///
+/// let a = BipolarVector::from_signs(&[1.0, -2.0, 0.5]);
+/// let b = BipolarVector::from_signs(&[1.0, 2.0, 0.5]);
+/// assert_eq!(a.hamming_distance(&b), Some(1));
+/// assert_eq!(a.dot(&b), Some(1)); // 3 - 2*1
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BipolarVector {
+    words: Vec<u64>,
+    dim: usize,
+}
+
+impl BipolarVector {
+    /// Packs the signs of a real vector (`v >= 0` maps to `+1`).
+    pub fn from_signs(values: &[f32]) -> Self {
+        let dim = values.len();
+        let mut words = vec![0u64; dim.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            if v >= 0.0 {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        BipolarVector { words, dim }
+    }
+
+    /// Number of components.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Unpacks back to `+1.0` / `-1.0` values.
+    pub fn to_signs(&self) -> Vec<f32> {
+        (0..self.dim)
+            .map(|i| {
+                if self.words[i / 64] >> (i % 64) & 1 == 1 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Component `i` as `+1` / `-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn sign(&self, i: usize) -> i8 {
+        assert!(i < self.dim, "index {i} out of bounds ({})", self.dim);
+        if self.words[i / 64] >> (i % 64) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Hamming distance (number of differing components), or `None` when
+    /// dimensionalities differ.
+    pub fn hamming_distance(&self, other: &BipolarVector) -> Option<u32> {
+        if self.dim != other.dim {
+            return None;
+        }
+        let mut distance = 0u32;
+        for (i, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut diff = a ^ b;
+            // Mask out padding bits in the last word.
+            if i == self.words.len() - 1 && self.dim % 64 != 0 {
+                diff &= (1u64 << (self.dim % 64)) - 1;
+            }
+            distance += diff.count_ones();
+        }
+        Some(distance)
+    }
+
+    /// Bipolar dot product `sum_i a_i b_i = d - 2 * hamming`, or `None`
+    /// when dimensionalities differ.
+    pub fn dot(&self, other: &BipolarVector) -> Option<i64> {
+        let h = self.hamming_distance(other)? as i64;
+        Some(self.dim as i64 - 2 * h)
+    }
+
+    /// Storage bytes of the packed form.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// A binarized HDC classifier: the float encoder is kept (encoding must
+/// stay informative), but the *query* hypervector and the class
+/// hypervectors reduce to signs, so the associative search runs on packed
+/// bits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BipolarModel {
+    encoder: crate::encoder::NonlinearEncoder,
+    classes: Vec<BipolarVector>,
+}
+
+impl BipolarModel {
+    /// Binarizes a trained real-valued model.
+    pub fn binarize(model: &HdcModel) -> Self {
+        BipolarModel {
+            encoder: model.encoder().clone(),
+            classes: binarize_classes(model.classes()),
+        }
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.classes.first().map_or(0, BipolarVector::dim)
+    }
+
+    /// Packed class-model storage in bytes (vs `4 * d * k` for f32).
+    pub fn class_bytes(&self) -> usize {
+        self.classes.iter().map(BipolarVector::byte_size).sum()
+    }
+
+    /// Predicts labels for a batch of raw samples: encode in f32,
+    /// binarize the query, pick the class at minimum Hamming distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped shape error on a feature-count mismatch.
+    pub fn predict(&self, features: &Matrix) -> Result<Vec<usize>> {
+        let encoded = self.encoder.encode(features)?;
+        (0..encoded.rows())
+            .map(|r| {
+                let query = BipolarVector::from_signs(encoded.row(r));
+                let mut best = 0usize;
+                let mut best_distance = u32::MAX;
+                for (j, class) in self.classes.iter().enumerate() {
+                    let d = class.hamming_distance(&query).ok_or(HdcError::InvalidConfig(
+                        "class/query dimensionality mismatch",
+                    ))?;
+                    if d < best_distance {
+                        best_distance = d;
+                        best = j;
+                    }
+                }
+                Ok(best)
+            })
+            .collect()
+    }
+}
+
+/// Binarizes class hypervectors column-wise (one packed vector per class).
+pub fn binarize_classes(classes: &ClassHypervectors) -> Vec<BipolarVector> {
+    (0..classes.class_count())
+        .map(|j| {
+            let column = classes.class(j).expect("class index in range");
+            BipolarVector::from_signs(&column)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainConfig;
+    use hd_tensor::rng::DetRng;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let values = [1.5f32, -0.2, 0.0, -7.0, 3.0];
+        let v = BipolarVector::from_signs(&values);
+        assert_eq!(v.to_signs(), vec![1.0, -1.0, 1.0, -1.0, 1.0]);
+        assert_eq!(v.dim(), 5);
+        assert_eq!(v.sign(0), 1);
+        assert_eq!(v.sign(3), -1);
+    }
+
+    #[test]
+    fn hamming_identity_and_symmetry() {
+        let mut rng = DetRng::new(61);
+        let a_values: Vec<f32> = (0..200).map(|_| rng.next_normal()).collect();
+        let b_values: Vec<f32> = (0..200).map(|_| rng.next_normal()).collect();
+        let a = BipolarVector::from_signs(&a_values);
+        let b = BipolarVector::from_signs(&b_values);
+        assert_eq!(a.hamming_distance(&a), Some(0));
+        assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+    }
+
+    #[test]
+    fn dot_equals_d_minus_two_hamming() {
+        let mut rng = DetRng::new(62);
+        for dim in [1usize, 63, 64, 65, 130] {
+            let a_values: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
+            let b_values: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
+            let a = BipolarVector::from_signs(&a_values);
+            let b = BipolarVector::from_signs(&b_values);
+            // Reference: dot of unpacked signs.
+            let reference: i64 = a
+                .to_signs()
+                .iter()
+                .zip(b.to_signs())
+                .map(|(x, y)| (x * y) as i64)
+                .sum();
+            assert_eq!(a.dot(&b), Some(reference), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn padding_bits_do_not_leak() {
+        // dim not a multiple of 64: padding must not affect distances.
+        let a = BipolarVector::from_signs(&[1.0; 70]);
+        let b = BipolarVector::from_signs(&[-1.0; 70]);
+        assert_eq!(a.hamming_distance(&b), Some(70));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_none() {
+        let a = BipolarVector::from_signs(&[1.0; 10]);
+        let b = BipolarVector::from_signs(&[1.0; 11]);
+        assert_eq!(a.hamming_distance(&b), None);
+        assert_eq!(a.dot(&b), None);
+    }
+
+    fn trained() -> (HdcModel, Matrix, Vec<usize>) {
+        let mut rng = DetRng::new(63);
+        let mut features = Matrix::random_normal(90, 12, &mut rng);
+        let labels: Vec<usize> = (0..90).map(|i| i % 3).collect();
+        for (i, &l) in labels.iter().enumerate() {
+            features.row_mut(i)[l * 2] += 2.5;
+            features.row_mut(i)[l * 2 + 1] += 2.5;
+        }
+        let config = TrainConfig::new(2048).with_iterations(6).with_seed(64);
+        let (model, _) = HdcModel::fit(&features, &labels, 3, &config).unwrap();
+        (model, features, labels)
+    }
+
+    #[test]
+    fn binarized_model_stays_accurate_on_separable_data() {
+        let (model, features, labels) = trained();
+        let float_acc = crate::eval::accuracy(&model.predict(&features).unwrap(), &labels).unwrap();
+        let bipolar = BipolarModel::binarize(&model);
+        let bip_acc =
+            crate::eval::accuracy(&bipolar.predict(&features).unwrap(), &labels).unwrap();
+        assert!(float_acc > 0.95);
+        assert!(
+            bip_acc > float_acc - 0.1,
+            "bipolar accuracy {bip_acc} vs float {float_acc}"
+        );
+    }
+
+    #[test]
+    fn binarized_model_is_32x_smaller() {
+        let (model, _, _) = trained();
+        let bipolar = BipolarModel::binarize(&model);
+        let float_bytes = model.dim() * model.class_count() * 4;
+        assert!(bipolar.class_bytes() * 30 < float_bytes);
+        assert_eq!(bipolar.class_count(), 3);
+        assert_eq!(bipolar.dim(), 2048);
+    }
+
+    #[test]
+    fn binarize_classes_matches_column_signs() {
+        let (model, _, _) = trained();
+        let packed = binarize_classes(model.classes());
+        let column = model.classes().class(1).unwrap();
+        for (i, &v) in column.iter().enumerate().take(100) {
+            let expected = if v >= 0.0 { 1 } else { -1 };
+            assert_eq!(packed[1].sign(i), expected, "component {i}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+use hd_tensor::TensorError;
+
+/// Error type for HDC operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// A label referenced a class index at or beyond the class count.
+    LabelOutOfRange {
+        /// The offending label value.
+        label: usize,
+        /// The number of classes the model was configured with.
+        classes: usize,
+    },
+    /// The number of labels does not match the number of samples.
+    LabelCount {
+        /// Number of sample rows supplied.
+        samples: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// Training requires at least one sample and one class.
+    EmptyDataset,
+    /// A configuration value was invalid (zero dimension, zero
+    /// iterations, non-positive learning rate).
+    InvalidConfig(&'static str),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            HdcError::LabelCount { samples, labels } => {
+                write!(f, "{labels} labels provided for {samples} samples")
+            }
+            HdcError::EmptyDataset => write!(f, "dataset has no samples or no classes"),
+            HdcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HdcError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for HdcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HdcError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for HdcError {
+    fn from(e: TensorError) -> Self {
+        HdcError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            HdcError::LabelOutOfRange {
+                label: 9,
+                classes: 5
+            }
+            .to_string(),
+            "label 9 out of range for 5 classes"
+        );
+        assert!(HdcError::EmptyDataset.to_string().contains("no samples"));
+        assert!(HdcError::InvalidConfig("dim is zero").to_string().contains("dim is zero"));
+    }
+
+    #[test]
+    fn tensor_source_chains() {
+        let e: HdcError = TensorError::EmptyDimension { op: "x" }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+}

@@ -1,0 +1,175 @@
+//! Classification quality metrics.
+
+use crate::error::HdcError;
+use crate::Result;
+
+/// Fraction of predictions matching the labels.
+///
+/// # Errors
+///
+/// Returns [`HdcError::LabelCount`] if the slices differ in length and
+/// [`HdcError::EmptyDataset`] if both are empty.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// let acc = hdc::eval::accuracy(&[0, 1, 1], &[0, 1, 0])?;
+/// assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> Result<f64> {
+    if predictions.len() != labels.len() {
+        return Err(HdcError::LabelCount {
+            samples: predictions.len(),
+            labels: labels.len(),
+        });
+    }
+    if predictions.is_empty() {
+        return Err(HdcError::EmptyDataset);
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f64 / predictions.len() as f64)
+}
+
+/// A `k x k` confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from prediction/label pairs over `classes`
+    /// classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::LabelCount`] on length mismatch and
+    /// [`HdcError::LabelOutOfRange`] for any value at or beyond `classes`.
+    pub fn from_predictions(
+        predictions: &[usize],
+        labels: &[usize],
+        classes: usize,
+    ) -> Result<Self> {
+        if predictions.len() != labels.len() {
+            return Err(HdcError::LabelCount {
+                samples: predictions.len(),
+                labels: labels.len(),
+            });
+        }
+        let mut counts = vec![vec![0usize; classes]; classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            if p >= classes {
+                return Err(HdcError::LabelOutOfRange {
+                    label: p,
+                    classes,
+                });
+            }
+            if l >= classes {
+                return Err(HdcError::LabelOutOfRange {
+                    label: l,
+                    classes,
+                });
+            }
+            counts[l][p] += 1;
+        }
+        Ok(ConfusionMatrix { counts })
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-class recall: `diag / row-sum`, `None` for classes with no
+    /// samples.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row = self.counts.get(class)?;
+        let total: usize = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(row[class] as f64 / total as f64)
+    }
+
+    /// Overall accuracy implied by the matrix.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]).unwrap(), 1.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_validates() {
+        assert!(accuracy(&[1], &[1, 2]).is_err());
+        assert!(accuracy(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 1, 1, 0], &[0, 1, 0, 0], 2).unwrap();
+        assert_eq!(cm.count(0, 0), 2); // two true-0 predicted 0
+        assert_eq!(cm.count(0, 1), 1); // one true-0 predicted 1
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 0), 0);
+        assert_eq!(cm.class_count(), 2);
+    }
+
+    #[test]
+    fn confusion_accuracy_matches_direct() {
+        let preds = [0, 1, 2, 2, 1];
+        let labels = [0, 1, 1, 2, 1];
+        let cm = ConfusionMatrix::from_predictions(&preds, &labels, 3).unwrap();
+        assert_eq!(cm.accuracy(), accuracy(&preds, &labels).unwrap());
+    }
+
+    #[test]
+    fn recall_per_class() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 1, 1], &[0, 0, 1], 3).unwrap();
+        assert_eq!(cm.recall(0), Some(0.5));
+        assert_eq!(cm.recall(1), Some(1.0));
+        assert_eq!(cm.recall(2), None); // no samples of class 2
+    }
+
+    #[test]
+    fn confusion_validates_range() {
+        assert!(ConfusionMatrix::from_predictions(&[3], &[0], 2).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[0], &[5], 2).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[0, 1], &[0], 2).is_err());
+    }
+
+    #[test]
+    fn empty_confusion_accuracy_is_zero() {
+        let cm = ConfusionMatrix::from_predictions(&[], &[], 2).unwrap();
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+}

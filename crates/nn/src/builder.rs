@@ -1,0 +1,164 @@
+use hd_tensor::Matrix;
+
+use crate::error::NnError;
+use crate::layer::{Activation, ElementwiseOp, Layer};
+use crate::model::Model;
+use crate::Result;
+
+/// Incremental, shape-checked construction of a [`Model`].
+///
+/// Each `fully_connected` call is validated against the running output
+/// width immediately, so errors point at the exact offending layer.
+///
+/// # Examples
+///
+/// The paper's full three-layer wide network (encode + classify):
+///
+/// ```
+/// use hd_tensor::{rng::DetRng, Matrix};
+/// use wide_nn::{Activation, ModelBuilder};
+///
+/// # fn main() -> Result<(), wide_nn::NnError> {
+/// let mut rng = DetRng::new(1);
+/// let base = Matrix::random_normal(32, 256, &mut rng); // n x d
+/// let class = Matrix::random_normal(256, 4, &mut rng); // d x k
+/// let model = ModelBuilder::new(32)
+///     .fully_connected(base)?
+///     .activation(Activation::Tanh)
+///     .fully_connected(class)?
+///     .build()?;
+/// assert_eq!(model.output_dim(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ModelBuilder {
+    input_dim: usize,
+    current_dim: usize,
+    layers: Vec<Layer>,
+}
+
+impl ModelBuilder {
+    /// Starts a model that consumes `input_dim` features per sample.
+    pub fn new(input_dim: usize) -> Self {
+        ModelBuilder {
+            input_dim,
+            current_dim: input_dim,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a dense layer with the given `in x out` weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeInference`] if `weights.rows()` differs from
+    /// the current output width.
+    pub fn fully_connected(mut self, weights: Matrix) -> Result<Self> {
+        if weights.rows() != self.current_dim {
+            return Err(NnError::ShapeInference {
+                layer: self.layers.len(),
+                expected: self.current_dim,
+                actual: weights.rows(),
+            });
+        }
+        self.current_dim = weights.cols();
+        self.layers.push(Layer::FullyConnected { weights });
+        Ok(self)
+    }
+
+    /// Appends an element-wise activation layer.
+    pub fn activation(mut self, act: Activation) -> Self {
+        self.layers.push(Layer::Activation(act));
+        self
+    }
+
+    /// Appends an element-wise training op (bundling/detaching). Compiling
+    /// the resulting model for an accelerator target fails with
+    /// [`NnError::UnsupportedOp`], which is precisely how the framework
+    /// discovers that class-hypervector update must stay on the host.
+    pub fn elementwise(mut self, op: ElementwiseOp, lambda: f32) -> Self {
+        self.layers.push(Layer::Elementwise { op, lambda });
+        self
+    }
+
+    /// Current output width of the partially built model.
+    pub fn current_dim(&self) -> usize {
+        self.current_dim
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyModel`] if no layer was added.
+    pub fn build(self) -> Result<Model> {
+        Model::new(self.input_dim, self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_dimensions() {
+        let b = ModelBuilder::new(8);
+        assert_eq!(b.current_dim(), 8);
+        let b = b.fully_connected(Matrix::zeros(8, 20)).unwrap();
+        assert_eq!(b.current_dim(), 20);
+        let b = b.activation(Activation::Tanh);
+        assert_eq!(b.current_dim(), 20);
+    }
+
+    #[test]
+    fn builder_rejects_wrong_rows_immediately() {
+        let err = ModelBuilder::new(8)
+            .fully_connected(Matrix::zeros(9, 20))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NnError::ShapeInference {
+                layer: 0,
+                expected: 8,
+                actual: 9
+            }
+        );
+    }
+
+    #[test]
+    fn error_reports_later_layer_index() {
+        let err = ModelBuilder::new(8)
+            .fully_connected(Matrix::zeros(8, 4))
+            .unwrap()
+            .activation(Activation::Relu)
+            .fully_connected(Matrix::zeros(5, 2))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NnError::ShapeInference {
+                layer: 2,
+                expected: 4,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        assert_eq!(ModelBuilder::new(4).build().unwrap_err(), NnError::EmptyModel);
+    }
+
+    #[test]
+    fn built_model_matches_layer_sequence() {
+        let model = ModelBuilder::new(2)
+            .fully_connected(Matrix::identity(2))
+            .unwrap()
+            .activation(Activation::Relu)
+            .elementwise(ElementwiseOp::ScaledAdd, 0.1)
+            .build()
+            .unwrap();
+        assert_eq!(model.layers().len(), 3);
+        assert_eq!(model.output_dim(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+use hd_tensor::TensorError;
+
+/// Error type for quantization operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// The requested real-value range cannot define a quantization mapping
+    /// (e.g. `min > max`, or a non-finite bound).
+    InvalidRange {
+        /// Lower bound supplied by the caller.
+        min: f32,
+        /// Upper bound supplied by the caller.
+        max: f32,
+    },
+    /// A scale of zero or a non-finite scale was supplied.
+    InvalidScale {
+        /// The offending scale value.
+        scale: f32,
+    },
+    /// No calibration data was observed before requesting parameters.
+    EmptyCalibration,
+    /// An underlying tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidRange { min, max } => {
+                write!(f, "invalid quantization range [{min}, {max}]")
+            }
+            QuantError::InvalidScale { scale } => {
+                write!(f, "invalid quantization scale {scale}")
+            }
+            QuantError::EmptyCalibration => {
+                write!(f, "calibrator observed no finite values")
+            }
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for QuantError {
+    fn from(e: TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            QuantError::InvalidRange { min: 2.0, max: 1.0 }.to_string(),
+            "invalid quantization range [2, 1]"
+        );
+        assert_eq!(
+            QuantError::InvalidScale { scale: 0.0 }.to_string(),
+            "invalid quantization scale 0"
+        );
+        assert_eq!(
+            QuantError::EmptyCalibration.to_string(),
+            "calibrator observed no finite values"
+        );
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let te = TensorError::EmptyDimension { op: "x" };
+        let qe: QuantError = te.clone().into();
+        assert!(qe.source().is_some());
+        assert_eq!(qe, QuantError::Tensor(te));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

@@ -1,0 +1,205 @@
+//! Quantized matrix multiplication with `i32` accumulators.
+//!
+//! This is the arithmetic contract shared between the reference quantized
+//! executor in `wide-nn` and the systolic-array simulator in `tpu-sim`:
+//! both call into these kernels, so their outputs are bit-identical by
+//! construction, and an integration test pins that equivalence.
+//!
+//! The affine algebra: with `a = sa (qa - za)` and `b = sb (qb - zb)`,
+//!
+//! ```text
+//! sum_p a[i,p] b[p,j] = sa sb * sum_p (qa[i,p] - za)(qb[p,j] - zb)
+//! ```
+//!
+//! so the integer kernel accumulates `(qa - za)(qb - zb)` in `i32` and the
+//! combined scale `sa * sb` converts the accumulator to real values.
+
+use hd_tensor::{Matrix, TensorError};
+
+use crate::matrix::QuantizedMatrix;
+use crate::params::QuantParams;
+use crate::Result;
+
+fn check(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "quantized matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// Multiplies two quantized matrices, returning the raw `i32` accumulator
+/// matrix and the combined accumulator scale.
+///
+/// `real[i][j] = acc_scale * acc[i][j]`.
+///
+/// # Errors
+///
+/// Returns a wrapped [`TensorError::ShapeMismatch`] if
+/// `a.cols() != b.rows()`.
+pub fn matmul_accumulate(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<(Vec<i32>, f32)> {
+    check(a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let za = a.params().zero_point();
+    let zb = b.params().zero_point();
+    let mut acc = vec![0i32; m * n];
+
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = &mut acc[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = a_row[p] as i32 - za;
+            if av == 0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (o, &bq) in out_row.iter_mut().zip(b_row) {
+                *o += av * (bq as i32 - zb);
+            }
+        }
+    }
+    Ok((acc, a.params().scale() * b.params().scale()))
+}
+
+/// Multiplies two quantized matrices and dequantizes the result to `f32`.
+///
+/// # Errors
+///
+/// Returns a wrapped [`TensorError::ShapeMismatch`] if
+/// `a.cols() != b.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use hd_quant::{gemm, QuantParams, QuantizedMatrix};
+/// use hd_tensor::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = QuantizedMatrix::quantize(
+///     &Matrix::from_rows(&[&[1.0, 0.5]])?,
+///     QuantParams::from_min_max(-1.0, 1.0)?,
+/// );
+/// let b = QuantizedMatrix::quantize(
+///     &Matrix::from_rows(&[&[1.0], &[1.0]])?,
+///     QuantParams::symmetric(1.0)?,
+/// );
+/// let c = gemm::matmul_dequantized(&a, &b)?;
+/// assert!((c[(0, 0)] - 1.5).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_dequantized(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<Matrix> {
+    let (acc, scale) = matmul_accumulate(a, b)?;
+    let data: Vec<f32> = acc.iter().map(|&v| scale * v as f32).collect();
+    Ok(Matrix::from_vec(a.rows(), b.cols(), data).expect("shape invariant"))
+}
+
+/// Multiplies two quantized matrices and requantizes the result into
+/// `out_params` — the full accelerator datapath for one layer.
+///
+/// # Errors
+///
+/// Returns a wrapped [`TensorError::ShapeMismatch`] if
+/// `a.cols() != b.rows()`.
+pub fn matmul_requantized(
+    a: &QuantizedMatrix,
+    b: &QuantizedMatrix,
+    out_params: QuantParams,
+) -> Result<QuantizedMatrix> {
+    let (acc, scale) = matmul_accumulate(a, b)?;
+    let data: Vec<i8> = acc
+        .iter()
+        .map(|&v| out_params.requantize_accumulator(v, scale))
+        .collect();
+    Ok(QuantizedMatrix::from_raw(a.rows(), b.cols(), data, out_params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_tensor::gemm as fgemm;
+    use hd_tensor::rng::DetRng;
+
+    fn quantize_pair(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix, QuantizedMatrix, QuantizedMatrix) {
+        let mut rng = DetRng::new(seed);
+        let a = Matrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, n, -1.0, 1.0, &mut rng);
+        let qa = QuantizedMatrix::quantize(&a, QuantParams::from_min_max(-1.0, 1.0).unwrap());
+        let qb = QuantizedMatrix::quantize(&b, QuantParams::symmetric(1.0).unwrap());
+        (a, b, qa, qb)
+    }
+
+    #[test]
+    fn quantized_product_approximates_float_product() {
+        let (a, b, qa, qb) = quantize_pair(6, 40, 5, 1);
+        let exact = fgemm::matmul(&a, &b).unwrap();
+        let approx = matmul_dequantized(&qa, &qb).unwrap();
+        // Error per output element is ~ sqrt(k) * scale; k=40 and scale
+        // ~1/127 gives a generous bound of 0.4.
+        for (x, y) in exact.iter().zip(approx.iter()) {
+            assert!((x - y).abs() < 0.4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn zero_point_correction_is_exact_for_representable_values() {
+        // Values exactly representable under the chosen params: the
+        // quantized product must match the float product exactly.
+        let params_a = QuantParams::from_raw(0.5, 10).unwrap();
+        let params_b = QuantParams::from_raw(0.25, 0).unwrap();
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]).unwrap(); // multiples of 0.5
+        let b = Matrix::from_rows(&[&[0.75], &[-0.5]]).unwrap(); // multiples of 0.25
+        let qa = QuantizedMatrix::quantize(&a, params_a);
+        let qb = QuantizedMatrix::quantize(&b, params_b);
+        let c = matmul_dequantized(&qa, &qb).unwrap();
+        assert_eq!(c[(0, 0)], 1.0 * 0.75 + (-2.0) * (-0.5));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let p = QuantParams::symmetric(1.0).unwrap();
+        let a = QuantizedMatrix::from_raw(2, 3, vec![0; 6], p);
+        let b = QuantizedMatrix::from_raw(2, 2, vec![0; 4], p);
+        assert!(matmul_accumulate(&a, &b).is_err());
+        assert!(matmul_dequantized(&a, &b).is_err());
+        assert!(matmul_requantized(&a, &b, p).is_err());
+    }
+
+    #[test]
+    fn requantized_output_uses_out_params() {
+        let (_, _, qa, qb) = quantize_pair(3, 16, 3, 2);
+        let out_params = QuantParams::from_min_max(-16.0, 16.0).unwrap();
+        let rq = matmul_requantized(&qa, &qb, out_params).unwrap();
+        assert_eq!(rq.params(), out_params);
+        // Dequantized requantized result approximates the dequantized
+        // accumulator result to within one output step.
+        let full = matmul_dequantized(&qa, &qb).unwrap();
+        let approx = rq.dequantize();
+        for (x, y) in full.iter().zip(approx.iter()) {
+            assert!((x - y).abs() <= out_params.scale() / 2.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn accumulator_is_deterministic() {
+        let (_, _, qa, qb) = quantize_pair(4, 20, 4, 3);
+        let (acc1, s1) = matmul_accumulate(&qa, &qb).unwrap();
+        let (acc2, s2) = matmul_accumulate(&qa, &qb).unwrap();
+        assert_eq!(acc1, acc2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn zero_lhs_row_gives_zero_outputs() {
+        let pa = QuantParams::from_raw(1.0, 0).unwrap();
+        let a = QuantizedMatrix::from_raw(1, 3, vec![0, 0, 0], pa);
+        let b = QuantizedMatrix::from_raw(3, 2, vec![1, 2, 3, 4, 5, 6], pa);
+        let (acc, _) = matmul_accumulate(&a, &b).unwrap();
+        assert_eq!(acc, vec![0, 0]);
+    }
+}

@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// # Examples
+///
+/// ```
+/// use hd_tensor::{Matrix, TensorError};
+///
+/// let a = Matrix::zeros(2, 3);
+/// let b = Matrix::zeros(4, 5);
+/// let err = hd_tensor::gemm::matmul(&a, &b).unwrap_err();
+/// assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The provided buffer length does not match `rows * cols`.
+    LengthMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A row or column index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must stay below.
+        bound: usize,
+    },
+    /// A matrix dimension was zero where a non-empty matrix is required.
+    EmptyDimension {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match expected {expected}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension {bound}")
+            }
+            TensorError::EmptyDimension { op } => {
+                write!(f, "operation {op} requires non-empty dimensions")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            err.to_string(),
+            "shape mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert_eq!(err.to_string(), "buffer length 5 does not match expected 6");
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = TensorError::IndexOutOfBounds { index: 7, bound: 4 };
+        assert_eq!(err.to_string(), "index 7 out of bounds for dimension 4");
+    }
+
+    #[test]
+    fn display_empty_dimension() {
+        let err = TensorError::EmptyDimension { op: "argmax" };
+        assert_eq!(err.to_string(), "operation argmax requires non-empty dimensions");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

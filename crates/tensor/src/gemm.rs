@@ -1,0 +1,330 @@
+//! Blocked, optionally multi-threaded matrix multiplication.
+//!
+//! HDC encoding is "indeed a vector–matrix multiplication that is ready to
+//! accelerate on most hardware accelerators" (paper, Section III-A); on the
+//! host CPU baseline it is a plain SGEMM. This module provides a cache
+//! blocked kernel plus a [`crossbeam`]-scoped row-parallel driver so that
+//! the *functional* parts of the experiments (accuracy measurements) finish
+//! in reasonable wall-clock time. The *analytic* runtime models in the
+//! `cpu-model` and `tpu-sim` crates are what reproduce the paper's timing
+//! figures; this kernel's real speed is never reported as an experiment
+//! result.
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Cache-block edge length used by the inner kernel.
+const BLOCK: usize = 64;
+
+/// Minimum per-thread work (in output elements) before threads are spawned.
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+fn check_compatible(a: &Matrix, b: &Matrix, op: &'static str) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Multiplies `a (m x k)` by `b (k x n)`, producing an `m x n` matrix.
+///
+/// Uses a blocked kernel, and splits rows across threads when the output is
+/// large enough to amortize thread startup.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use hd_tensor::{Matrix, gemm};
+/// # fn main() -> Result<(), hd_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0]])?;
+/// let b = Matrix::from_rows(&[&[3.0], &[4.0]])?;
+/// let c = gemm::matmul(&a, &b)?;
+/// assert_eq!(c[(0, 0)], 11.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_compatible(a, b, "matmul")?;
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// Multiplies `a` by `b`, writing into the caller-provided `out` matrix to
+/// reuse its allocation across training iterations.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the operand shapes are
+/// incompatible or `out` has the wrong shape.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
+    check_compatible(a, b, "matmul_into")?;
+    if out.shape() != (a.rows(), b.cols()) {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_into (output)",
+            lhs: out.shape(),
+            rhs: (a.rows(), b.cols()),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    out.as_mut_slice().fill(0.0);
+
+    let work = m.saturating_mul(n);
+    let threads = available_threads();
+    if work >= PARALLEL_THRESHOLD && threads > 1 && m > 1 {
+        parallel_rows(a, b, out, threads);
+    } else {
+        block_kernel(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    }
+    Ok(())
+}
+
+/// Vector–matrix product `x (1 x k) * b (k x n)`, returning a length-`n`
+/// vector. This is the per-sample encoding step `E = F x B`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != b.rows()`.
+pub fn matvec(x: &[f32], b: &Matrix) -> Result<Vec<f32>> {
+    if x.len() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            lhs: (1, x.len()),
+            rhs: b.shape(),
+        });
+    }
+    let n = b.cols();
+    let mut out = vec![0.0f32; n];
+    // Row-major b: accumulate row-by-row, which is sequential in memory.
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = b.row(i);
+        for (o, &bv) in out.iter_mut().zip(row) {
+            *o += xi * bv;
+        }
+    }
+    Ok(out)
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn parallel_rows(a: &Matrix, b: &Matrix, out: &mut Matrix, threads: usize) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let rows_per_chunk = m.div_ceil(threads).max(1);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_data = out.as_mut_slice();
+
+    crossbeam::scope(|scope| {
+        let mut remaining = out_data;
+        let mut row_start = 0;
+        while row_start < m {
+            let rows_here = rows_per_chunk.min(m - row_start);
+            let (chunk, rest) = remaining.split_at_mut(rows_here * n);
+            remaining = rest;
+            let a_chunk = &a_data[row_start * k..(row_start + rows_here) * k];
+            scope.spawn(move |_| {
+                block_kernel(a_chunk, b_data, chunk, rows_here, k, n);
+            });
+            row_start += rows_here;
+        }
+    })
+    .expect("gemm worker thread panicked");
+}
+
+/// The serial blocked kernel: `out (m x n) += a (m x k) * b (k x n)`.
+///
+/// `out` must be zeroed by the caller. Iteration order is (i, p, j) within
+/// blocks so the innermost loop streams both `b` and `out` rows.
+fn block_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for ib in (0..m).step_by(BLOCK) {
+        let i_end = (ib + BLOCK).min(m);
+        for pb in (0..k).step_by(BLOCK) {
+            let p_end = (pb + BLOCK).min(k);
+            for jb in (0..n).step_by(BLOCK) {
+                let j_end = (jb + BLOCK).min(n);
+                for i in ib..i_end {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut out[i * n + jb..i * n + j_end];
+                    for p in pb..p_end {
+                        let av = a_row[p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n + jb..p * n + j_end];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference (naive triple-loop) multiplication used by tests to validate
+/// the blocked/parallel kernels.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_compatible(a, b, "matmul_reference")?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut sum = 0.0;
+            for p in 0..k {
+                sum += a[(i, p)] * b[(p, j)];
+            }
+            out[(i, j)] = sum;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = DetRng::new(1);
+        let a = Matrix::random_normal(5, 5, &mut rng);
+        let c = matmul(&a, &Matrix::identity(5)).unwrap();
+        assert_close(&c, &a, 0.0);
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn blocked_matches_reference_non_square() {
+        let mut rng = DetRng::new(2);
+        let a = Matrix::random_normal(17, 93, &mut rng);
+        let b = Matrix::random_normal(93, 41, &mut rng);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_reference(&a, &b).unwrap();
+        assert_close(&fast, &slow, 1e-3);
+    }
+
+    #[test]
+    fn parallel_path_matches_reference() {
+        // Large enough to cross PARALLEL_THRESHOLD.
+        let mut rng = DetRng::new(3);
+        let a = Matrix::random_normal(192, 80, &mut rng);
+        let b = Matrix::random_normal(80, 512, &mut rng);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_reference(&a, &b).unwrap();
+        assert_close(&fast, &slow, 1e-3);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_into_rejects_bad_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut out = Matrix::zeros(2, 3);
+        assert!(matmul_into(&a, &b, &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_into_overwrites_previous_contents() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 2.0);
+        let mut out = Matrix::filled(2, 2, 99.0);
+        matmul_into(&a, &b, &mut out).unwrap();
+        assert_close(&out, &b, 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_row() {
+        let mut rng = DetRng::new(4);
+        let b = Matrix::random_normal(30, 17, &mut rng);
+        let x = Matrix::random_normal(1, 30, &mut rng);
+        let via_matmul = matmul(&x, &b).unwrap();
+        let via_matvec = matvec(x.row(0), &b).unwrap();
+        for (a, b) in via_matmul.row(0).iter().zip(&via_matvec) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matvec_rejects_mismatch() {
+        let b = Matrix::zeros(3, 2);
+        assert!(matvec(&[1.0, 2.0], &b).is_err());
+    }
+
+    #[test]
+    fn matvec_skips_zero_inputs() {
+        let b = Matrix::from_rows(&[&[1.0], &[f32::NAN]]).unwrap();
+        // The zero coefficient must not propagate the NaN row.
+        let out = matvec(&[1.0, 0.0], &b).unwrap();
+        assert_eq!(out, vec![1.0]);
+    }
+
+    #[test]
+    fn multiply_by_zero_matrix_is_zero() {
+        let mut rng = DetRng::new(5);
+        let a = Matrix::random_normal(8, 8, &mut rng);
+        let z = Matrix::zeros(8, 8);
+        let c = matmul(&a, &z).unwrap();
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn one_by_one_product() {
+        let a = Matrix::from_vec(1, 1, vec![3.0]).unwrap();
+        let b = Matrix::from_vec(1, 1, vec![4.0]).unwrap();
+        assert_eq!(matmul(&a, &b).unwrap()[(0, 0)], 12.0);
+    }
+
+    #[test]
+    fn block_boundary_sizes() {
+        // Sizes straddling the 64-wide block boundary.
+        for &(m, k, n) in &[(63, 65, 64), (64, 64, 64), (65, 63, 66), (1, 128, 1)] {
+            let mut rng = DetRng::new(6);
+            let a = Matrix::random_normal(m, k, &mut rng);
+            let b = Matrix::random_normal(k, n, &mut rng);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = matmul_reference(&a, &b).unwrap();
+            assert_close(&fast, &slow, 1e-3);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Dense tensor and linear-algebra substrate for the HyperEdge workspace.
+//!
+//! Everything in HyperEdge — hyperdimensional encoding, the wide-NN
+//! interpretation of an HDC model, the systolic-array simulator's reference
+//! path, and the host CPU execution engine — bottoms out in dense row-major
+//! `f32` matrices and a small set of vector kernels. This crate provides:
+//!
+//! * [`Matrix`] — an owned, row-major, dense `f32` matrix with shape-checked
+//!   constructors, views, and stacking operations,
+//! * [`gemm`] — blocked, optionally multi-threaded matrix multiplication,
+//! * [`ops`] — vector kernels (dot, norms, `tanh`, argmax, axpy, cosine),
+//! * [`rng`] — a deterministic random number generator with normal sampling,
+//!   used everywhere a paper experiment needs reproducible randomness,
+//! * [`stats`] — summary statistics used by quantization calibration.
+//!
+//! # Examples
+//!
+//! ```
+//! use hd_tensor::{Matrix, gemm};
+//!
+//! # fn main() -> Result<(), hd_tensor::TensorError> {
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+//! let b = Matrix::identity(2);
+//! let c = gemm::matmul(&a, &b)?;
+//! assert_eq!(c, a);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+
+pub mod gemm;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+
+/// Convenience result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,240 @@
+//! Deterministic random number generation for reproducible experiments.
+//!
+//! Every stochastic step in the paper's pipeline — base hypervector
+//! generation, bootstrap dataset sampling, feature sampling, synthetic
+//! dataset construction — must be reproducible for the benchmark harness to
+//! regenerate the same tables run after run. [`DetRng`] wraps a
+//! seeded [`rand::rngs::StdRng`] and adds normal sampling via the
+//! Box–Muller transform (the `rand` crate alone ships only uniform
+//! distributions; `rand_distr` is intentionally not a dependency).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, seedable random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use hd_tensor::rng::DetRng;
+///
+/// let mut a = DetRng::new(1234);
+/// let mut b = DetRng::new(1234);
+/// assert_eq!(a.next_f32(), b.next_f32());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller pair.
+    spare_normal: Option<f32>,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Used to give each bagging sub-model its own stream so that adding or
+    /// removing sub-models does not perturb the others' randomness.
+    pub fn fork(&mut self, stream: u64) -> DetRng {
+        let base = self.inner.next_u64();
+        DetRng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Next uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Next uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_index requires a positive bound");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Next sample from the standard normal distribution `N(0, 1)`,
+    /// generated with the Box–Muller transform.
+    pub fn next_normal(&mut self) -> f32 {
+        if let Some(v) = self.spare_normal.take() {
+            return v;
+        }
+        // Box–Muller: two uniforms -> two independent standard normals.
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE); // avoid ln(0)
+        let u2 = self.next_f64();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some((radius * angle.sin()) as f32);
+        (radius * angle.cos()) as f32
+    }
+
+    /// Next sample from `N(mean, std_dev^2)`.
+    pub fn next_normal_scaled(&mut self, mean: f32, std_dev: f32) -> f32 {
+        mean + std_dev * self.next_normal()
+    }
+
+    /// Draws `count` indices uniformly from `[0, bound)` **with**
+    /// replacement — the bootstrap ("bagging") dataset sampling primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` and `count > 0`.
+    pub fn sample_with_replacement(&mut self, bound: usize, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.next_index(bound)).collect()
+    }
+
+    /// Draws `count` distinct indices from `[0, bound)` **without**
+    /// replacement via a partial Fisher–Yates shuffle — used for feature
+    /// sampling, where a feature is either kept or dropped.
+    ///
+    /// The result is sorted ascending so that callers get a stable column
+    /// layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > bound`.
+    pub fn sample_without_replacement(&mut self, bound: usize, count: usize) -> Vec<usize> {
+        assert!(count <= bound, "cannot draw {count} distinct values from {bound}");
+        let mut pool: Vec<usize> = (0..bound).collect();
+        for i in 0..count {
+            let j = i + self.next_index(bound - i);
+            pool.swap(i, j);
+        }
+        let mut picked = pool[..count].to_vec();
+        picked.sort_unstable();
+        picked
+    }
+
+    /// Shuffles a slice in place with Fisher–Yates.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(99);
+        let mut b = DetRng::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = DetRng::new(5);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normal_scaled_shifts_mean() {
+        let mut rng = DetRng::new(6);
+        let n = 20_000;
+        let mean: f32 = (0..n).map(|_| rng.next_normal_scaled(3.0, 0.5)).sum::<f32>() / n as f32;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn with_replacement_can_repeat() {
+        let mut rng = DetRng::new(7);
+        let picks = rng.sample_with_replacement(3, 1000);
+        assert_eq!(picks.len(), 1000);
+        assert!(picks.iter().all(|&i| i < 3));
+        // With 1000 draws from 3 values, repeats are certain.
+        let distinct: std::collections::HashSet<_> = picks.iter().collect();
+        assert!(distinct.len() <= 3);
+    }
+
+    #[test]
+    fn without_replacement_is_distinct_and_sorted() {
+        let mut rng = DetRng::new(8);
+        let picks = rng.sample_without_replacement(100, 40);
+        assert_eq!(picks.len(), 40);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, picks);
+    }
+
+    #[test]
+    fn without_replacement_full_range() {
+        let mut rng = DetRng::new(9);
+        let picks = rng.sample_without_replacement(5, 5);
+        assert_eq!(picks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn without_replacement_rejects_overdraw() {
+        let mut rng = DetRng::new(10);
+        let _ = rng.sample_without_replacement(3, 4);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(11);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(items, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = DetRng::new(12);
+        let mut a = parent.fork(0);
+        let mut b = parent.fork(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_index_covers_range() {
+        let mut rng = DetRng::new(13);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.next_index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

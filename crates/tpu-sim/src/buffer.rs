@@ -1,0 +1,119 @@
+use crate::error::SimError;
+use crate::Result;
+
+/// The on-chip parameter store of the accelerator.
+///
+/// On the Edge TPU this is an 8 MiB SRAM that must hold the whole model's
+/// weights; a model that does not fit is rejected at load time (the real
+/// compiler would fall back to streaming weights over USB, which the paper
+/// avoids by sizing models to fit — our `d = 10000`, `n = 784` encoder is
+/// 7.84 MB, just under the limit, which is not a coincidence).
+///
+/// # Examples
+///
+/// ```
+/// use tpu_sim::UnifiedBuffer;
+///
+/// # fn main() -> Result<(), tpu_sim::SimError> {
+/// let mut buf = UnifiedBuffer::new(1024);
+/// buf.allocate(1000)?;
+/// assert_eq!(buf.free_bytes(), 24);
+/// buf.reset();
+/// assert_eq!(buf.free_bytes(), 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnifiedBuffer {
+    capacity: usize,
+    used: usize,
+}
+
+impl UnifiedBuffer {
+    /// Creates a buffer with the given capacity in bytes.
+    pub fn new(capacity: usize) -> Self {
+        UnifiedBuffer { capacity, used: 0 }
+    }
+
+    /// Reserves `bytes`, failing if the buffer would overflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BufferOverflow`] when `bytes` exceeds the free
+    /// space; the buffer is left unchanged in that case.
+    pub fn allocate(&mut self, bytes: usize) -> Result<()> {
+        if bytes > self.free_bytes() {
+            return Err(SimError::BufferOverflow {
+                required: bytes,
+                available: self.free_bytes(),
+            });
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Releases all reservations (model unload).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn free_bytes(&self) -> usize {
+        self.capacity - self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_within_capacity() {
+        let mut buf = UnifiedBuffer::new(100);
+        buf.allocate(60).unwrap();
+        buf.allocate(40).unwrap();
+        assert_eq!(buf.free_bytes(), 0);
+        assert_eq!(buf.used_bytes(), 100);
+    }
+
+    #[test]
+    fn overflow_is_rejected_and_state_unchanged() {
+        let mut buf = UnifiedBuffer::new(100);
+        buf.allocate(60).unwrap();
+        let err = buf.allocate(50).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BufferOverflow {
+                required: 50,
+                available: 40
+            }
+        );
+        assert_eq!(buf.used_bytes(), 60);
+    }
+
+    #[test]
+    fn reset_frees_everything() {
+        let mut buf = UnifiedBuffer::new(10);
+        buf.allocate(10).unwrap();
+        buf.reset();
+        assert_eq!(buf.free_bytes(), 10);
+        buf.allocate(10).unwrap();
+    }
+
+    #[test]
+    fn zero_allocation_always_succeeds() {
+        let mut buf = UnifiedBuffer::new(0);
+        buf.allocate(0).unwrap();
+        assert!(buf.allocate(1).is_err());
+    }
+}

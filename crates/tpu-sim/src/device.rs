@@ -1,0 +1,540 @@
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use hd_tensor::Matrix;
+use wide_nn::{CompiledModel, QuantStage};
+
+use crate::buffer::UnifiedBuffer;
+use crate::config::DeviceConfig;
+use crate::error::SimError;
+use crate::link::HostLink;
+use crate::systolic::SystolicArray;
+use crate::timing::ModelDims;
+use crate::Result;
+
+/// Timing breakdown of one [`Device::invoke`] call, all in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvokeStats {
+    /// Number of samples processed.
+    pub samples: usize,
+    /// MXU + activation-unit cycles consumed.
+    pub compute_cycles: u64,
+    /// Compute time at the device clock.
+    pub compute_s: f64,
+    /// Host-to-device input payload time.
+    pub input_transfer_s: f64,
+    /// Device-to-host output payload time.
+    pub output_transfer_s: f64,
+    /// Fixed per-invocation dispatch latency.
+    pub overhead_s: f64,
+    /// Sum of all components.
+    pub total_s: f64,
+}
+
+/// One-time cost report from [`Device::load_model`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Parameter bytes moved onto the device.
+    pub param_bytes: usize,
+    /// Link time for the parameter transfer.
+    pub transfer_s: f64,
+    /// Cycles spent shifting weights into the array.
+    pub weight_load_cycles: u64,
+    /// Total load time.
+    pub total_s: f64,
+}
+
+/// Accumulated device activity since construction or the last reset.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimingLedger {
+    /// Number of invocations served.
+    pub invocations: u64,
+    /// Total samples processed.
+    pub samples: u64,
+    /// Total compute seconds.
+    pub compute_s: f64,
+    /// Total transfer seconds (both directions).
+    pub transfer_s: f64,
+    /// Total dispatch-overhead seconds.
+    pub overhead_s: f64,
+    /// Total model-load seconds.
+    pub load_s: f64,
+    /// Grand total (loads + invocations).
+    pub total_s: f64,
+}
+
+impl TimingLedger {
+    fn record_invoke(&mut self, stats: &InvokeStats) {
+        self.invocations += 1;
+        self.samples += stats.samples as u64;
+        self.compute_s += stats.compute_s;
+        self.transfer_s += stats.input_transfer_s + stats.output_transfer_s;
+        self.overhead_s += stats.overhead_s;
+        self.total_s += stats.total_s;
+    }
+
+    fn record_load(&mut self, report: &LoadReport) {
+        self.load_s += report.total_s;
+        self.total_s += report.total_s;
+    }
+}
+
+struct DeviceState {
+    model: Option<CompiledModel>,
+    buffer: UnifiedBuffer,
+    ledger: TimingLedger,
+}
+
+/// A simulated edge accelerator.
+///
+/// The device holds at most one model at a time ("Most Edge TPU only take
+/// one model at a time, and the weights have to be loaded to the on-chip
+/// buffer every time" — paper, Section III-B); loading a new model evicts
+/// the previous one and pays the full parameter-transfer cost again. This
+/// is exactly the overhead that motivates the paper's merged single
+/// inference model for bagging.
+///
+/// The device is `Send + Sync`; invocations serialize on an internal lock,
+/// like a real single-queue accelerator.
+pub struct Device {
+    config: DeviceConfig,
+    array: SystolicArray,
+    link: HostLink,
+    state: Mutex<DeviceState>,
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("Device")
+            .field("config", &self.config)
+            .field("model_loaded", &state.model.is_some())
+            .field("buffer_used", &state.buffer.used_bytes())
+            .finish()
+    }
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        let array = SystolicArray::new(config.target.array_rows, config.target.array_cols);
+        let link = HostLink::new(config.link);
+        let buffer = UnifiedBuffer::new(config.target.param_buffer_bytes);
+        Device {
+            config,
+            array,
+            link,
+            state: Mutex::new(DeviceState {
+                model: None,
+                buffer,
+                ledger: TimingLedger::default(),
+            }),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Whether a model is currently resident.
+    pub fn model_loaded(&self) -> bool {
+        self.state.lock().model.is_some()
+    }
+
+    /// Loads a compiled model, evicting any previous one, and returns the
+    /// one-time cost report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BufferOverflow`] if the model's parameters do
+    /// not fit the on-chip buffer. The previous model remains loaded in
+    /// that case.
+    pub fn load_model(&self, compiled: CompiledModel) -> Result<LoadReport> {
+        let mut state = self.state.lock();
+        let bytes = compiled.param_bytes();
+        if bytes > state.buffer.capacity() {
+            return Err(SimError::BufferOverflow {
+                required: bytes,
+                available: state.buffer.capacity(),
+            });
+        }
+
+        let dims = ModelDims::from_compiled(&compiled);
+        let transfer_s = self.link.transfer_time_s(bytes);
+        let weight_load_cycles: u64 = dims
+            .fc_layers
+            .iter()
+            .map(|&(k, n)| self.array.weight_load_cycles(k, n))
+            .sum();
+        let report = LoadReport {
+            param_bytes: bytes,
+            transfer_s,
+            weight_load_cycles,
+            total_s: transfer_s + weight_load_cycles as f64 / self.config.clock_hz,
+        };
+
+        state.buffer.reset();
+        state
+            .buffer
+            .allocate(bytes)
+            .expect("capacity was checked above");
+        state.model = Some(compiled);
+        state.ledger.record_load(&report);
+        Ok(report)
+    }
+
+    /// Unloads the resident model, freeing the parameter buffer.
+    pub fn unload_model(&self) {
+        let mut state = self.state.lock();
+        state.model = None;
+        state.buffer.reset();
+    }
+
+    /// Runs the resident model on a batch of `f32` samples (one per row),
+    /// returning the dequantized outputs and the timing breakdown of this
+    /// single invocation.
+    ///
+    /// The numeric path is: quantize inputs with the model's calibrated
+    /// input parameters, run every stage in int8 through the systolic
+    /// array and activation LUTs, dequantize the outputs. This matches
+    /// [`wide_nn::QuantizedModel::forward`] bit-for-bit.
+    ///
+    /// Host-side costs (the quantize/dequantize themselves) are *not*
+    /// charged here — they belong to the host CPU model, exactly as in the
+    /// paper's co-design accounting.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NoModelLoaded`] — no model resident.
+    /// * [`SimError::BatchWidth`] — batch width mismatch.
+    pub fn invoke(&self, batch: &Matrix) -> Result<(Matrix, InvokeStats)> {
+        let mut state = self.state.lock();
+        let model = state.model.as_ref().ok_or(SimError::NoModelLoaded)?;
+        let quantized = model.quantized();
+        if batch.cols() != quantized.input_dim() {
+            return Err(SimError::BatchWidth {
+                expected: quantized.input_dim(),
+                actual: batch.cols(),
+            });
+        }
+
+        let samples = batch.rows();
+        let mut cycles: u64 = 0;
+        let mut current = quantized.quantize_input(batch)?;
+        for stage in quantized.stages() {
+            match stage {
+                QuantStage::FullyConnected {
+                    weights,
+                    out_params,
+                } => {
+                    let (next, c) = self.array.execute_fc(&current, weights, *out_params)?;
+                    cycles += c;
+                    current = next;
+                }
+                QuantStage::FullyConnectedPerChannel {
+                    weights,
+                    out_params,
+                } => {
+                    // Per-channel requantization shares the MXU streaming
+                    // cost; the per-column scale multiply happens in the
+                    // output stage at no extra cycles.
+                    let real = weights
+                        .matmul_dequantized(&current)
+                        .map_err(wide_nn::NnError::from)?;
+                    cycles += self
+                        .array
+                        .stream_cycles(current.rows(), weights.rows(), weights.cols());
+                    current = hd_quant::QuantizedMatrix::quantize(&real, *out_params);
+                }
+                QuantStage::Lut(lut) => {
+                    let mut data = current.as_slice().to_vec();
+                    lut.apply_slice(&mut data);
+                    cycles += self.array.activation_cycles(data.len());
+                    current = hd_quant::QuantizedMatrix::from_raw(
+                        current.rows(),
+                        current.cols(),
+                        data,
+                        lut.output_params(),
+                    );
+                }
+            }
+        }
+        let output = current.dequantize();
+
+        let input_transfer_s = self.link.transfer_time_s(samples * quantized.input_dim());
+        let output_transfer_s = self.link.transfer_time_s(samples * quantized.output_dim());
+        let overhead_s = self.link.invoke_latency_s();
+        let compute_s = cycles as f64 / self.config.clock_hz;
+        let stats = InvokeStats {
+            samples,
+            compute_cycles: cycles,
+            compute_s,
+            input_transfer_s,
+            output_transfer_s,
+            overhead_s,
+            total_s: overhead_s + input_transfer_s + compute_s + output_transfer_s,
+        };
+        state.ledger.record_invoke(&stats);
+        Ok((output, stats))
+    }
+
+    /// Runs a batch in chunks of at most `chunk` rows, as a host driver
+    /// would, returning the stitched outputs and per-chunk stats.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Device::invoke`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn invoke_chunked(&self, batch: &Matrix, chunk: usize) -> Result<(Matrix, Vec<InvokeStats>)> {
+        assert!(chunk > 0, "chunk must be positive");
+        let mut outputs = Vec::new();
+        let mut all_stats = Vec::new();
+        let mut start = 0;
+        while start < batch.rows() {
+            let end = (start + chunk).min(batch.rows());
+            let part = batch.slice_rows(start, end).map_err(wide_nn::NnError::from)?;
+            let (out, stats) = self.invoke(&part)?;
+            outputs.push(out);
+            all_stats.push(stats);
+            start = end;
+        }
+        let refs: Vec<&Matrix> = outputs.iter().collect();
+        let stitched = Matrix::vstack(&refs).map_err(wide_nn::NnError::from)?;
+        Ok((stitched, all_stats))
+    }
+
+    /// Injects random bit flips into the resident model's weights — a
+    /// fault-injection hook modeling on-chip SRAM upsets, for the
+    /// robustness experiments the paper's "hardware failure" motivation
+    /// implies. Returns the number of bits flipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoModelLoaded`] if no model is resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn inject_weight_faults(
+        &self,
+        rate: f64,
+        rng: &mut hd_tensor::rng::DetRng,
+    ) -> Result<usize> {
+        let mut state = self.state.lock();
+        let model = state.model.as_mut().ok_or(SimError::NoModelLoaded)?;
+        Ok(model.inject_weight_faults(rate, rng))
+    }
+
+    /// A snapshot of accumulated device activity.
+    pub fn ledger(&self) -> TimingLedger {
+        self.state.lock().ledger
+    }
+
+    /// Clears the activity ledger (models stay loaded).
+    pub fn reset_ledger(&self) {
+        self.state.lock().ledger = TimingLedger::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing;
+    use hd_tensor::rng::DetRng;
+    use wide_nn::{compile, Activation, ModelBuilder, QuantizedModel, TargetSpec};
+
+    fn compiled_model(n: usize, d: usize, k: usize, seed: u64) -> (CompiledModel, Matrix) {
+        let mut rng = DetRng::new(seed);
+        let model = ModelBuilder::new(n)
+            .fully_connected(Matrix::random_normal(n, d, &mut rng))
+            .unwrap()
+            .activation(Activation::Tanh)
+            .fully_connected(Matrix::random_normal(d, k, &mut rng))
+            .unwrap()
+            .build()
+            .unwrap();
+        let calib = Matrix::random_normal(24, n, &mut rng);
+        let compiled = compile::compile(&model, &calib, &TargetSpec::default()).unwrap();
+        (compiled, calib)
+    }
+
+    #[test]
+    fn invoke_without_model_fails() {
+        let device = Device::new(DeviceConfig::default());
+        assert_eq!(
+            device.invoke(&Matrix::zeros(1, 4)).unwrap_err(),
+            SimError::NoModelLoaded
+        );
+    }
+
+    #[test]
+    fn device_output_matches_reference_executor_bit_exact() {
+        let (compiled, calib) = compiled_model(20, 96, 5, 1);
+        let reference = compiled.quantized().clone();
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(compiled).unwrap();
+        let (device_out, _) = device.invoke(&calib).unwrap();
+        let ref_out = reference.forward(&calib).unwrap();
+        assert_eq!(device_out, ref_out, "device datapath diverged from reference");
+    }
+
+    #[test]
+    fn batch_width_is_checked() {
+        let (compiled, _) = compiled_model(20, 64, 4, 2);
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(compiled).unwrap();
+        assert!(matches!(
+            device.invoke(&Matrix::zeros(1, 21)).unwrap_err(),
+            SimError::BatchWidth { expected: 20, actual: 21 }
+        ));
+    }
+
+    #[test]
+    fn invoke_stats_match_analytic_estimate() {
+        let (compiled, calib) = compiled_model(20, 96, 5, 3);
+        let dims = ModelDims::from_compiled(&compiled);
+        let cfg = DeviceConfig::default();
+        let device = Device::new(cfg.clone());
+        device.load_model(compiled).unwrap();
+        let (_, stats) = device.invoke(&calib).unwrap();
+        let est = timing::invoke_estimate(&cfg, &dims, calib.rows());
+        assert_eq!(stats.compute_cycles, est.compute_cycles);
+        assert!((stats.total_s - est.total_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_model_rejected_at_load() {
+        let mut cfg = DeviceConfig::default();
+        cfg.target.param_buffer_bytes = 64;
+        // compile() against a permissive target, load against the tiny one.
+        let (compiled, _) = compiled_model(20, 64, 4, 4);
+        let device = Device::new(cfg);
+        assert!(matches!(
+            device.load_model(compiled).unwrap_err(),
+            SimError::BufferOverflow { .. }
+        ));
+        assert!(!device.model_loaded());
+    }
+
+    #[test]
+    fn loading_second_model_evicts_first() {
+        let (first, calib1) = compiled_model(20, 64, 4, 5);
+        let (second, _) = compiled_model(30, 64, 4, 6);
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(first).unwrap();
+        device.load_model(second).unwrap();
+        // Old 20-wide batches no longer fit; new model expects 30.
+        assert!(matches!(
+            device.invoke(&calib1).unwrap_err(),
+            SimError::BatchWidth { expected: 30, .. }
+        ));
+    }
+
+    #[test]
+    fn unload_frees_buffer() {
+        let (compiled, _) = compiled_model(20, 64, 4, 7);
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(compiled).unwrap();
+        assert!(device.model_loaded());
+        device.unload_model();
+        assert!(!device.model_loaded());
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let (compiled, calib) = compiled_model(20, 64, 4, 8);
+        let device = Device::new(DeviceConfig::default());
+        let report = device.load_model(compiled).unwrap();
+        device.invoke(&calib).unwrap();
+        device.invoke(&calib).unwrap();
+        let ledger = device.ledger();
+        assert_eq!(ledger.invocations, 2);
+        assert_eq!(ledger.samples, 2 * calib.rows() as u64);
+        assert!(ledger.load_s > 0.0);
+        assert!((ledger.load_s - report.total_s).abs() < 1e-12);
+        device.reset_ledger();
+        assert_eq!(device.ledger().invocations, 0);
+    }
+
+    #[test]
+    fn chunked_invoke_matches_single_invoke_functionally() {
+        let (compiled, calib) = compiled_model(20, 96, 5, 9);
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(compiled).unwrap();
+        let (single, _) = device.invoke(&calib).unwrap();
+        let (chunked, stats) = device.invoke_chunked(&calib, 7).unwrap();
+        assert_eq!(single, chunked);
+        assert_eq!(stats.len(), calib.rows().div_ceil(7));
+    }
+
+    #[test]
+    fn chunked_invoke_pays_overhead_per_chunk() {
+        let (compiled, calib) = compiled_model(20, 96, 5, 10);
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(compiled).unwrap();
+        device.reset_ledger();
+        let (_, stats) = device.invoke_chunked(&calib, 6).unwrap();
+        let total_overhead: f64 = stats.iter().map(|s| s.overhead_s).sum();
+        let expected = stats.len() as f64 * DeviceConfig::default().link.per_invoke_latency_s;
+        assert!((total_overhead - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Device>();
+    }
+
+    #[test]
+    fn load_report_charges_transfer_and_cycles() {
+        let (compiled, _) = compiled_model(64, 128, 8, 11);
+        let bytes = compiled.param_bytes();
+        let device = Device::new(DeviceConfig::default());
+        let report = device.load_model(compiled).unwrap();
+        assert_eq!(report.param_bytes, bytes);
+        assert!(report.transfer_s > 0.0);
+        assert!(report.weight_load_cycles > 0);
+        assert!(report.total_s >= report.transfer_s);
+    }
+
+    #[test]
+    fn second_load_keeps_previous_model_on_failure() {
+        let (good, calib) = compiled_model(20, 64, 4, 12);
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(good).unwrap();
+
+        // Build a model too big for the default 8 MiB buffer.
+        let mut rng = DetRng::new(13);
+        let model = ModelBuilder::new(1000)
+            .fully_connected(Matrix::random_normal(1000, 9000, &mut rng))
+            .unwrap()
+            .build()
+            .unwrap();
+        let big_calib = Matrix::random_normal(4, 1000, &mut rng);
+        let big_target = TargetSpec::new("big", 64, 64, 32 * 1024 * 1024);
+        let big = compile::compile(&model, &big_calib, &big_target).unwrap();
+        assert!(device.load_model(big).is_err());
+        // Original model still answers.
+        assert!(device.invoke(&calib).is_ok());
+    }
+
+    #[test]
+    fn quantized_model_reference_and_device_agree_on_argmax() {
+        let (compiled, calib) = compiled_model(16, 80, 6, 14);
+        let reference: QuantizedModel = compiled.quantized().clone();
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(compiled).unwrap();
+        let (out, _) = device.invoke(&calib).unwrap();
+        let ref_out = reference.forward(&calib).unwrap();
+        for r in 0..calib.rows() {
+            assert_eq!(
+                hd_tensor::ops::argmax(out.row(r)).unwrap(),
+                hd_tensor::ops::argmax(ref_out.row(r)).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use wide_nn::NnError;
+
+/// Error type for simulated-device operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// `invoke` was called before any model was loaded.
+    NoModelLoaded,
+    /// The invocation batch width does not match the loaded model.
+    BatchWidth {
+        /// Input width of the loaded model.
+        expected: usize,
+        /// Width of the batch that was supplied.
+        actual: usize,
+    },
+    /// The model does not fit the on-chip parameter buffer.
+    BufferOverflow {
+        /// Bytes the model requires.
+        required: usize,
+        /// Bytes the buffer provides.
+        available: usize,
+    },
+    /// A model-layer error surfaced during execution.
+    Nn(NnError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoModelLoaded => write!(f, "no model loaded on device"),
+            SimError::BatchWidth { expected, actual } => {
+                write!(f, "batch has {actual} features, loaded model expects {expected}")
+            }
+            SimError::BufferOverflow {
+                required,
+                available,
+            } => write!(
+                f,
+                "model needs {required} bytes of on-chip buffer, device has {available}"
+            ),
+            SimError::Nn(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for SimError {
+    fn from(e: NnError) -> Self {
+        SimError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(SimError::NoModelLoaded.to_string(), "no model loaded on device");
+        assert!(SimError::BatchWidth {
+            expected: 4,
+            actual: 5
+        }
+        .to_string()
+        .contains("expects 4"));
+        assert!(SimError::BufferOverflow {
+            required: 10,
+            available: 5
+        }
+        .to_string()
+        .contains("10 bytes"));
+    }
+
+    #[test]
+    fn nn_error_converts() {
+        let e: SimError = NnError::EmptyModel.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

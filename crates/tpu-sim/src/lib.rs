@@ -1,0 +1,85 @@
+//! Cycle-approximate systolic-array edge accelerator simulator.
+//!
+//! The paper runs HDC on a Google Edge TPU attached over USB. That part is
+//! hardware we do not have, so this crate builds the closest synthetic
+//! equivalent from first principles:
+//!
+//! * [`SystolicArray`] — a weight-stationary grid of int8
+//!   multiply-accumulate processing elements with a pipeline fill/drain
+//!   cycle model (the Edge TPU's MXU),
+//! * [`UnifiedBuffer`] — the on-chip parameter store that must hold a
+//!   model's weights (8 MiB on the real device),
+//! * [`HostLink`] — a USB-like channel with finite bandwidth and a fixed
+//!   per-invocation dispatch latency,
+//! * [`Device`] — the user-facing accelerator: load a compiled model once
+//!   (one-time cost, like the paper's model-preparation phase), then
+//!   invoke it on batches and receive both **functionally exact int8
+//!   outputs** (bit-identical to [`wide_nn::QuantizedModel`]'s reference
+//!   executor — an integration test pins this) and a per-invocation
+//!   [`InvokeStats`] timing breakdown,
+//! * [`timing`] — the shared analytic formulas, usable standalone to
+//!   estimate paper-scale workloads without executing them.
+//!
+//! # Timing model
+//!
+//! One invocation of a loaded model on `s` samples costs
+//!
+//! ```text
+//! t = overhead                                  (driver + USB dispatch)
+//!   + in_bytes / bandwidth                      (s x input_dim, int8)
+//!   + sum_fc  tiles_k*tiles_n*(s + R + C) / f   (MXU streaming)
+//!   + sum_lut ceil(s*width / C) / f             (activation unit)
+//!   + out_bytes / bandwidth                     (s x output_dim, int8)
+//! ```
+//!
+//! with `R x C` the array shape and `f` the clock. Loading a model costs
+//! `param_bytes / bandwidth` plus `tiles * R / f` of weight-load cycles,
+//! charged once — matching the paper's observation that model preparation
+//! is a one-time cost excluded from inference runtime.
+//!
+//! # Examples
+//!
+//! ```
+//! use hd_tensor::{rng::DetRng, Matrix};
+//! use tpu_sim::{Device, DeviceConfig};
+//! use wide_nn::{compile, Activation, ModelBuilder, TargetSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = DetRng::new(5);
+//! let model = ModelBuilder::new(16)
+//!     .fully_connected(Matrix::random_normal(16, 64, &mut rng))?
+//!     .activation(Activation::Tanh)
+//!     .build()?;
+//! let calib = Matrix::random_normal(8, 16, &mut rng);
+//! let compiled = compile::compile(&model, &calib, &TargetSpec::default())?;
+//!
+//! let device = Device::new(DeviceConfig::default());
+//! device.load_model(compiled)?;
+//! let (out, stats) = device.invoke(&calib)?;
+//! assert_eq!(out.shape(), (8, 64));
+//! assert!(stats.total_s > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod config;
+mod device;
+mod error;
+mod link;
+mod systolic;
+
+pub mod timing;
+
+pub use buffer::UnifiedBuffer;
+pub use config::{DeviceConfig, HostLinkConfig};
+pub use device::{Device, InvokeStats, LoadReport, TimingLedger};
+pub use error::SimError;
+pub use link::HostLink;
+pub use systolic::SystolicArray;
+
+/// Convenience result alias for fallible simulator operations.
+pub type Result<T> = std::result::Result<T, SimError>;

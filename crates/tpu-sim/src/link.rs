@@ -1,0 +1,95 @@
+use crate::config::HostLinkConfig;
+
+/// The host-to-accelerator channel: a finite-bandwidth pipe with a fixed
+/// per-invocation dispatch latency.
+///
+/// # Examples
+///
+/// ```
+/// use tpu_sim::{HostLink, HostLinkConfig};
+///
+/// let link = HostLink::new(HostLinkConfig {
+///     bandwidth_bytes_per_sec: 100.0e6,
+///     per_invoke_latency_s: 1.0e-3,
+/// });
+/// assert_eq!(link.transfer_time_s(100_000_000), 1.0);
+/// assert_eq!(link.invoke_latency_s(), 1.0e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostLink {
+    config: HostLinkConfig,
+}
+
+impl HostLink {
+    /// Creates a link with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive or the latency is negative.
+    pub fn new(config: HostLinkConfig) -> Self {
+        assert!(
+            config.bandwidth_bytes_per_sec > 0.0,
+            "link bandwidth must be positive"
+        );
+        assert!(
+            config.per_invoke_latency_s >= 0.0,
+            "invoke latency cannot be negative"
+        );
+        HostLink { config }
+    }
+
+    /// Seconds to move `bytes` across the link (payload only).
+    pub fn transfer_time_s(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.config.bandwidth_bytes_per_sec
+    }
+
+    /// The fixed dispatch latency charged once per invocation.
+    pub fn invoke_latency_s(&self) -> f64 {
+        self.config.per_invoke_latency_s
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> HostLinkConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let link = HostLink::new(HostLinkConfig {
+            bandwidth_bytes_per_sec: 1e6,
+            per_invoke_latency_s: 0.0,
+        });
+        assert_eq!(link.transfer_time_s(0), 0.0);
+        assert_eq!(link.transfer_time_s(500_000), 0.5);
+        assert_eq!(link.transfer_time_s(2_000_000), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = HostLink::new(HostLinkConfig {
+            bandwidth_bytes_per_sec: 0.0,
+            per_invoke_latency_s: 0.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "latency cannot be negative")]
+    fn negative_latency_rejected() {
+        let _ = HostLink::new(HostLinkConfig {
+            bandwidth_bytes_per_sec: 1.0,
+            per_invoke_latency_s: -1.0,
+        });
+    }
+
+    #[test]
+    fn default_roundtrips_config() {
+        let cfg = HostLinkConfig::default();
+        assert_eq!(HostLink::new(cfg).config(), cfg);
+    }
+}

@@ -1,0 +1,228 @@
+use hd_quant::{QuantParams, QuantizedMatrix};
+
+use crate::Result;
+
+/// A weight-stationary systolic array of int8 multiply-accumulate
+/// processing elements.
+///
+/// The array holds one `rows x cols` weight tile at a time; input rows are
+/// pumped through it ("efficiently reuses all the inputs by pumping them
+/// through each processing element" — the paper's description of the MXU,
+/// after Kung). Larger layers are decomposed into
+/// `ceil(k / rows) * ceil(n / cols)` tiles; each tile pass streams the full
+/// batch plus a pipeline fill/drain of `rows + cols` cycles.
+///
+/// Execution here is *functionally exact*: the tiled int8/i32 arithmetic
+/// reproduces [`hd_quant::gemm::matmul_requantized`] bit-for-bit because
+/// i32 accumulation is associative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates an array of `rows x cols` processing elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        SystolicArray { rows, cols }
+    }
+
+    /// Array height (reduction dimension per tile).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array width (output dimension per tile).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tiles needed along the reduction dimension for a `k`-deep layer.
+    pub fn tiles_k(&self, k: usize) -> usize {
+        k.div_ceil(self.rows)
+    }
+
+    /// Tiles needed along the output dimension for an `n`-wide layer.
+    pub fn tiles_n(&self, n: usize) -> usize {
+        n.div_ceil(self.cols)
+    }
+
+    /// Cycles to stream a `batch`-row input through a `k x n` layer with
+    /// weights already resident: every tile pass costs the batch length
+    /// plus pipeline fill and drain.
+    pub fn stream_cycles(&self, batch: usize, k: usize, n: usize) -> u64 {
+        let tiles = (self.tiles_k(k) * self.tiles_n(n)) as u64;
+        tiles * (batch as u64 + self.rows as u64 + self.cols as u64)
+    }
+
+    /// Cycles to shift a `k x n` layer's weights into the array (one tile
+    /// row per cycle), charged at model-load time.
+    pub fn weight_load_cycles(&self, k: usize, n: usize) -> u64 {
+        let tiles = (self.tiles_k(k) * self.tiles_n(n)) as u64;
+        tiles * self.rows as u64
+    }
+
+    /// Cycles for the activation unit to process `elements` values,
+    /// `cols` lanes wide.
+    pub fn activation_cycles(&self, elements: usize) -> u64 {
+        (elements as u64).div_ceil(self.cols as u64)
+    }
+
+    /// Executes one fully-connected layer through the tiled datapath,
+    /// returning the requantized output and the cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error (wrapped) if `input.cols() != weights.rows()`.
+    pub fn execute_fc(
+        &self,
+        input: &QuantizedMatrix,
+        weights: &QuantizedMatrix,
+        out_params: QuantParams,
+    ) -> Result<(QuantizedMatrix, u64)> {
+        if input.cols() != weights.rows() {
+            // Delegate the error construction to the reference kernel for
+            // a consistent message.
+            hd_quant::gemm::matmul_accumulate(input, weights)
+                .map_err(wide_nn::NnError::from)?;
+            unreachable!("reference kernel must reject mismatched shapes");
+        }
+        let (m, k) = input.shape();
+        let n = weights.cols();
+        let za = input.params().zero_point();
+        let zb = weights.params().zero_point();
+        let acc_scale = input.params().scale() * weights.params().scale();
+
+        let mut acc = vec![0i64; m * n];
+        // March the weight tiles exactly as the hardware would: for each
+        // resident tile, pump every input row through it and accumulate the
+        // partial products for the tile's output columns.
+        for tk in 0..self.tiles_k(k) {
+            let k_start = tk * self.rows;
+            let k_end = (k_start + self.rows).min(k);
+            for tn in 0..self.tiles_n(n) {
+                let n_start = tn * self.cols;
+                let n_end = (n_start + self.cols).min(n);
+                for row in 0..m {
+                    let in_row = input.row(row);
+                    for p in k_start..k_end {
+                        let av = in_row[p] as i32 - za;
+                        if av == 0 {
+                            continue;
+                        }
+                        let w_row = weights.row(p);
+                        let acc_row = &mut acc[row * n + n_start..row * n + n_end];
+                        for (a, &wq) in acc_row.iter_mut().zip(&w_row[n_start..n_end]) {
+                            *a += (av * (wq as i32 - zb)) as i64;
+                        }
+                    }
+                }
+            }
+        }
+
+        let data: Vec<i8> = acc
+            .iter()
+            .map(|&v| out_params.requantize_accumulator(v as i32, acc_scale))
+            .collect();
+        let cycles = self.stream_cycles(m, k, n);
+        Ok((QuantizedMatrix::from_raw(m, n, data, out_params), cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_tensor::rng::DetRng;
+    use hd_tensor::Matrix;
+
+    fn random_quantized(rows: usize, cols: usize, seed: u64) -> QuantizedMatrix {
+        let mut rng = DetRng::new(seed);
+        let m = Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng);
+        QuantizedMatrix::quantize(&m, QuantParams::from_min_max(-1.0, 1.0).unwrap())
+    }
+
+    #[test]
+    fn tile_counts() {
+        let a = SystolicArray::new(64, 64);
+        assert_eq!(a.tiles_k(1), 1);
+        assert_eq!(a.tiles_k(64), 1);
+        assert_eq!(a.tiles_k(65), 2);
+        assert_eq!(a.tiles_n(640), 10);
+    }
+
+    #[test]
+    fn stream_cycles_formula() {
+        let a = SystolicArray::new(64, 64);
+        // 128x128 layer = 2x2 tiles; batch 100: 4 * (100 + 128) cycles.
+        assert_eq!(a.stream_cycles(100, 128, 128), 4 * 228);
+    }
+
+    #[test]
+    fn weight_load_cycles_formula() {
+        let a = SystolicArray::new(64, 32);
+        // 128x64 layer = 2x2 tiles; 4 tiles * 64 rows.
+        assert_eq!(a.weight_load_cycles(128, 64), 4 * 64);
+    }
+
+    #[test]
+    fn activation_cycles_round_up() {
+        let a = SystolicArray::new(64, 64);
+        assert_eq!(a.activation_cycles(0), 0);
+        assert_eq!(a.activation_cycles(1), 1);
+        assert_eq!(a.activation_cycles(64), 1);
+        assert_eq!(a.activation_cycles(65), 2);
+    }
+
+    #[test]
+    fn tiled_execution_matches_reference_kernel_bit_exact() {
+        let array = SystolicArray::new(16, 16); // force multi-tile
+        let input = random_quantized(5, 50, 1);
+        let weights = random_quantized(50, 37, 2);
+        let out_params = QuantParams::from_min_max(-8.0, 8.0).unwrap();
+
+        let (tiled, cycles) = array.execute_fc(&input, &weights, out_params).unwrap();
+        let reference =
+            hd_quant::gemm::matmul_requantized(&input, &weights, out_params).unwrap();
+        assert_eq!(tiled, reference, "tiled datapath diverged from reference");
+        assert_eq!(cycles, array.stream_cycles(5, 50, 37));
+    }
+
+    #[test]
+    fn single_tile_execution_matches_reference() {
+        let array = SystolicArray::new(64, 64);
+        let input = random_quantized(3, 10, 3);
+        let weights = random_quantized(10, 8, 4);
+        let out_params = QuantParams::from_min_max(-4.0, 4.0).unwrap();
+        let (tiled, _) = array.execute_fc(&input, &weights, out_params).unwrap();
+        let reference =
+            hd_quant::gemm::matmul_requantized(&input, &weights, out_params).unwrap();
+        assert_eq!(tiled, reference);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let array = SystolicArray::new(8, 8);
+        let input = random_quantized(2, 5, 5);
+        let weights = random_quantized(6, 4, 6);
+        let out_params = QuantParams::from_min_max(-1.0, 1.0).unwrap();
+        assert!(array.execute_fc(&input, &weights, out_params).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dims_rejected() {
+        let _ = SystolicArray::new(0, 8);
+    }
+
+    #[test]
+    fn more_tiles_means_more_cycles() {
+        let small = SystolicArray::new(8, 8);
+        let big = SystolicArray::new(64, 64);
+        assert!(small.stream_cycles(10, 128, 128) > big.stream_cycles(10, 128, 128));
+    }
+}

@@ -1,0 +1,68 @@
+//! Federated HDC at the edge: several devices each hold a private shard
+//! of a UCIHAR-shaped activity dataset (non-IID — every home sees
+//! different activities) and collaboratively train one global model by
+//! exchanging only class hypervectors, never raw data.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p hyperedge-examples --bin federated_edge --release
+//! ```
+
+use hd_datasets::{registry, SampleBudget};
+use hdc::eval;
+use hyperedge::federated::{federated_fit, FederatedConfig, Partition};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = registry::by_name("ucihar").expect("ucihar is registered");
+    let mut data = spec.generate(SampleBudget::Reduced { train: 600, test: 240 }, 17)?;
+    data.normalize();
+
+    println!(
+        "{} nodes collaboratively learning {} activity classes ({} features)\n",
+        6,
+        data.classes,
+        data.feature_count()
+    );
+
+    for (label, partition) in [
+        ("IID shards (every node sees every class)", Partition::Iid),
+        ("non-IID shards (90% class-skewed)", Partition::ClassSkew(0.9)),
+    ] {
+        let config = FederatedConfig::new(2048)
+            .with_nodes(6)
+            .with_rounds(6)
+            .with_local_iterations(2)
+            .with_partition(partition)
+            .with_seed(18);
+        let (model, stats) = federated_fit(
+            &data.train.features,
+            &data.train.labels,
+            data.classes,
+            &config,
+        )?;
+        let acc = eval::accuracy(&model.predict(&data.test.features)?, &data.test.labels)?;
+
+        println!("== {label} ==");
+        println!(
+            "shard sizes: {:?}",
+            stats.shard_sizes
+        );
+        for round in &stats.rounds {
+            println!(
+                "round {}: mean local accuracy {:.1}%, {} class-hypervector updates",
+                round.round + 1,
+                100.0 * round.mean_local_accuracy,
+                round.updates
+            );
+        }
+        println!("global model test accuracy: {:.1}%\n", 100.0 * acc);
+    }
+
+    println!(
+        "each round exchanged only the d x k class matrix per node — the raw\n\
+         sensor windows never left their devices, and every node's heavy\n\
+         encoding work is exactly the accelerator-friendly GEMM of the paper."
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Spoken-letter recognition: an ISOLET-shaped workload (617 audio
+//! features, 26 letter classes) comparing full-width training against the
+//! paper's bagging recipe, and demonstrating the zero-overhead merged
+//! inference model.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p hyperedge-examples --bin speech_letters --release
+//! ```
+
+use hd_bagging::{cost_ratio, train_bagged, BaggingConfig};
+use hd_datasets::{registry, SampleBudget};
+use hdc::{eval, HdcModel, TrainConfig};
+use hyperedge::runtime::{self, UpdateProfile, WorkloadSpec};
+use hyperedge::{ExecutionSetting, PipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = registry::by_name("isolet").expect("isolet is registered");
+    let mut data = spec.generate(SampleBudget::Reduced { train: 780, test: 260 }, 11)?;
+    data.normalize();
+    let d = 2048;
+
+    println!("== full-width model (d = {d}, 20 iterations) ==");
+    let full_config = TrainConfig::new(d).with_iterations(20).with_seed(5);
+    let (full_model, full_stats) =
+        HdcModel::fit(&data.train.features, &data.train.labels, data.classes, &full_config)?;
+    let full_acc = eval::accuracy(&full_model.predict(&data.test.features)?, &data.test.labels)?;
+    println!(
+        "test accuracy {:.1}% after {} total updates",
+        100.0 * full_acc,
+        full_stats.total_updates()
+    );
+
+    println!("\n== bagged training (M = 4, d' = {}, 6 iterations, alpha = 0.6) ==", d / 4);
+    let bag_config = BaggingConfig::paper_defaults(d).with_seed(6);
+    let (bagged, bag_stats) =
+        train_bagged(&data.train.features, &data.train.labels, data.classes, &bag_config)?;
+    let merged = bagged.merge()?;
+    let bag_acc = eval::accuracy(&merged.predict(&data.test.features)?, &data.test.labels)?;
+    println!(
+        "test accuracy {:.1}% after {} total updates ({} per sub-model avg)",
+        100.0 * bag_acc,
+        bag_stats.total_updates(),
+        bag_stats.total_updates() / 4
+    );
+
+    // Verify the merged model is exactly the consensus of the sub-models.
+    let consensus = bagged.predict_consensus(&data.test.features)?;
+    let merged_preds = merged.predict(&data.test.features)?;
+    assert_eq!(consensus, merged_preds);
+    println!("merged single model == sub-model consensus: verified on every test sample");
+
+    println!("\n== the paper's cost model at this operating point ==");
+    let ratio = cost_ratio(4, d / 4, d, 6, 20, 0.6, 1.0);
+    println!("analytic update-cost ratio C'/C = {ratio:.2} (paper predicts 0.18 at d = 10000)");
+
+    // Price both at the paper's full ISOLET scale.
+    let workload = WorkloadSpec::from_dataset(&spec);
+    let pipeline_cfg = PipelineConfig::new(10_000).with_seed(5);
+    let profile = UpdateProfile::from_train_stats(&full_stats, data.train.len());
+    let cpu = runtime::training_breakdown(
+        &pipeline_cfg,
+        &workload,
+        ExecutionSetting::CpuBaseline,
+        &profile,
+    );
+    let bag = runtime::training_breakdown(
+        &pipeline_cfg,
+        &workload,
+        ExecutionSetting::TpuBagging,
+        &profile,
+    );
+    println!(
+        "at paper scale (7797 samples, d = 10000): host update {:.1}s (full) vs {:.1}s (bagged) — {:.2}x",
+        cpu.update_s,
+        bag.update_s,
+        cpu.update_s / bag.update_s
+    );
+    Ok(())
+}

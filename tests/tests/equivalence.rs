@@ -1,0 +1,163 @@
+//! Equivalence pins across the stack:
+//!
+//! * the simulated device's tiled int8 datapath is bit-identical to the
+//!   `wide-nn` reference executor,
+//! * the wide-NN interpretation of an HDC model is an identity, not an
+//!   approximation,
+//! * the merged bagging model equals the sub-model consensus,
+//! * serialization round-trips preserve behaviour exactly.
+
+use hd_bagging::{train_bagged, BaggingConfig};
+use hd_tensor::rng::DetRng;
+use hd_tensor::Matrix;
+use hdc::{HdcModel, TrainConfig};
+use hyperedge::wide_model;
+use integration_tests::clustered_dataset;
+use tpu_sim::{Device, DeviceConfig};
+use wide_nn::{compile, serialize, Activation, ModelBuilder, QuantizedModel, TargetSpec};
+
+fn random_network(n: usize, d: usize, k: usize, seed: u64) -> (wide_nn::Model, Matrix) {
+    let mut rng = DetRng::new(seed);
+    let model = ModelBuilder::new(n)
+        .fully_connected(Matrix::random_normal(n, d, &mut rng))
+        .unwrap()
+        .activation(Activation::Tanh)
+        .fully_connected(Matrix::random_normal(d, k, &mut rng))
+        .unwrap()
+        .build()
+        .unwrap();
+    let batch = Matrix::random_normal(32, n, &mut rng);
+    (model, batch)
+}
+
+#[test]
+fn device_bit_exact_with_reference_across_shapes() {
+    // Shapes straddling the 64-wide systolic tile boundary.
+    for (i, &(n, d, k)) in [(20, 96, 5), (64, 64, 64), (65, 130, 7), (128, 513, 26)]
+        .iter()
+        .enumerate()
+    {
+        let (model, batch) = random_network(n, d, k, 100 + i as u64);
+        let compiled = compile::compile(&model, &batch, &TargetSpec::default()).unwrap();
+        let reference = compiled.quantized().clone();
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(compiled).unwrap();
+        let (device_out, _) = device.invoke(&batch).unwrap();
+        let ref_out = reference.forward(&batch).unwrap();
+        assert_eq!(device_out, ref_out, "shape ({n}, {d}, {k}) diverged");
+    }
+}
+
+#[test]
+fn device_bit_exact_under_chunked_invocation() {
+    let (model, batch) = random_network(48, 200, 8, 7);
+    let compiled = compile::compile(&model, &batch, &TargetSpec::default()).unwrap();
+    let reference = compiled.quantized().clone();
+    let device = Device::new(DeviceConfig::default());
+    device.load_model(compiled).unwrap();
+    for chunk in [1usize, 5, 32] {
+        let (out, _) = device.invoke_chunked(&batch, chunk).unwrap();
+        assert_eq!(out, reference.forward(&batch).unwrap(), "chunk {chunk}");
+    }
+}
+
+#[test]
+fn wide_nn_interpretation_is_an_identity() {
+    let (features, labels) = clustered_dataset(30, 16, 3, 0.4, 41);
+    let config = TrainConfig::new(512).with_iterations(5).with_seed(42);
+    let (model, _) = HdcModel::fit(&features, &labels, 3, &config).unwrap();
+    let network = wide_model::inference_network(&model).unwrap();
+    let gap = wide_model::interpretation_gap(&model, &network, &features).unwrap();
+    assert!(gap < 1e-3, "interpretation gap {gap}");
+}
+
+#[test]
+fn merged_bagging_model_equals_consensus_everywhere() {
+    let (features, labels) = clustered_dataset(40, 20, 4, 0.5, 43);
+    let config = BaggingConfig::paper_defaults(768)
+        .with_sub_models(3)
+        .with_sub_dim(256)
+        .with_seed(44);
+    let (bagged, _) = train_bagged(&features, &labels, 4, &config).unwrap();
+    let merged = bagged.merge().unwrap();
+    assert_eq!(
+        merged.predict(&features).unwrap(),
+        bagged.predict_consensus(&features).unwrap()
+    );
+}
+
+#[test]
+fn merged_model_with_feature_sampling_still_equals_consensus() {
+    let (features, labels) = clustered_dataset(40, 30, 3, 0.5, 45);
+    let config = BaggingConfig::paper_defaults(512)
+        .with_feature_ratio(0.5)
+        .with_seed(46);
+    let (bagged, _) = train_bagged(&features, &labels, 3, &config).unwrap();
+    let merged = bagged.merge().unwrap();
+    assert_eq!(
+        merged.predict(&features).unwrap(),
+        bagged.predict_consensus(&features).unwrap()
+    );
+}
+
+#[test]
+fn serialized_model_behaves_identically_on_device() {
+    let (model, batch) = random_network(32, 128, 6, 47);
+
+    // Float container round-trip.
+    let restored = serialize::read_model(&serialize::write_model(&model)).unwrap();
+    assert_eq!(restored, model);
+
+    // Quantized container round-trip, then run both on devices.
+    let qmodel = QuantizedModel::quantize(&model, &batch).unwrap();
+    let q_restored =
+        serialize::read_quantized_model(&serialize::write_quantized_model(&qmodel)).unwrap();
+    assert_eq!(q_restored.forward(&batch).unwrap(), qmodel.forward(&batch).unwrap());
+
+    let compiled_a = compile::compile(&model, &batch, &TargetSpec::default()).unwrap();
+    let compiled_b = compile::compile(&restored, &batch, &TargetSpec::default()).unwrap();
+    let dev_a = Device::new(DeviceConfig::default());
+    let dev_b = Device::new(DeviceConfig::default());
+    dev_a.load_model(compiled_a).unwrap();
+    dev_b.load_model(compiled_b).unwrap();
+    assert_eq!(
+        dev_a.invoke(&batch).unwrap().0,
+        dev_b.invoke(&batch).unwrap().0
+    );
+}
+
+#[test]
+fn update_graph_rejected_by_device_compiler_but_runs_on_host_semantics() {
+    // The co-design dichotomy in one test: the update op cannot lower to
+    // the accelerator, while the host applies the same semantics through
+    // hd_tensor::ops::axpy.
+    let graph = wide_model::update_graph(64, 0.5).unwrap();
+    let err = compile::compile(&graph, &Matrix::zeros(2, 64), &TargetSpec::default()).unwrap_err();
+    assert!(matches!(err, wide_nn::NnError::UnsupportedOp { .. }));
+
+    let mut class_hv = vec![1.0f32; 64];
+    let encoded = vec![2.0f32; 64];
+    hd_tensor::ops::axpy(0.5, &encoded, &mut class_hv).unwrap();
+    assert!(class_hv.iter().all(|&v| v == 2.0));
+}
+
+#[test]
+fn encoder_network_and_hdc_encoder_agree_through_quantization() {
+    // Quantized encoding (the TPU path) stays close to float encoding in
+    // cosine similarity, which is all HDC classification consumes.
+    let mut rng = DetRng::new(48);
+    let encoder = hdc::NonlinearEncoder::new(hdc::BaseHypervectors::generate(24, 512, &mut rng));
+    let batch = Matrix::random_normal(16, 24, &mut rng);
+
+    let float_encoded = encoder.encode(&batch).unwrap();
+    let network = wide_model::encoder_network(&encoder).unwrap();
+    let compiled = compile::compile(&network, &batch, &TargetSpec::default()).unwrap();
+    let device = Device::new(DeviceConfig::default());
+    device.load_model(compiled).unwrap();
+    let (device_encoded, _) = device.invoke(&batch).unwrap();
+
+    for r in 0..batch.rows() {
+        let cos = hd_tensor::ops::cosine(float_encoded.row(r), device_encoded.row(r)).unwrap();
+        assert!(cos > 0.98, "row {r}: cosine {cos} too low");
+    }
+}
