@@ -1,0 +1,8 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Only the derive-macro surface is consumed by this workspace
+//! (`#[derive(Serialize, Deserialize)]` markers on the data model); no code
+//! path serializes through serde at runtime. The derives are re-exported as
+//! no-ops so the annotations keep compiling without crates.io access.
+
+pub use serde_derive_shim::{Deserialize, Serialize};

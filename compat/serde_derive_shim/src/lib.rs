@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace annotates its data model with serde derives so that the
+//! types are wire-ready, but nothing in-tree invokes a serde serializer.
+//! The real `serde` crate is unavailable in the offline build environment,
+//! so these derives simply validate their position (they are only legal on
+//! types) and expand to nothing. `#[serde(...)]` helper attributes are
+//! accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// Marker derive: expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Marker derive: expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

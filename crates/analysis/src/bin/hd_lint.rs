@@ -1,0 +1,133 @@
+//! The `hd-lint` command-line driver.
+//!
+//! ```text
+//! hd-lint [--root DIR] [--allowlist FILE] [--format text|json]
+//!         [--deny-warnings] [FILES...]
+//! ```
+//!
+//! With no `FILES`, lints the whole workspace (crates/, tests/,
+//! examples/). Exit status: 0 clean, 1 findings fail the policy, 2 usage
+//! or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hd_analysis::{engine, json, Allowlist, LintReport};
+
+struct Options {
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: bool,
+    deny_warnings: bool,
+    files: Vec<PathBuf>,
+}
+
+const USAGE: &str = "usage: hd-lint [--root DIR] [--allowlist FILE] [--format text|json] \
+                     [--deny-warnings] [FILES...]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        allowlist: None,
+        json: false,
+        deny_warnings: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(it.next().ok_or("--root needs a directory")?.into());
+            }
+            "--allowlist" => {
+                opts.allowlist = Some(it.next().ok_or("--allowlist needs a file")?.into());
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                _ => return Err("--format must be text or json".to_owned()),
+            },
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag}\n{USAGE}"));
+            }
+            file => opts.files.push(file.into()),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<LintReport, String> {
+    let root = match &opts.root {
+        Some(dir) => dir.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            engine::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory; pass --root")?
+        }
+    };
+
+    let allowlist_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => {
+            Allowlist::parse(&text).map_err(|e| format!("{}: {e}", allowlist_path.display()))?
+        }
+        Err(_) if opts.allowlist.is_none() => Allowlist::default(),
+        Err(e) => return Err(format!("reading {}: {e}", allowlist_path.display())),
+    };
+
+    if opts.files.is_empty() {
+        return engine::lint_workspace(&root, &allowlist);
+    }
+
+    let mut report = LintReport::default();
+    for file in &opts.files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let file_report = engine::lint_text(&rel, &source, &allowlist);
+        report.diagnostics.extend(file_report.diagnostics);
+        report.suppressed.extend(file_report.suppressed);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(report) => {
+            if opts.json {
+                println!("{}", json::encode(&report.diagnostics));
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.fails(opts.deny_warnings) {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(message) => {
+            eprintln!("hd-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

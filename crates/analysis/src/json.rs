@@ -1,0 +1,451 @@
+//! JSON encoding and parsing for diagnostic reports.
+//!
+//! The build environment has no real serde, so `--format json` is
+//! implemented directly: a small encoder over [`Diagnostic`] and a strict
+//! recursive-descent parser that round-trips the encoder's output. The
+//! schema is an array of objects:
+//!
+//! ```json
+//! [{"severity": "error", "code": "lint/no-float-eq", "message": "…",
+//!   "site": {"kind": "source", "file": "…", "line": 3, "column": 9},
+//!   "help": "…"}]
+//! ```
+//!
+//! `site.kind` is `"global"`, `"layer"` (with `index`, `layer`) or
+//! `"source"` (with `file`, `line`, `column`); `help` is `null` when
+//! absent.
+
+use wide_nn::diag::{Diagnostic, Severity, Site};
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encodes diagnostics as a JSON array (stable key order).
+pub fn encode(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"severity\": ");
+        escape_into(&mut out, d.severity.name());
+        out.push_str(", \"code\": ");
+        escape_into(&mut out, &d.code);
+        out.push_str(", \"message\": ");
+        escape_into(&mut out, &d.message);
+        out.push_str(", \"site\": ");
+        match &d.site {
+            Site::Global => out.push_str("{\"kind\": \"global\"}"),
+            Site::Layer { index, layer } => {
+                out.push_str(&format!(
+                    "{{\"kind\": \"layer\", \"index\": {index}, \"layer\": "
+                ));
+                escape_into(&mut out, layer);
+                out.push('}');
+            }
+            Site::Source { file, line, column } => {
+                out.push_str("{\"kind\": \"source\", \"file\": ");
+                escape_into(&mut out, file);
+                out.push_str(&format!(", \"line\": {line}, \"column\": {column}}}"));
+            }
+        }
+        out.push_str(", \"help\": ");
+        match &d.help {
+            Some(help) => escape_into(&mut out, help),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error<T>(&self, message: &str) -> Result<T, String> {
+        Err(format!("json parse error at byte {}: {message}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(&format!("expected {:?}", b as char))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => self.error("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.error(&format!("expected {word}"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("json parse error at byte {start}: bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.error("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return self.error("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            let Some(c) = hex else {
+                                return self.error("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            out.push(c);
+                        }
+                        _ => return self.error("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-sync to a char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    self.pos = start + width;
+                    let Some(chunk) = self
+                        .bytes
+                        .get(start..start + width)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                    else {
+                        return self.error("bad UTF-8");
+                    };
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.error("expected , or ]"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return self.error("expected , or }"),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn decode_site(value: &Value) -> Result<Site, String> {
+    let kind = value
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "site missing \"kind\"".to_owned())?;
+    match kind {
+        "global" => Ok(Site::Global),
+        "layer" => Ok(Site::Layer {
+            index: value
+                .get("index")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| "layer site missing \"index\"".to_owned())?,
+            layer: value
+                .get("layer")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "layer site missing \"layer\"".to_owned())?
+                .to_owned(),
+        }),
+        "source" => Ok(Site::Source {
+            file: value
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "source site missing \"file\"".to_owned())?
+                .to_owned(),
+            line: value
+                .get("line")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| "source site missing \"line\"".to_owned())?,
+            column: value
+                .get("column")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| "source site missing \"column\"".to_owned())?,
+        }),
+        other => Err(format!("unknown site kind {other:?}")),
+    }
+}
+
+/// Parses a JSON report produced by [`encode`] back into diagnostics.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema problem.
+pub fn parse(text: &str) -> Result<Vec<Diagnostic>, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    let Value::Arr(items) = root else {
+        return Err("expected a top-level array".to_owned());
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let field = |name: &str| {
+                item.get(name)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("diagnostic {i}: missing string \"{name}\""))
+            };
+            let severity_name = field("severity")?;
+            let severity = Severity::parse(&severity_name)
+                .ok_or_else(|| format!("diagnostic {i}: unknown severity {severity_name:?}"))?;
+            let site = decode_site(
+                item.get("site")
+                    .ok_or_else(|| format!("diagnostic {i}: missing \"site\""))?,
+            )
+            .map_err(|e| format!("diagnostic {i}: {e}"))?;
+            let help = match item.get("help") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(_) => return Err(format!("diagnostic {i}: \"help\" must be string or null")),
+            };
+            Ok(Diagnostic {
+                severity,
+                code: field("code")?,
+                message: field("message")?,
+                site,
+                help,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::error("lint/no-float-eq", "x == 0.5 \"quoted\"")
+                .at_source("crates/a/src/lib.rs", 3, 9)
+                .with_help("line1\nline2"),
+            Diagnostic::warning("lint/missing-must-use", "builder").at_layer(2, "fully-connected"),
+            Diagnostic::note("verify/placement-boundary", "boundary"),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let diags = sample();
+        let text = encode(&diags);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, diags);
+    }
+
+    #[test]
+    fn double_round_trip_is_stable() {
+        let text = encode(&sample());
+        let text2 = encode(&parse(&text).unwrap());
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        assert_eq!(parse(&encode(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn unicode_and_control_chars_round_trip() {
+        let diags = vec![Diagnostic::error("lint/x", "héllo \u{1} — em-dash")];
+        assert_eq!(parse(&encode(&diags)).unwrap(), diags);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(parse("[{").is_err());
+        assert!(parse("{}").is_err());
+        assert!(parse("[1]").is_err());
+        assert!(parse("[] trailing").is_err());
+    }
+
+    #[test]
+    fn bad_severity_rejected() {
+        let text = r#"[{"severity": "fatal", "code": "c", "message": "m",
+                       "site": {"kind": "global"}, "help": null}]"#;
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("unknown severity"), "{err}");
+    }
+
+    #[test]
+    fn unknown_site_kind_rejected() {
+        let text = r#"[{"severity": "error", "code": "c", "message": "m",
+                       "site": {"kind": "galaxy"}, "help": null}]"#;
+        assert!(parse(text).unwrap_err().contains("unknown site kind"));
+    }
+}

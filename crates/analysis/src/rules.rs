@@ -1,0 +1,572 @@
+//! The lint rules.
+//!
+//! Each rule scans a [`MaskedSource`] and reports findings as
+//! [`Diagnostic`] values with codes `lint/<rule-name>`, anchored at
+//! `file:line:column`. All rules skip `#[cfg(test)]` regions — tests may
+//! unwrap, compare floats exactly and panic at will.
+
+use crate::lexer::{brace_match, MaskedSource};
+use wide_nn::diag::Diagnostic;
+
+/// Files whose inner loops feed the paper's latency claims. Panics here
+/// abort a whole training/inference run, so they are banned outright.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/tensor/src/gemm.rs",
+    "crates/quant/src/gemm.rs",
+    "crates/tpu-sim/src/systolic.rs",
+    "crates/nn/src/quantized.rs",
+    "crates/hdc/src/encoder.rs",
+];
+
+/// Names of every rule, for `--help` output and allowlist validation.
+pub const RULE_NAMES: &[&str] = &[
+    "no-panic-in-hot-path",
+    "no-float-eq",
+    "fallible-returns-result",
+    "missing-must-use",
+];
+
+/// Whether a workspace-relative path is test or bench code in its
+/// entirety (integration tests, bench targets, the shared test-support
+/// crate) — such files are exempt from every rule, like `#[cfg(test)]`
+/// blocks are.
+pub fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.starts_with("benches/")
+        || path.contains("/benches/")
+}
+
+/// Runs every rule over one file. `path` must be workspace-relative with
+/// forward slashes (it selects hot-path handling and lands in the site).
+pub fn lint_source(path: &str, source: &MaskedSource) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if is_test_path(path) {
+        return out;
+    }
+    if HOT_PATHS.iter().any(|hp| path == *hp || path.ends_with(hp)) {
+        no_panic_in_hot_path(path, source, &mut out);
+    }
+    no_float_eq(path, source, &mut out);
+    fallible_returns_result(path, source, &mut out);
+    missing_must_use(path, source, &mut out);
+    out
+}
+
+fn at(diag: Diagnostic, path: &str, source: &MaskedSource, offset: usize) -> Diagnostic {
+    let (line, column) = source.line_col(offset);
+    diag.at_source(path, line, column)
+}
+
+/// Byte offsets of every occurrence of `needle` in `code` outside test
+/// regions.
+fn occurrences<'a>(source: &'a MaskedSource, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let code = source.code();
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(pos) = code[from..].find(needle) {
+            let offset = from + pos;
+            from = offset + needle.len();
+            if !source.is_test(offset) {
+                return Some(offset);
+            }
+        }
+        None
+    })
+}
+
+/// `no-panic-in-hot-path`: forbids `unwrap`/`expect`/panicking macros and
+/// slice indexing in the files listed in [`HOT_PATHS`].
+fn no_panic_in_hot_path(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>) {
+    const CALLS: &[(&str, &str)] = &[
+        (".unwrap()", "unwrap() panics on None/Err"),
+        (".expect(", "expect() panics on None/Err"),
+        ("panic!(", "explicit panic"),
+        ("unreachable!(", "unreachable!() panics when reached"),
+        ("todo!(", "todo!() always panics"),
+        ("unimplemented!(", "unimplemented!() always panics"),
+    ];
+    for &(needle, why) in CALLS {
+        for offset in occurrences(source, needle) {
+            out.push(
+                at(
+                    Diagnostic::error(
+                        "lint/no-panic-in-hot-path",
+                        format!("{why} in a hot-path kernel"),
+                    ),
+                    path,
+                    source,
+                    offset,
+                )
+                .with_help("propagate a typed error instead; hot paths must not abort"),
+            );
+        }
+    }
+
+    // Slice-indexing heuristic: `[` directly preceded (modulo spaces) by an
+    // identifier byte, `)` or `]` is an Index/IndexMut call, which panics
+    // out of bounds. `#[attr]`, `&[T]`, `vec![..]` and array literals are
+    // preceded by other punctuation and are not flagged.
+    let bytes = source.code().as_bytes();
+    for offset in occurrences(source, "[") {
+        let mut k = offset;
+        while k > 0 && bytes[k - 1] == b' ' {
+            k -= 1;
+        }
+        if k == 0 {
+            continue;
+        }
+        let prev = bytes[k - 1];
+        let is_index = prev == b')' || prev == b']' || prev.is_ascii_alphanumeric() || prev == b'_';
+        if is_index {
+            out.push(
+                at(
+                    Diagnostic::error(
+                        "lint/no-panic-in-hot-path",
+                        "slice indexing panics when out of bounds",
+                    ),
+                    path,
+                    source,
+                    offset,
+                )
+                .with_help(
+                    "use get()/get_mut() or an iterator, or allowlist with a bounds argument",
+                ),
+            );
+        }
+    }
+}
+
+/// Is this token a float literal (or float constant path)?
+fn is_float_token(token: &str) -> bool {
+    if token.is_empty() {
+        return false;
+    }
+    let t = token.trim_start_matches('-');
+    if t.starts_with("f32::") || t.starts_with("f64::") {
+        return true;
+    }
+    let has_digit = t.bytes().any(|b| b.is_ascii_digit());
+    let suffixed = t.ends_with("f32") || t.ends_with("f64");
+    let dotted = {
+        // A `.` between digits (or trailing), not part of a method call.
+        t.bytes()
+            .zip(t.bytes().skip(1).chain(std::iter::once(b' ')))
+            .any(|(a, b)| a == b'.' && !b.is_ascii_alphabetic() && b != b'_')
+            && t.bytes().next().is_some_and(|b| b.is_ascii_digit())
+    };
+    has_digit && (suffixed || dotted)
+}
+
+/// Grabs the operand token ending at `end` (scanning backwards).
+fn token_before(code: &str, end: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut i = end;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let stop = i;
+    while i > 0 {
+        let b = bytes[i - 1];
+        if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'-') {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    &code[i..stop]
+}
+
+/// Grabs the operand token starting at `start` (scanning forwards).
+fn token_after(code: &str, start: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i] == b' ' {
+        i += 1;
+    }
+    let begin = i;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'-') {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    &code[begin..i]
+}
+
+/// `no-float-eq`: flags `==` / `!=` where either operand is a float
+/// literal or `f32::`/`f64::` constant, outside tests. Exact float
+/// comparison is almost always a correctness bug in numeric code; the
+/// intentional exceptions (exact-zero sparsity tests) are allowlisted.
+fn no_float_eq(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>) {
+    let code = source.code();
+    let bytes = code.as_bytes();
+    for op in ["==", "!="] {
+        for offset in occurrences(source, op) {
+            // Reject compound operators: `<=`, `>=`, `..=`, `===` etc.
+            let before = offset.checked_sub(1).map(|i| bytes[i]);
+            let after = bytes.get(offset + op.len()).copied();
+            if matches!(before, Some(b'<' | b'>' | b'=' | b'!' | b'.')) || after == Some(b'=') {
+                continue;
+            }
+            let lhs = token_before(code, offset);
+            let rhs = token_after(code, offset + op.len());
+            if is_float_token(lhs) || is_float_token(rhs) {
+                out.push(
+                    at(
+                        Diagnostic::error(
+                            "lint/no-float-eq",
+                            format!(
+                                "exact float comparison `{} {op} {}`",
+                                lhs.trim(),
+                                rhs.trim()
+                            ),
+                        ),
+                        path,
+                        source,
+                        offset,
+                    )
+                    .with_help(
+                        "compare against a tolerance, or allowlist if exact-zero is intended",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// A `pub fn` item found in masked code.
+struct PubFn<'a> {
+    name: &'a str,
+    /// Offset of the `fn` keyword.
+    offset: usize,
+    /// Text between `->` and the body (empty when the fn returns unit).
+    return_type: &'a str,
+    /// Body text (between the braces), empty for trait/extern decls.
+    body: &'a str,
+    /// Offset where the attribute/doc block above the item may start.
+    attrs_start: usize,
+}
+
+/// Iterates `pub fn` / `pub(crate) fn` items outside test regions.
+fn pub_fns<'a>(source: &'a MaskedSource) -> Vec<PubFn<'a>> {
+    let code = source.code();
+    let bytes = code.as_bytes();
+    let mut fns = Vec::new();
+    for offset in occurrences(source, "fn ") {
+        // Must be the `fn` keyword, preceded by a `pub` visibility in the
+        // same declaration header.
+        if offset > 0 && (bytes[offset - 1].is_ascii_alphanumeric() || bytes[offset - 1] == b'_') {
+            continue; // part of a longer identifier
+        }
+        let line_start = code[..offset].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        // The declaration header: from the last statement/item boundary on
+        // this line (or the line start) up to the `fn` keyword.
+        let header_start = code[line_start..offset]
+            .rfind(['{', '}', ';'])
+            .map(|p| line_start + p + 1)
+            .unwrap_or(line_start);
+        let header = code[header_start..offset].trim_start();
+        if !header.starts_with("pub ") && !header.starts_with("pub(") {
+            continue;
+        }
+        let name_end = code[offset + 3..]
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map(|p| offset + 3 + p)
+            .unwrap_or(code.len());
+        let name = &code[offset + 3..name_end];
+        if name.is_empty() {
+            continue;
+        }
+        // Signature runs to the first `{` or `;` at angle/paren depth 0.
+        let mut depth = 0i32;
+        let mut sig_end = code.len();
+        let mut body_open = None;
+        for (k, &b) in bytes[name_end..].iter().enumerate() {
+            match b {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    sig_end = name_end + k;
+                    body_open = Some(name_end + k);
+                    break;
+                }
+                b';' if depth == 0 => {
+                    sig_end = name_end + k;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let signature = &code[name_end..sig_end];
+        let return_type = signature
+            .rfind("->")
+            .map(|p| signature[p + 2..].trim())
+            .unwrap_or("");
+        let body = body_open
+            .map(|open| {
+                let close = brace_match(bytes, open);
+                &code[open + 1..close.saturating_sub(1)]
+            })
+            .unwrap_or("");
+        // Attributes and docs sit on the lines directly above the header.
+        let mut attrs_start = line_start;
+        while attrs_start > 0 {
+            let prev_start = code[..attrs_start - 1]
+                .rfind('\n')
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let prev = source.raw()[prev_start..attrs_start - 1].trim_start();
+            if prev.starts_with("#[") || prev.starts_with("///") || prev.starts_with("//") {
+                attrs_start = prev_start;
+            } else {
+                break;
+            }
+        }
+        fns.push(PubFn {
+            name,
+            offset,
+            return_type,
+            body,
+            attrs_start,
+        });
+    }
+    fns
+}
+
+/// `fallible-returns-result`: a public function that can panic (unwrap,
+/// expect, panic!-family, assert!-family in its body) should either return
+/// `Result` or document the contract under a `# Panics` heading.
+fn fallible_returns_result(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>) {
+    const PANICKY: &[&str] = &[
+        ".unwrap()",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "assert!(",
+        "assert_eq!(",
+        "assert_ne!(",
+    ];
+    // `debug_assert!` is compiled out of release builds and does not count.
+    let is_real_hit = |body: &str, needle: &str| {
+        let mut from = 0;
+        while let Some(pos) = body[from..].find(needle) {
+            let offset = from + pos;
+            if !body[..offset].ends_with("debug_") {
+                return true;
+            }
+            from = offset + needle.len();
+        }
+        false
+    };
+    for f in pub_fns(source) {
+        if f.return_type.contains("Result") || f.body.is_empty() {
+            continue;
+        }
+        let Some(trigger) = PANICKY.iter().find(|p| is_real_hit(f.body, p)) else {
+            continue;
+        };
+        let attr_block = &source.raw()[f.attrs_start..f.offset.min(source.raw().len())];
+        if attr_block.contains("# Panics") {
+            continue;
+        }
+        out.push(
+            at(
+                Diagnostic::warning(
+                    "lint/fallible-returns-result",
+                    format!(
+                        "pub fn {} can panic (contains `{}`) but neither returns Result nor \
+                         documents `# Panics`",
+                        f.name,
+                        trigger.trim_end_matches('('),
+                    ),
+                ),
+                path,
+                source,
+                f.offset,
+            )
+            .with_help("return a typed error, or add a `/// # Panics` doc section"),
+        );
+    }
+}
+
+/// `missing-must-use`: builder-style `pub fn ... -> Self` without
+/// `#[must_use]` — dropping the return value silently discards the
+/// configured value.
+fn missing_must_use(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>) {
+    for f in pub_fns(source) {
+        if f.return_type != "Self" {
+            continue;
+        }
+        let attr_block = &source.raw()[f.attrs_start..f.offset.min(source.raw().len())];
+        if attr_block.contains("#[must_use]") {
+            continue;
+        }
+        out.push(
+            at(
+                Diagnostic::warning(
+                    "lint/missing-must-use",
+                    format!("pub fn {} returns Self but is not #[must_use]", f.name),
+                ),
+                path,
+                source,
+                f.offset,
+            )
+            .with_help("add #[must_use] so dropped builder chains are caught"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, &MaskedSource::new(src))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_flagged() {
+        let diags = lint(
+            "crates/tensor/src/gemm.rs",
+            "fn k(v: Option<u32>) -> u32 { v.unwrap() }\n",
+        );
+        assert!(codes(&diags).contains(&"lint/no-panic-in-hot-path"));
+    }
+
+    #[test]
+    fn unwrap_outside_hot_path_not_flagged() {
+        let diags = lint(
+            "crates/core/src/lib.rs",
+            "fn k(v: Option<u32>) -> u32 { v.unwrap() }\n",
+        );
+        assert!(!codes(&diags).contains(&"lint/no-panic-in-hot-path"));
+    }
+
+    #[test]
+    fn unwrap_in_tests_not_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let diags = lint("crates/tensor/src/gemm.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn slice_indexing_flagged_but_attrs_and_types_are_not() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn k(a: &[f32], i: usize) -> f32 { a[i] }\n";
+        let diags = lint("crates/quant/src/gemm.rs", src);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == "lint/no-panic-in-hot-path")
+            .collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn float_eq_flagged_with_position() {
+        let src = "fn f(x: f32) -> bool {\n    x == 0.5\n}\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        let hit = diags
+            .iter()
+            .find(|d| d.code == "lint/no-float-eq")
+            .expect("finding");
+        match &hit.site {
+            wide_nn::Site::Source { line, .. } => assert_eq!(*line, 2),
+            other => panic!("unexpected site {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_eq_catches_constants_and_suffixes() {
+        let diags = lint(
+            "crates/core/src/lib.rs",
+            "fn f(x: f32) -> bool { x != f32::INFINITY }\nfn g(y: f64) -> bool { y == 1f64 }\n",
+        );
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == "lint/no-float-eq")
+                .count(),
+            2,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn integer_and_range_comparisons_not_flagged() {
+        let diags = lint(
+            "crates/core/src/lib.rs",
+            "fn f(x: usize) -> bool { x == 10 }\nfn g(x: usize) -> bool { matches!(x, 0..=9) }\n",
+        );
+        assert!(!codes(&diags).contains(&"lint/no-float-eq"), "{diags:?}");
+    }
+
+    #[test]
+    fn float_eq_in_string_or_comment_not_flagged() {
+        let diags = lint(
+            "crates/core/src/lib.rs",
+            "// x == 0.5 in prose\nfn f() -> &'static str { \"x == 0.5\" }\n",
+        );
+        assert!(!codes(&diags).contains(&"lint/no-float-eq"));
+    }
+
+    #[test]
+    fn panicky_pub_fn_without_doc_warned() {
+        let src = "pub fn f(v: Option<u32>) -> u32 {\n    v.expect(\"set\")\n}\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            codes(&diags).contains(&"lint/fallible-returns-result"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn panics_doc_section_is_an_escape_hatch() {
+        let src = "/// Does f.\n///\n/// # Panics\n///\n/// Panics if unset.\npub fn f(v: Option<u32>) -> u32 {\n    v.expect(\"set\")\n}\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/fallible-returns-result"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn result_returning_fn_not_warned() {
+        let src = "pub fn f() -> Result<u32, String> {\n    assert!(true);\n    Ok(1)\n}\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(!codes(&diags).contains(&"lint/fallible-returns-result"));
+    }
+
+    #[test]
+    fn builder_without_must_use_warned() {
+        let src = "impl B {\n    pub fn with_x(mut self, x: u32) -> Self {\n        self.x = x;\n        self\n    }\n}\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            codes(&diags).contains(&"lint/missing-must-use"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn must_use_attribute_satisfies_rule() {
+        let src = "impl B {\n    #[must_use]\n    pub fn with_x(mut self, x: u32) -> Self {\n        self.x = x;\n        self\n    }\n}\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/missing-must-use"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn private_fns_ignored_by_pub_rules() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() }\nfn b(self) -> Self { self }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -37,6 +37,7 @@ impl BaggingConfig {
     /// # Panics
     ///
     /// Panics if `full_dim` is not divisible by 4.
+    #[must_use]
     pub fn paper_defaults(full_dim: usize) -> Self {
         assert_eq!(full_dim % 4, 0, "full_dim must be divisible by M = 4");
         BaggingConfig {
@@ -56,36 +57,42 @@ impl BaggingConfig {
     }
 
     /// Sets the number of sub-models.
+    #[must_use]
     pub fn with_sub_models(mut self, m: usize) -> Self {
         self.sub_models = m;
         self
     }
 
     /// Sets the per-sub-model width.
+    #[must_use]
     pub fn with_sub_dim(mut self, d: usize) -> Self {
         self.sub_dim = d;
         self
     }
 
     /// Sets the per-sub-model iteration count.
+    #[must_use]
     pub fn with_iterations(mut self, iterations: usize) -> Self {
         self.iterations = iterations;
         self
     }
 
     /// Sets the dataset sampling ratio `alpha`.
+    #[must_use]
     pub fn with_dataset_ratio(mut self, alpha: f64) -> Self {
         self.dataset_ratio = alpha;
         self
     }
 
     /// Sets the feature sampling ratio `beta`.
+    #[must_use]
     pub fn with_feature_ratio(mut self, beta: f64) -> Self {
         self.feature_ratio = beta;
         self
     }
 
     /// Sets the RNG seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self

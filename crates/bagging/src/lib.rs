@@ -72,7 +72,8 @@ pub fn cost_ratio(
     dataset_ratio: f64,
     feature_ratio: f64,
 ) -> f64 {
-    sub_models as f64 * (sub_dim as f64 / full_dim as f64)
+    sub_models as f64
+        * (sub_dim as f64 / full_dim as f64)
         * (sub_iterations as f64 / full_iterations as f64)
         * dataset_ratio
         * feature_ratio

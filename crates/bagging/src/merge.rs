@@ -98,7 +98,7 @@ impl BaggedModel {
     pub fn predict_consensus(&self, features: &Matrix) -> Result<Vec<usize>, BaggingError> {
         let scores = self.consensus_scores(features)?;
         (0..scores.rows())
-            .map(|r| hd_tensor::ops::argmax(scores.row(r)).map_err(|e| BaggingError::Tensor(e)))
+            .map(|r| hd_tensor::ops::argmax(scores.row(r)).map_err(BaggingError::Tensor))
             .collect()
     }
 
@@ -247,8 +247,7 @@ mod tests {
     fn merged_accuracy_close_to_consensus_accuracy() {
         let (model, features, labels) = trained(6);
         let merged = model.merge().unwrap();
-        let acc_merged =
-            hdc::eval::accuracy(&merged.predict(&features).unwrap(), &labels).unwrap();
+        let acc_merged = hdc::eval::accuracy(&merged.predict(&features).unwrap(), &labels).unwrap();
         let acc_consensus =
             hdc::eval::accuracy(&model.predict_consensus(&features).unwrap(), &labels).unwrap();
         assert!((acc_merged - acc_consensus).abs() < 1e-9);

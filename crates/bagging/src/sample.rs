@@ -101,7 +101,13 @@ mod tests {
     fn deterministic_per_seed() {
         let mut a = DetRng::new(8);
         let mut b = DetRng::new(8);
-        assert_eq!(bootstrap_rows(&mut a, 50, 0.5), bootstrap_rows(&mut b, 50, 0.5));
-        assert_eq!(feature_subset(&mut a, 50, 0.5), feature_subset(&mut b, 50, 0.5));
+        assert_eq!(
+            bootstrap_rows(&mut a, 50, 0.5),
+            bootstrap_rows(&mut b, 50, 0.5)
+        );
+        assert_eq!(
+            feature_subset(&mut a, 50, 0.5),
+            feature_subset(&mut b, 50, 0.5)
+        );
     }
 }

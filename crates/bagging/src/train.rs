@@ -33,7 +33,10 @@ impl BaggingStats {
     /// Total class-hypervector updates across every sub-model — the number
     /// that drives the host-side update runtime in the co-design model.
     pub fn total_updates(&self) -> usize {
-        self.sub_models.iter().map(|s| s.train.total_updates()).sum()
+        self.sub_models
+            .iter()
+            .map(|s| s.train.total_updates())
+            .sum()
     }
 }
 
@@ -117,8 +120,8 @@ pub fn train_bagged_with(
             for &f in &kept_features {
                 keep[f] = true;
             }
-            for f in 0..n {
-                if !keep[f] {
+            for (f, &kept) in keep.iter().enumerate() {
+                if !kept {
                     base.row_mut(f).fill(0.0);
                 }
             }
@@ -133,7 +136,8 @@ pub fn train_bagged_with(
             .with_iterations(config.iterations)
             .with_learning_rate(config.learning_rate)
             .with_seed(config.seed.wrapping_add(m as u64));
-        let (class_hvs, train_stats) = train_encoded(&encoded, &sub_labels, classes, &train_config)?;
+        let (class_hvs, train_stats) =
+            train_encoded(&encoded, &sub_labels, classes, &train_config)?;
 
         stats.sub_models.push(SubModelStats {
             index: m,
@@ -154,7 +158,12 @@ pub fn train_bagged_with(
 mod tests {
     use super::*;
 
-    fn clustered(samples_per_class: usize, n: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    fn clustered(
+        samples_per_class: usize,
+        n: usize,
+        classes: usize,
+        seed: u64,
+    ) -> (Matrix, Vec<usize>) {
         let mut rng = DetRng::new(seed);
         let centers: Vec<Vec<f32>> = (0..classes)
             .map(|_| (0..n).map(|_| 1.5 * rng.next_normal()).collect())

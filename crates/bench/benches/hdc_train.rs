@@ -50,7 +50,13 @@ fn bench_full_vs_bagged_width(c: &mut Criterion) {
     let full_config = TrainConfig::new(2048).with_iterations(20);
     group.bench_function("full-d2048-i20", |bench| {
         bench.iter(|| {
-            train_encoded(black_box(&encoded_full), black_box(&labels), 10, &full_config).unwrap()
+            train_encoded(
+                black_box(&encoded_full),
+                black_box(&labels),
+                10,
+                &full_config,
+            )
+            .unwrap()
         });
     });
     let (encoded_sub, sub_labels) = encoded_clusters(120, 512, 10);
@@ -58,8 +64,13 @@ fn bench_full_vs_bagged_width(c: &mut Criterion) {
     group.bench_function("bagged-4x-d512-i6-a0.6", |bench| {
         bench.iter(|| {
             for _ in 0..4 {
-                train_encoded(black_box(&encoded_sub), black_box(&sub_labels), 10, &sub_config)
-                    .unwrap();
+                train_encoded(
+                    black_box(&encoded_sub),
+                    black_box(&sub_labels),
+                    10,
+                    &sub_config,
+                )
+                .unwrap();
             }
         });
     });

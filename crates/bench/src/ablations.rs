@@ -40,25 +40,26 @@ pub fn ablation_encoding() -> ResultTable {
         let data = functional_dataset(&spec, SEED);
         let mut rng = DetRng::new(SEED);
         let base = BaseHypervectors::generate(data.feature_count(), FUNCTIONAL_DIM, &mut rng);
-        let train_cfg = TrainConfig::new(FUNCTIONAL_DIM).with_iterations(10).with_seed(SEED);
+        let train_cfg = TrainConfig::new(FUNCTIONAL_DIM)
+            .with_iterations(10)
+            .with_seed(SEED);
 
-        let accuracy_for = |encoded_train: &hd_tensor::Matrix,
-                            encoded_test: &hd_tensor::Matrix|
-         -> f64 {
-            let (classes, _) =
-                train_encoded(encoded_train, &data.train.labels, data.classes, &train_cfg)
-                    .expect("training succeeds");
-            let mut correct = 0usize;
-            for (r, &label) in data.test.labels.iter().enumerate() {
-                let scores = classes
-                    .scores(encoded_test.row(r), Similarity::Dot)
-                    .expect("scores");
-                if hd_tensor::ops::argmax(&scores).expect("non-empty") == label {
-                    correct += 1;
+        let accuracy_for =
+            |encoded_train: &hd_tensor::Matrix, encoded_test: &hd_tensor::Matrix| -> f64 {
+                let (classes, _) =
+                    train_encoded(encoded_train, &data.train.labels, data.classes, &train_cfg)
+                        .expect("training succeeds");
+                let mut correct = 0usize;
+                for (r, &label) in data.test.labels.iter().enumerate() {
+                    let scores = classes
+                        .scores(encoded_test.row(r), Similarity::Dot)
+                        .expect("scores");
+                    if hd_tensor::ops::argmax(&scores).expect("non-empty") == label {
+                        correct += 1;
+                    }
                 }
-            }
-            correct as f64 / data.test.labels.len() as f64
-        };
+                correct as f64 / data.test.labels.len() as f64
+            };
 
         let nonlinear = NonlinearEncoder::new(base.clone());
         let nl_acc = accuracy_for(
@@ -90,9 +91,13 @@ pub fn ablation_dim() -> ResultTable {
     let data = functional_dataset(&spec, SEED);
     for dim in [128usize, 256, 512, 1024, 2048, 4096] {
         let config = TrainConfig::new(dim).with_iterations(10).with_seed(SEED);
-        let (model, _) =
-            HdcModel::fit(&data.train.features, &data.train.labels, data.classes, &config)
-                .expect("fit succeeds");
+        let (model, _) = HdcModel::fit(
+            &data.train.features,
+            &data.train.labels,
+            data.classes,
+            &config,
+        )
+        .expect("fit succeeds");
         let preds = model.predict(&data.test.features).expect("predict");
         let acc = hdc::eval::accuracy(&preds, &data.test.labels).expect("accuracy");
         let bytes = data.feature_count() * dim + dim * data.classes;
@@ -106,7 +111,14 @@ pub fn ablation_dim() -> ResultTable {
 pub fn ablation_quant() -> ResultTable {
     let mut t = ResultTable::new(
         "Ablation: precision ladder (f32 / int8 / int8 per-channel / 1-bit bipolar)",
-        &["dataset", "f32", "int8", "int8_pc", "bipolar", "bipolar_model_bytes"],
+        &[
+            "dataset",
+            "f32",
+            "int8",
+            "int8_pc",
+            "bipolar",
+            "bipolar_model_bytes",
+        ],
     );
     for spec in registry::paper_datasets() {
         let data = functional_dataset(&spec, SEED);
@@ -185,20 +197,33 @@ pub fn ablation_regen() -> ResultTable {
     let data = functional_dataset(&spec, SEED);
     for dim in [64usize, 128, 256] {
         let base_cfg = TrainConfig::new(dim).with_iterations(6).with_seed(SEED);
-        let (model, _) =
-            HdcModel::fit(&data.train.features, &data.train.labels, data.classes, &base_cfg)
-                .expect("fit");
+        let (model, _) = HdcModel::fit(
+            &data.train.features,
+            &data.train.labels,
+            data.classes,
+            &base_cfg,
+        )
+        .expect("fit");
         let acc = |m: &HdcModel| -> f64 {
-            hdc::eval::accuracy(&m.predict(&data.test.features).expect("predict"), &data.test.labels)
-                .expect("accuracy")
+            hdc::eval::accuracy(
+                &m.predict(&data.test.features).expect("predict"),
+                &data.test.labels,
+            )
+            .expect("accuracy")
         };
         let fixed = acc(&model);
 
         // Control: same extra training budget, no regeneration.
-        let control_cfg = TrainConfig::new(dim).with_iterations(6 + 12).with_seed(SEED);
-        let (control, _) =
-            HdcModel::fit(&data.train.features, &data.train.labels, data.classes, &control_cfg)
-                .expect("fit");
+        let control_cfg = TrainConfig::new(dim)
+            .with_iterations(6 + 12)
+            .with_seed(SEED);
+        let (control, _) = HdcModel::fit(
+            &data.train.features,
+            &data.train.labels,
+            data.classes,
+            &control_cfg,
+        )
+        .expect("fit");
         let plus_iters = acc(&control);
 
         // Regeneration: 3 rounds x 4 passes = the same 12 extra passes.
@@ -236,10 +261,16 @@ pub fn robustness() -> ResultTable {
     );
     let spec = registry::by_name("isolet").expect("registered");
     let data = functional_dataset(&spec, SEED);
-    let config = TrainConfig::new(FUNCTIONAL_DIM).with_iterations(10).with_seed(SEED);
-    let (model, _) =
-        HdcModel::fit(&data.train.features, &data.train.labels, data.classes, &config)
-            .expect("fit succeeds");
+    let config = TrainConfig::new(FUNCTIONAL_DIM)
+        .with_iterations(10)
+        .with_seed(SEED);
+    let (model, _) = HdcModel::fit(
+        &data.train.features,
+        &data.train.labels,
+        data.classes,
+        &config,
+    )
+    .expect("fit succeeds");
     let network = hyperedge::wide_model::inference_network(&model).expect("network");
 
     for &rate in &[0.0f64, 0.0001, 0.0005, 0.001, 0.005, 0.01] {
@@ -307,7 +338,14 @@ pub fn robustness() -> ResultTable {
 pub fn scaling() -> ResultTable {
     let mut t = ResultTable::new(
         "Scaling: devices x pipelining vs training time (MNIST shape, paper scale)",
-        &["devices", "pipelined", "encode_s", "update_s", "total_s", "speedup"],
+        &[
+            "devices",
+            "pipelined",
+            "encode_s",
+            "update_s",
+            "total_s",
+            "speedup",
+        ],
     );
     let cfg = paper_config();
     let spec = registry::by_name("mnist").expect("registered");
@@ -316,15 +354,29 @@ pub fn scaling() -> ResultTable {
     let host = cfg.platform.spec();
 
     let baseline = runtime::tpu_training_scaled(
-        &cfg.device, &host, &workload, PAPER_DIM, cfg.iterations, &profile,
-        cfg.encode_batch, 1, false,
+        &cfg.device,
+        &host,
+        &workload,
+        PAPER_DIM,
+        cfg.iterations,
+        &profile,
+        cfg.encode_batch,
+        1,
+        false,
     )
     .total_s();
     for pipelined in [false, true] {
         for devices in [1usize, 2, 4, 8] {
             let b = runtime::tpu_training_scaled(
-                &cfg.device, &host, &workload, PAPER_DIM, cfg.iterations, &profile,
-                cfg.encode_batch, devices, pipelined,
+                &cfg.device,
+                &host,
+                &workload,
+                PAPER_DIM,
+                cfg.iterations,
+                &profile,
+                cfg.encode_batch,
+                devices,
+                pipelined,
             );
             t.push_row(vec![
                 devices.to_string(),
@@ -349,15 +401,11 @@ pub fn energy() -> ResultTable {
     for spec in registry::paper_datasets() {
         let workload = paper_workload(&spec);
         let profile = crate::default_profile(config.iterations);
-        let cpu_total = runtime::training_energy_j(
-            &config,
-            &workload,
-            ExecutionSetting::CpuBaseline,
-            &profile,
-        )
-        .total_j()
-            + runtime::inference_energy_j(&config, &workload, ExecutionSetting::CpuBaseline)
-                .total_j();
+        let cpu_total =
+            runtime::training_energy_j(&config, &workload, ExecutionSetting::CpuBaseline, &profile)
+                .total_j()
+                + runtime::inference_energy_j(&config, &workload, ExecutionSetting::CpuBaseline)
+                    .total_j();
         for setting in ExecutionSetting::all() {
             let train = runtime::training_energy_j(&config, &workload, setting, &profile);
             let infer = runtime::inference_energy_j(&config, &workload, setting);

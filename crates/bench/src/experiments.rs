@@ -23,7 +23,13 @@ const SEED: u64 = 2022;
 pub fn table1() -> ResultTable {
     let mut t = ResultTable::new(
         "Table I: datasets (synthetic stand-ins with identical shapes)",
-        &["dataset", "#samples", "#features", "#classes", "description"],
+        &[
+            "dataset",
+            "#samples",
+            "#features",
+            "#classes",
+            "description",
+        ],
     );
     for spec in registry::paper_datasets() {
         t.push_row(vec![
@@ -58,11 +64,8 @@ pub fn fig4() -> ResultTable {
         let pipeline = Pipeline::new(functional_config().with_iterations(iterations));
         // Track validation per iteration through the tracked trainer.
         let mut rng = hd_tensor::rng::DetRng::new(pipeline.config().seed);
-        let base = hdc::BaseHypervectors::generate(
-            data.feature_count(),
-            pipeline.config().dim,
-            &mut rng,
-        );
+        let base =
+            hdc::BaseHypervectors::generate(data.feature_count(), pipeline.config().dim, &mut rng);
         let encoder = hdc::NonlinearEncoder::new(base);
         let encoded_train = encoder.encode(&data.train.features).expect("encode");
         let encoded_val = encoder.encode(&data.test.features).expect("encode");
@@ -112,7 +115,13 @@ pub fn fig5() -> ResultTable {
     let mut t = ResultTable::new(
         "Fig. 5: training runtime (normalized to CPU total; paper-scale workloads)",
         &[
-            "dataset", "setting", "encode", "update", "model_gen", "total", "speedup",
+            "dataset",
+            "setting",
+            "encode",
+            "update",
+            "model_gen",
+            "total",
+            "speedup",
         ],
     );
     let config = paper_config();
@@ -345,8 +354,7 @@ pub fn table2() -> ResultTable {
             &runs[2].outcome.update_profile,
         )
         .total_s();
-        let pi_infer =
-            runtime::inference_time_s(&pi_cfg, &workload, ExecutionSetting::CpuBaseline);
+        let pi_infer = runtime::inference_time_s(&pi_cfg, &workload, ExecutionSetting::CpuBaseline);
         let our_infer = runtime::inference_time_s(&tpu_cfg, &workload, ExecutionSetting::Tpu);
         t.push_row(vec![
             spec.name.to_string(),

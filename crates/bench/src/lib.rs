@@ -105,7 +105,12 @@ pub fn run_functional(
     setting: ExecutionSetting,
 ) -> FunctionalRun {
     let outcome = pipeline
-        .train(&data.train.features, &data.train.labels, data.classes, setting)
+        .train(
+            &data.train.features,
+            &data.train.labels,
+            data.classes,
+            setting,
+        )
         .unwrap_or_else(|e| panic!("training failed for {}: {e}", setting.label()));
     let report = pipeline
         .evaluate(&outcome, &data.test.features, &data.test.labels)
@@ -138,6 +143,7 @@ pub struct ResultTable {
 
 impl ResultTable {
     /// Starts a table with the given title and column names.
+    #[must_use]
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         ResultTable {
             title: title.into(),
@@ -209,7 +215,11 @@ impl ResultTable {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -172,8 +172,12 @@ mod tests {
 
     #[test]
     fn display_messages_are_actionable() {
-        assert!(ArgError::RequiredFlag("out".into()).to_string().contains("--out"));
-        assert!(ArgError::MissingValue("dim".into()).to_string().contains("--dim"));
+        assert!(ArgError::RequiredFlag("out".into())
+            .to_string()
+            .contains("--out"));
+        assert!(ArgError::MissingValue("dim".into())
+            .to_string()
+            .contains("--dim"));
     }
 
     #[test]

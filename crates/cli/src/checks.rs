@@ -1,0 +1,144 @@
+//! The `lint` and `verify` static-check subcommands.
+//!
+//! ```text
+//! hyperedge lint   [--format text|json] [--deny-warnings]
+//! hyperedge verify [--features N] [--dim D] [--classes K]
+//!                  [--buffer BYTES] [--format text|json]
+//! ```
+//!
+//! `lint` runs the `hd-analysis` workspace lint engine (the same pass as
+//! the standalone `hd-lint` binary) with the root `lint.toml` allowlist.
+//! `verify` builds the paper's wide inference network at the given shape
+//! and runs the `wide-nn` static model-graph verifier against the target,
+//! printing the structured diagnostics — the compile-time contract check
+//! without compiling or quantizing anything.
+//!
+//! These flags include bare booleans (`--deny-warnings`), so the two
+//! subcommands parse their own arguments instead of going through
+//! [`crate::args::ParsedArgs`], and they follow the check exit-status
+//! contract shared with `hd-lint`: 0 clean, 1 findings, 2 usage or IO
+//! error.
+
+use std::process::ExitCode;
+
+use hd_analysis::{engine, json, Allowlist};
+use hd_tensor::Matrix;
+use wide_nn::{verify_model, Activation, ModelBuilder, TargetSpec};
+
+const CHECKS_USAGE: &str = "usage: hyperedge <lint|verify> [options]\n\
+    \n\
+    hyperedge lint   [--format text|json] [--deny-warnings]\n\
+    hyperedge verify [--features N] [--dim D] [--classes K] \
+[--buffer BYTES] [--format text|json]";
+
+/// Dispatches `hyperedge lint` / `hyperedge verify`.
+#[must_use]
+pub fn run(command: &str, args: &[String]) -> ExitCode {
+    let result = match command {
+        "lint" => run_lint(args),
+        "verify" => run_verify(args),
+        other => Err(format!(
+            "unknown check subcommand {other:?}\n{CHECKS_USAGE}"
+        )),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("hyperedge: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_format(value: Option<&String>) -> Result<bool, String> {
+    match value.map(String::as_str) {
+        Some("text") => Ok(false),
+        Some("json") => Ok(true),
+        _ => Err("--format must be text or json".to_owned()),
+    }
+}
+
+/// Runs the workspace lint pass; returns `Ok(true)` when clean.
+fn run_lint(args: &[String]) -> Result<bool, String> {
+    let mut as_json = false;
+    let mut deny_warnings = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => as_json = parse_format(it.next())?,
+            "--deny-warnings" => deny_warnings = true,
+            other => return Err(format!("unknown lint option {other:?}\n{CHECKS_USAGE}")),
+        }
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = engine::find_workspace_root(&cwd)
+        .ok_or("no workspace root found above the current directory")?;
+    let allowlist = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => Allowlist::parse(&text).map_err(|e| format!("lint.toml: {e}"))?,
+        Err(_) => Allowlist::default(),
+    };
+    let report = engine::lint_workspace(&root, &allowlist)?;
+    if as_json {
+        println!("{}", json::encode(&report.diagnostics));
+    } else {
+        print!("{}", report.to_text());
+    }
+    Ok(!report.fails(deny_warnings))
+}
+
+/// Builds the paper's `features -> dim -> classes` wide inference network
+/// and statically verifies it; returns `Ok(true)` when the model passes.
+fn run_verify(args: &[String]) -> Result<bool, String> {
+    let mut features = 784usize;
+    let mut dim = 10_000usize;
+    let mut classes = 10usize;
+    let mut buffer = TargetSpec::default().param_buffer_bytes;
+    let mut as_json = false;
+    let mut it = args.iter();
+    let parse_usize = |value: Option<&String>, flag: &str| -> Result<usize, String> {
+        value
+            .ok_or(format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|e| format!("{flag}: {e}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--features" => features = parse_usize(it.next(), "--features")?,
+            "--dim" => dim = parse_usize(it.next(), "--dim")?,
+            "--classes" => classes = parse_usize(it.next(), "--classes")?,
+            "--buffer" => buffer = parse_usize(it.next(), "--buffer")?,
+            "--format" => as_json = parse_format(it.next())?,
+            other => return Err(format!("unknown verify option {other:?}\n{CHECKS_USAGE}")),
+        }
+    }
+
+    let defaults = TargetSpec::default();
+    let target = TargetSpec::try_new(
+        &defaults.name,
+        defaults.array_rows,
+        defaults.array_cols,
+        buffer,
+    )
+    .map_err(|e| e.to_string())?;
+    let model = ModelBuilder::new(features)
+        .fully_connected(Matrix::filled(features, dim, 0.1))
+        .map(|b| b.activation(Activation::Tanh))
+        .and_then(|b| b.fully_connected(Matrix::filled(dim, classes, 0.1)))
+        .and_then(|b| b.build())
+        .map_err(|e| e.to_string())?;
+    let report = verify_model(&model, &target);
+    if as_json {
+        let diagnostics: Vec<_> = report.diagnostics().to_vec();
+        println!("{}", json::encode(&diagnostics));
+    } else {
+        print!("{report}");
+        println!(
+            "model {features}x{dim}x{classes}: {} parameter bytes against a {} byte buffer",
+            report.param_bytes_required(),
+            target.param_buffer_bytes
+        );
+    }
+    Ok(!report.has_errors())
+}

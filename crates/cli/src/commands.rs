@@ -34,6 +34,11 @@ COMMANDS:
     federated  --dataset <name> [--nodes N] [--rounds N] [--skew P]
                [--dim N] [--train N] [--test N] [--seed N]
                                       collaborative training across edge nodes
+    lint       [--format text|json] [--deny-warnings]
+                                      run the workspace lint pass (hd-analysis)
+    verify     [--features N] [--dim N] [--classes N] [--buffer BYTES]
+               [--format text|json]   statically verify the wide NN against
+                                      the accelerator target
     help                              show this message
 ";
 
@@ -61,7 +66,9 @@ fn parse_setting(raw: &str) -> Result<ExecutionSetting, String> {
         "cpu" => Ok(ExecutionSetting::CpuBaseline),
         "tpu" => Ok(ExecutionSetting::Tpu),
         "tpu-bagging" | "tpu_b" => Ok(ExecutionSetting::TpuBagging),
-        other => Err(format!("unknown setting `{other}` (cpu | tpu | tpu-bagging)")),
+        other => Err(format!(
+            "unknown setting `{other}` (cpu | tpu | tpu-bagging)"
+        )),
     }
 }
 
@@ -105,7 +112,21 @@ pub fn datasets(_args: &ParsedArgs) -> CmdResult {
 
 /// `hyperedge train`
 pub fn train(args: &ParsedArgs) -> CmdResult {
-    check_flags(args, &["dataset", "csv", "header", "out", "setting", "dim", "iterations", "train", "test", "seed"])?;
+    check_flags(
+        args,
+        &[
+            "dataset",
+            "csv",
+            "header",
+            "out",
+            "setting",
+            "dim",
+            "iterations",
+            "train",
+            "test",
+            "seed",
+        ],
+    )?;
     let out_path = args.required("out")?.to_string();
     let setting = parse_setting(args.get("setting").unwrap_or("tpu"))?;
     let dim = args.get_or("dim", 2048usize)?;
@@ -117,7 +138,12 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
         .with_iterations(iterations)
         .with_seed(seed);
     let pipeline = Pipeline::new(config);
-    let outcome = pipeline.train(&data.train.features, &data.train.labels, data.classes, setting)?;
+    let outcome = pipeline.train(
+        &data.train.features,
+        &data.train.labels,
+        data.classes,
+        setting,
+    )?;
     let report = pipeline.evaluate(&outcome, &data.test.features, &data.test.labels)?;
     hdm::save_model(&outcome.model, &out_path)?;
 
@@ -139,7 +165,10 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
 
 /// `hyperedge evaluate`
 pub fn evaluate(args: &ParsedArgs) -> CmdResult {
-    check_flags(args, &["model", "dataset", "csv", "header", "train", "test", "seed"])?;
+    check_flags(
+        args,
+        &["model", "dataset", "csv", "header", "train", "test", "seed"],
+    )?;
     let model = hdm::load_model(args.required("model")?)?;
     let data = load_dataset(args, 1, 400)?;
     if data.feature_count() != model.feature_count() {
@@ -236,7 +265,12 @@ pub fn runtime_report(args: &ParsedArgs) -> CmdResult {
 
 /// `hyperedge federated`
 pub fn federated(args: &ParsedArgs) -> CmdResult {
-    check_flags(args, &["dataset", "csv", "header", "nodes", "rounds", "skew", "dim", "train", "test", "seed"])?;
+    check_flags(
+        args,
+        &[
+            "dataset", "csv", "header", "nodes", "rounds", "skew", "dim", "train", "test", "seed",
+        ],
+    )?;
     let nodes = args.get_or("nodes", 4usize)?;
     let rounds = args.get_or("rounds", 5usize)?;
     let dim = args.get_or("dim", 2048usize)?;
@@ -325,8 +359,21 @@ mod tests {
         let model_str = model_path.to_str().unwrap();
 
         let out = train(&parsed(&[
-            "train", "--dataset", "pamap2", "--out", model_str, "--dim", "512",
-            "--iterations", "4", "--train", "150", "--test", "60", "--setting", "cpu",
+            "train",
+            "--dataset",
+            "pamap2",
+            "--out",
+            model_str,
+            "--dim",
+            "512",
+            "--iterations",
+            "4",
+            "--train",
+            "150",
+            "--test",
+            "60",
+            "--setting",
+            "cpu",
         ]))
         .unwrap();
         assert!(out.contains("test accuracy"), "{out}");
@@ -335,7 +382,13 @@ mod tests {
         assert!(out.contains("dimensionality (d):  512"), "{out}");
 
         let out = evaluate(&parsed(&[
-            "evaluate", "--model", model_str, "--dataset", "pamap2", "--test", "60",
+            "evaluate",
+            "--model",
+            model_str,
+            "--dataset",
+            "pamap2",
+            "--test",
+            "60",
         ]))
         .unwrap();
         assert!(out.contains("accuracy:"), "{out}");
@@ -349,12 +402,31 @@ mod tests {
         let model_path = dir.join("cli-mismatch.hdm");
         let model_str = model_path.to_str().unwrap();
         train(&parsed(&[
-            "train", "--dataset", "pamap2", "--out", model_str, "--dim", "256",
-            "--iterations", "2", "--train", "60", "--test", "20", "--setting", "cpu",
+            "train",
+            "--dataset",
+            "pamap2",
+            "--out",
+            model_str,
+            "--dim",
+            "256",
+            "--iterations",
+            "2",
+            "--train",
+            "60",
+            "--test",
+            "20",
+            "--setting",
+            "cpu",
         ]))
         .unwrap();
         let err = evaluate(&parsed(&[
-            "evaluate", "--model", model_str, "--dataset", "mnist", "--test", "20",
+            "evaluate",
+            "--model",
+            model_str,
+            "--dataset",
+            "mnist",
+            "--test",
+            "20",
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("features"), "{err}");
@@ -372,8 +444,22 @@ mod tests {
     #[test]
     fn unknown_command_and_dataset_fail_cleanly() {
         assert!(run(&parsed(&["frobnicate"])).is_err());
-        assert!(train(&parsed(&["train", "--dataset", "cifar", "--out", "/tmp/x.hdm"])).is_err());
-        assert!(runtime_report(&parsed(&["runtime", "--dataset", "mnist", "--platform", "m1"])).is_err());
+        assert!(train(&parsed(&[
+            "train",
+            "--dataset",
+            "cifar",
+            "--out",
+            "/tmp/x.hdm"
+        ]))
+        .is_err());
+        assert!(runtime_report(&parsed(&[
+            "runtime",
+            "--dataset",
+            "mnist",
+            "--platform",
+            "m1"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -399,9 +485,17 @@ mod tests {
         std::fs::write(&csv_path, text).unwrap();
         let model_path = dir.join("csv-model.hdm");
         let out = train(&parsed(&[
-            "train", "--csv", csv_path.to_str().unwrap(), "--out",
-            model_path.to_str().unwrap(), "--dim", "128", "--iterations", "3",
-            "--setting", "cpu",
+            "train",
+            "--csv",
+            csv_path.to_str().unwrap(),
+            "--out",
+            model_path.to_str().unwrap(),
+            "--dim",
+            "128",
+            "--iterations",
+            "3",
+            "--setting",
+            "cpu",
         ]))
         .unwrap();
         assert!(out.contains("test accuracy"), "{out}");
@@ -412,8 +506,19 @@ mod tests {
     #[test]
     fn federated_command_runs() {
         let out = federated(&parsed(&[
-            "federated", "--dataset", "pamap2", "--nodes", "3", "--rounds", "2",
-            "--dim", "256", "--train", "120", "--test", "60",
+            "federated",
+            "--dataset",
+            "pamap2",
+            "--nodes",
+            "3",
+            "--rounds",
+            "2",
+            "--dim",
+            "256",
+            "--train",
+            "120",
+            "--test",
+            "60",
         ]))
         .unwrap();
         assert!(out.contains("global model test accuracy"), "{out}");
@@ -423,8 +528,15 @@ mod tests {
     #[test]
     fn federated_rejects_bad_skew() {
         let err = federated(&parsed(&[
-            "federated", "--dataset", "pamap2", "--skew", "lots",
-            "--train", "40", "--test", "20",
+            "federated",
+            "--dataset",
+            "pamap2",
+            "--skew",
+            "lots",
+            "--train",
+            "40",
+            "--test",
+            "20",
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("skew"), "{err}");

@@ -10,12 +10,19 @@
 //! ```
 
 mod args;
+mod checks;
 mod commands;
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // The static-check subcommands use bare boolean flags and a stricter
+    // exit-status contract (0 clean, 1 findings, 2 usage error), so they
+    // bypass the `--key value` parser.
+    if let Some(command @ ("lint" | "verify")) = raw.first().map(String::as_str) {
+        return checks::run(command, &raw[1..]);
+    }
     let parsed = match args::ParsedArgs::parse(raw) {
         Ok(parsed) => parsed,
         Err(err) => {

@@ -73,6 +73,7 @@ impl PipelineConfig {
     /// # Panics
     ///
     /// Panics if `dim` is not divisible by 4 (the default bagging `M`).
+    #[must_use]
     pub fn new(dim: usize) -> Self {
         PipelineConfig {
             dim,
@@ -88,12 +89,14 @@ impl PipelineConfig {
     }
 
     /// Sets the full-model iteration count.
+    #[must_use]
     pub fn with_iterations(mut self, iterations: usize) -> Self {
         self.iterations = iterations;
         self
     }
 
     /// Sets the master seed (also reseeds the bagging stream).
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self.bagging = self.bagging.with_seed(seed ^ 0xBA66);
@@ -101,24 +104,28 @@ impl PipelineConfig {
     }
 
     /// Replaces the bagging configuration.
+    #[must_use]
     pub fn with_bagging(mut self, bagging: BaggingConfig) -> Self {
         self.bagging = bagging;
         self
     }
 
     /// Sets the host platform.
+    #[must_use]
     pub fn with_platform(mut self, platform: Platform) -> Self {
         self.platform = platform;
         self
     }
 
     /// Sets the accelerator configuration.
+    #[must_use]
     pub fn with_device(mut self, device: DeviceConfig) -> Self {
         self.device = device;
         self
     }
 
     /// Sets the encode/inference batch sizes.
+    #[must_use]
     pub fn with_batches(mut self, encode_batch: usize, infer_batch: usize) -> Self {
         self.encode_batch = encode_batch;
         self.infer_batch = infer_batch;
@@ -139,7 +146,9 @@ impl PipelineConfig {
             return Err(FrameworkError::InvalidConfig("iterations is zero".into()));
         }
         if self.encode_batch == 0 || self.infer_batch == 0 {
-            return Err(FrameworkError::InvalidConfig("batch sizes must be positive".into()));
+            return Err(FrameworkError::InvalidConfig(
+                "batch sizes must be positive".into(),
+            ));
         }
         if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
             return Err(FrameworkError::InvalidConfig(

@@ -84,6 +84,7 @@ pub struct FederatedConfig {
 
 impl FederatedConfig {
     /// Defaults: 4 nodes, 5 rounds, 2 local passes, IID partition.
+    #[must_use]
     pub fn new(dim: usize) -> Self {
         FederatedConfig {
             dim,
@@ -97,30 +98,35 @@ impl FederatedConfig {
     }
 
     /// Sets the node count.
+    #[must_use]
     pub fn with_nodes(mut self, nodes: usize) -> Self {
         self.nodes = nodes;
         self
     }
 
     /// Sets the round count.
+    #[must_use]
     pub fn with_rounds(mut self, rounds: usize) -> Self {
         self.rounds = rounds;
         self
     }
 
     /// Sets local passes per round.
+    #[must_use]
     pub fn with_local_iterations(mut self, iterations: usize) -> Self {
         self.local_iterations = iterations;
         self
     }
 
     /// Sets the partition policy.
+    #[must_use]
     pub fn with_partition(mut self, partition: Partition) -> Self {
         self.partition = partition;
         self
     }
 
     /// Sets the shared seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -257,13 +263,8 @@ pub fn federated_fit(
         let mut updates = 0usize;
         for data in node_data.iter().flatten() {
             let (encoded, shard_labels) = data;
-            let (local, local_stats) = train_encoded_warm(
-                encoded,
-                shard_labels,
-                global.clone(),
-                &local_config,
-                None,
-            )?;
+            let (local, local_stats) =
+                train_encoded_warm(encoded, shard_labels, global.clone(), &local_config, None)?;
             participating += 1;
             accuracy_sum += local_stats.final_train_accuracy();
             updates += local_stats.total_updates();
@@ -274,9 +275,8 @@ pub fn federated_fit(
             });
         }
         let participating = participating.max(1);
-        let mut aggregated = sum.ok_or_else(|| {
-            FrameworkError::InvalidConfig("no node received any samples".into())
-        })?;
+        let mut aggregated = sum
+            .ok_or_else(|| FrameworkError::InvalidConfig("no node received any samples".into()))?;
         aggregated.scale_inplace(1.0 / participating as f32);
         global = ClassHypervectors::from_matrix(aggregated);
         stats.rounds.push(RoundStats {
@@ -294,7 +294,12 @@ pub fn federated_fit(
 mod tests {
     use super::*;
 
-    fn clustered(samples_per_class: usize, n: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    fn clustered(
+        samples_per_class: usize,
+        n: usize,
+        classes: usize,
+        seed: u64,
+    ) -> (Matrix, Vec<usize>) {
         let mut rng = DetRng::new(seed);
         let centers: Vec<Vec<f32>> = (0..classes)
             .map(|_| (0..n).map(|_| 1.5 * rng.next_normal()).collect())
@@ -317,8 +322,7 @@ mod tests {
         let (features, labels) = clustered(30, 12, 3, 1);
         let config = FederatedConfig::new(512).with_nodes(4).with_rounds(4);
         let (model, stats) = federated_fit(&features, &labels, 3, &config).unwrap();
-        let acc =
-            hdc::eval::accuracy(&model.predict(&features).unwrap(), &labels).unwrap();
+        let acc = hdc::eval::accuracy(&model.predict(&features).unwrap(), &labels).unwrap();
         assert!(acc > 0.9, "federated accuracy {acc}");
         assert_eq!(stats.shard_sizes.len(), 4);
         assert_eq!(stats.shard_sizes.iter().sum::<usize>(), 90);
@@ -332,8 +336,7 @@ mod tests {
             .with_rounds(6)
             .with_partition(Partition::ClassSkew(0.9));
         let (model, _) = federated_fit(&features, &labels, 4, &config).unwrap();
-        let acc =
-            hdc::eval::accuracy(&model.predict(&features).unwrap(), &labels).unwrap();
+        let acc = hdc::eval::accuracy(&model.predict(&features).unwrap(), &labels).unwrap();
         // Non-IID is harder; the consensus still must beat chance widely.
         assert!(acc > 0.7, "non-iid federated accuracy {acc}");
     }
@@ -343,11 +346,11 @@ mod tests {
         let (features, labels) = clustered(30, 12, 3, 3);
         let fed_config = FederatedConfig::new(512).with_nodes(3).with_rounds(5);
         let (fed_model, _) = federated_fit(&features, &labels, 3, &fed_config).unwrap();
-        let central_config = hdc::TrainConfig::new(512).with_iterations(10).with_seed(0xFED5);
-        let (central_model, _) =
-            HdcModel::fit(&features, &labels, 3, &central_config).unwrap();
-        let fed_acc =
-            hdc::eval::accuracy(&fed_model.predict(&features).unwrap(), &labels).unwrap();
+        let central_config = hdc::TrainConfig::new(512)
+            .with_iterations(10)
+            .with_seed(0xFED5);
+        let (central_model, _) = HdcModel::fit(&features, &labels, 3, &central_config).unwrap();
+        let fed_acc = hdc::eval::accuracy(&fed_model.predict(&features).unwrap(), &labels).unwrap();
         let central_acc =
             hdc::eval::accuracy(&central_model.predict(&features).unwrap(), &labels).unwrap();
         assert!(

@@ -31,6 +31,7 @@ pub struct InferenceEngine {
 
 impl InferenceEngine {
     /// Creates an engine with the given pipeline configuration.
+    #[must_use]
     pub fn new(config: PipelineConfig) -> Self {
         InferenceEngine { config }
     }
@@ -107,24 +108,34 @@ mod tests {
         let cpu = engine
             .run(&model, &features, ExecutionSetting::CpuBaseline)
             .unwrap();
-        let tpu = engine.run(&model, &features, ExecutionSetting::Tpu).unwrap();
+        let tpu = engine
+            .run(&model, &features, ExecutionSetting::Tpu)
+            .unwrap();
         let cpu_acc = hdc::eval::accuracy(&cpu.predictions, &labels).unwrap();
         let tpu_acc = hdc::eval::accuracy(&tpu.predictions, &labels).unwrap();
         assert!(cpu_acc > 0.95, "cpu accuracy {cpu_acc}");
         // int8 quantization may cost a little accuracy, but not much.
-        assert!(tpu_acc > cpu_acc - 0.1, "tpu accuracy {tpu_acc} vs cpu {cpu_acc}");
+        assert!(
+            tpu_acc > cpu_acc - 0.1,
+            "tpu accuracy {tpu_acc} vs cpu {cpu_acc}"
+        );
     }
 
     #[test]
     fn bagging_setting_runs_the_merged_model_identically() {
         let (model, features, _) = trained();
         let engine = InferenceEngine::new(PipelineConfig::new(512));
-        let a = engine.run(&model, &features, ExecutionSetting::Tpu).unwrap();
+        let a = engine
+            .run(&model, &features, ExecutionSetting::Tpu)
+            .unwrap();
         let b = engine
             .run(&model, &features, ExecutionSetting::TpuBagging)
             .unwrap();
         assert_eq!(a.predictions, b.predictions);
-        assert_eq!(a.runtime_s, b.runtime_s, "merged model must add zero overhead");
+        assert_eq!(
+            a.runtime_s, b.runtime_s,
+            "merged model must add zero overhead"
+        );
     }
 
     #[test]

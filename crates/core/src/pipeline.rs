@@ -1,7 +1,10 @@
+use hd_bagging::{train_bagged_with, BaggingError, BaggingStats};
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
-use hd_bagging::{train_bagged_with, BaggingError, BaggingStats};
-use hdc::{train_encoded, BaseHypervectors, HdcModel, NonlinearEncoder, Similarity, TrainConfig, TrainStats};
+use hdc::{
+    train_encoded, BaseHypervectors, HdcModel, NonlinearEncoder, Similarity, TrainConfig,
+    TrainStats,
+};
 use tpu_sim::Device;
 use wide_nn::compile;
 
@@ -75,6 +78,7 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Creates a pipeline with the given configuration.
+    #[must_use]
     pub fn new(config: PipelineConfig) -> Self {
         Pipeline { config }
     }
@@ -274,7 +278,13 @@ mod tests {
     fn small_dataset(seed: u64) -> hd_datasets::Dataset {
         let spec = registry::by_name("pamap2").unwrap();
         let mut d = spec
-            .generate(SampleBudget::Reduced { train: 150, test: 60 }, seed)
+            .generate(
+                SampleBudget::Reduced {
+                    train: 150,
+                    test: 60,
+                },
+                seed,
+            )
             .unwrap();
         d.normalize();
         d

@@ -35,6 +35,7 @@ pub struct WorkloadSpec {
 
 impl WorkloadSpec {
     /// Builds a workload from a dataset spec's paper-scale counts.
+    #[must_use]
     pub fn from_dataset(spec: &hd_datasets::DatasetSpec) -> Self {
         WorkloadSpec {
             train_samples: spec.train_samples,
@@ -53,20 +54,43 @@ pub struct UpdateProfile {
 }
 
 impl UpdateProfile {
+    /// Builds a profile from measured per-iteration fractions, rejecting
+    /// any value outside `[0, 1]` — including `NaN` — with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::InvalidConfig`](crate::FrameworkError)
+    /// naming the first offending iteration and value.
+    pub fn try_from_fractions(fractions: Vec<f64>) -> crate::Result<Self> {
+        if let Some((i, &f)) = fractions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| !(0.0..=1.0).contains(*f))
+        {
+            return Err(crate::FrameworkError::InvalidConfig(format!(
+                "update fractions must lie in [0, 1]: iteration {i} has {f}"
+            )));
+        }
+        Ok(UpdateProfile { fractions })
+    }
+
     /// Builds a profile from measured per-iteration fractions.
     ///
     /// # Panics
     ///
-    /// Panics if any fraction is outside `[0, 1]`.
+    /// Panics if any fraction is outside `[0, 1]`. Use
+    /// [`UpdateProfile::try_from_fractions`] to handle that case as an
+    /// error instead.
+    #[must_use]
     pub fn from_fractions(fractions: Vec<f64>) -> Self {
-        assert!(
-            fractions.iter().all(|f| (0.0..=1.0).contains(f)),
-            "update fractions must lie in [0, 1]"
-        );
-        UpdateProfile { fractions }
+        match Self::try_from_fractions(fractions) {
+            Ok(profile) => profile,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Extracts the profile from functional training telemetry.
+    #[must_use]
     pub fn from_train_stats(stats: &hdc::TrainStats, samples: usize) -> Self {
         let fractions = stats
             .iterations
@@ -80,6 +104,7 @@ impl UpdateProfile {
     /// `start * decay^i` of the samples. `start = 0.5`, `decay = 0.75`
     /// approximates the convergence curves of Fig. 4 when no measured
     /// profile is available.
+    #[must_use]
     pub fn geometric(iterations: usize, start: f64, decay: f64) -> Self {
         let fractions = (0..iterations)
             .map(|i| (start * decay.powi(i as i32)).clamp(0.0, 1.0))
@@ -240,7 +265,8 @@ pub fn tpu_bagging_training(
             bagging.iterations,
             &sub_profile,
         );
-        model_gen_s += cost::model_generation_s(enc.param_bytes()) + timing::load_time_s(device, &enc);
+        model_gen_s +=
+            cost::model_generation_s(enc.param_bytes()) + timing::load_time_s(device, &enc);
     }
     RuntimeBreakdown {
         encode_s,
@@ -285,6 +311,9 @@ pub fn tpu_inference(
 /// # Panics
 ///
 /// Panics if `devices == 0`.
+// Mirrors tpu_training's parameter list plus the scaling knobs; callers
+// are experiment binaries that pass everything explicitly.
+#[allow(clippy::too_many_arguments)]
 pub fn tpu_training_scaled(
     device: &DeviceConfig,
     spec: &PlatformSpec,
@@ -308,9 +337,8 @@ pub fn tpu_training_scaled(
     } else {
         timing::batched_time_s(device, &enc, per_device, encode_batch)
     };
-    let encode_s = device_time
-        + cost::quantize_s(spec, s * workload.features)
-        + cost::quantize_s(spec, s * d);
+    let encode_s =
+        device_time + cost::quantize_s(spec, s * workload.features) + cost::quantize_s(spec, s * d);
     let update_s = update_cost_s(spec, s, d, workload.classes, iterations, profile);
     let model_gen_s = cost::model_generation_s(enc.param_bytes())
         + devices as f64 * timing::load_time_s(device, &enc)
@@ -459,7 +487,13 @@ pub fn inference_time_s(
     match setting {
         crate::config::ExecutionSetting::CpuBaseline => cpu_inference(&spec, workload, config.dim),
         crate::config::ExecutionSetting::Tpu | crate::config::ExecutionSetting::TpuBagging => {
-            tpu_inference(&config.device, &spec, workload, config.dim, config.infer_batch)
+            tpu_inference(
+                &config.device,
+                &spec,
+                workload,
+                config.dim,
+                config.infer_batch,
+            )
         }
     }
 }
@@ -559,10 +593,16 @@ mod tests {
         let config = PipelineConfig::new(10_000);
         let p_mnist = inference_time_s(&config, &mnist_like(), ExecutionSetting::CpuBaseline)
             / inference_time_s(&config, &mnist_like(), ExecutionSetting::Tpu);
-        assert!((2.0..12.0).contains(&p_mnist), "MNIST inference speedup {p_mnist}");
+        assert!(
+            (2.0..12.0).contains(&p_mnist),
+            "MNIST inference speedup {p_mnist}"
+        );
         let p_pamap = inference_time_s(&config, &pamap2_like(), ExecutionSetting::CpuBaseline)
             / inference_time_s(&config, &pamap2_like(), ExecutionSetting::Tpu);
-        assert!(p_pamap < 1.2, "PAMAP2 inference speedup {p_pamap} should be near/below 1");
+        assert!(
+            p_pamap < 1.2,
+            "PAMAP2 inference speedup {p_pamap} should be near/below 1"
+        );
     }
 
     #[test]
@@ -605,6 +645,15 @@ mod tests {
     }
 
     #[test]
+    fn try_from_fractions_rejects_out_of_range_and_nan() {
+        assert!(UpdateProfile::try_from_fractions(vec![0.0, 1.0, 0.3]).is_ok());
+        let err = UpdateProfile::try_from_fractions(vec![0.2, 1.5]).unwrap_err();
+        assert!(err.to_string().contains("iteration 1"));
+        let err = UpdateProfile::try_from_fractions(vec![f64::NAN]).unwrap_err();
+        assert!(err.to_string().contains("NaN"));
+    }
+
+    #[test]
     fn geometric_profile_decays() {
         let p = UpdateProfile::geometric(5, 0.6, 0.5);
         assert!(p.fraction(0) > p.fraction(4));
@@ -628,17 +677,45 @@ mod tests {
         let w = mnist_like();
         let p = default_profile();
         let one = tpu_training_scaled(
-            &config.device, &spec, &w, 10_000, 20, &p, config.encode_batch, 1, false,
+            &config.device,
+            &spec,
+            &w,
+            10_000,
+            20,
+            &p,
+            config.encode_batch,
+            1,
+            false,
         );
         let four = tpu_training_scaled(
-            &config.device, &spec, &w, 10_000, 20, &p, config.encode_batch, 4, false,
+            &config.device,
+            &spec,
+            &w,
+            10_000,
+            20,
+            &p,
+            config.encode_batch,
+            4,
+            false,
         );
-        assert!(four.encode_s < one.encode_s, "encode must shrink with devices");
+        assert!(
+            four.encode_s < one.encode_s,
+            "encode must shrink with devices"
+        );
         assert_eq!(four.update_s, one.update_s, "host update cannot scale");
-        assert!(four.model_gen_s > one.model_gen_s, "each device pays a load");
+        assert!(
+            four.model_gen_s > one.model_gen_s,
+            "each device pays a load"
+        );
         // Single-device unscaled path matches the plain model.
         let plain = tpu_training(
-            &config.device, &spec, &w, 10_000, 20, &p, config.encode_batch,
+            &config.device,
+            &spec,
+            &w,
+            10_000,
+            20,
+            &p,
+            config.encode_batch,
         );
         assert!((one.total_s() - plain.total_s()).abs() < 1e-9);
     }
@@ -650,10 +727,26 @@ mod tests {
         let w = mnist_like();
         let p = default_profile();
         let serial = tpu_training_scaled(
-            &config.device, &spec, &w, 10_000, 20, &p, config.encode_batch, 1, false,
+            &config.device,
+            &spec,
+            &w,
+            10_000,
+            20,
+            &p,
+            config.encode_batch,
+            1,
+            false,
         );
         let piped = tpu_training_scaled(
-            &config.device, &spec, &w, 10_000, 20, &p, config.encode_batch, 1, true,
+            &config.device,
+            &spec,
+            &w,
+            10_000,
+            20,
+            &p,
+            config.encode_batch,
+            1,
+            true,
         );
         assert!(piped.encode_s < serial.encode_s);
     }

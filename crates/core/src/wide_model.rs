@@ -147,8 +147,8 @@ mod tests {
     #[test]
     fn update_graph_is_rejected_by_accelerator_compiler() {
         let graph = update_graph(256, 1.0).unwrap();
-        let err = compile::compile(&graph, &Matrix::zeros(2, 256), &TargetSpec::default())
-            .unwrap_err();
+        let err =
+            compile::compile(&graph, &Matrix::zeros(2, 256), &TargetSpec::default()).unwrap_err();
         assert!(matches!(err, NnError::UnsupportedOp { .. }));
     }
 

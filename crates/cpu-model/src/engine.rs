@@ -39,6 +39,7 @@ pub struct CpuEngine {
 
 impl CpuEngine {
     /// Creates an engine for the given platform.
+    #[must_use]
     pub fn new(platform: Platform) -> Self {
         CpuEngine {
             spec: platform.spec(),

@@ -26,7 +26,13 @@ impl PlatformSpec {
     /// # Panics
     ///
     /// Panics if any rate is not positive.
-    pub fn new(name: impl Into<String>, gemm_flops: f64, elementwise_ops: f64, tanh_ops: f64) -> Self {
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        gemm_flops: f64,
+        elementwise_ops: f64,
+        tanh_ops: f64,
+    ) -> Self {
         assert!(
             gemm_flops > 0.0 && elementwise_ops > 0.0 && tanh_ops > 0.0,
             "throughputs must be positive"
@@ -45,6 +51,7 @@ impl PlatformSpec {
     /// # Panics
     ///
     /// Panics if `watts` is not positive.
+    #[must_use]
     pub fn with_power(mut self, watts: f64) -> Self {
         assert!(watts > 0.0, "power must be positive");
         self.active_power_w = watts;

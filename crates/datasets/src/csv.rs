@@ -167,9 +167,8 @@ pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<CsvImport> {
 /// parse failures as in [`parse_csv`].
 pub fn load_csv(path: impl AsRef<Path>, options: &CsvOptions) -> Result<CsvImport> {
     let path = path.as_ref();
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        DatasetError::InvalidConfig(format!("cannot read {}: {e}", path.display()))
-    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DatasetError::InvalidConfig(format!("cannot read {}: {e}", path.display())))?;
     parse_csv(&text, options)
 }
 

@@ -25,6 +25,11 @@ impl Split {
     }
 
     /// Shuffles samples and labels together.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if an internal invariant breaks: the permutation is
+    /// always a rearrangement of in-range row indices.
     pub fn shuffle(&mut self, rng: &mut DetRng) {
         let mut order: Vec<usize> = (0..self.len()).collect();
         rng.shuffle(&mut order);
@@ -75,6 +80,11 @@ impl Dataset {
     /// Z-score normalizes every feature using statistics of the
     /// **training** split only (the test split is transformed with the
     /// train statistics, as any leak-free pipeline must).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if an internal invariant breaks: every feature index
+    /// iterated is below the train split's column count.
     pub fn normalize(&mut self) {
         let n = self.feature_count();
         let mut means = vec![0.0f32; n];

@@ -81,8 +81,8 @@ impl Drift {
             return Err(DatasetError::InvalidConfig("features is zero".into()));
         }
         let mut rng = DetRng::new(config.seed);
-        let count = ((features as f64 * config.affected_fraction).round() as usize)
-            .clamp(1, features);
+        let count =
+            ((features as f64 * config.affected_fraction).round() as usize).clamp(1, features);
         let affected = rng.sample_without_replacement(features, count);
         let mut offsets = vec![0.0f32; features];
         let mut gains = vec![1.0f32; features];
@@ -192,7 +192,12 @@ impl Iterator for DriftStream {
         let t = self.current as f32 / self.steps as f32;
         let partial = Drift {
             offsets: self.drift.offsets.iter().map(|o| o * t).collect(),
-            gains: self.drift.gains.iter().map(|g| 1.0 + (g - 1.0) * t).collect(),
+            gains: self
+                .drift
+                .gains
+                .iter()
+                .map(|g| 1.0 + (g - 1.0) * t)
+                .collect(),
         };
         let mut snapshot = self.base.clone();
         partial

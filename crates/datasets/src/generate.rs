@@ -89,8 +89,8 @@ pub fn generate(config: &SyntheticConfig) -> Result<Dataset> {
     let mut rng = DetRng::new(config.seed);
     let n = config.features;
     let k = config.classes;
-    let informative = ((n as f32 * config.difficulty.informative_fraction).ceil() as usize)
-        .clamp(1, n);
+    let informative =
+        ((n as f32 * config.difficulty.informative_fraction).ceil() as usize).clamp(1, n);
 
     // Class centers: signal in the first `informative` coordinates.
     let centers: Vec<Vec<f32>> = (0..k)

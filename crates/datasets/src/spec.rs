@@ -101,7 +101,13 @@ mod tests {
     fn generate_reduced_respects_budget() {
         let spec = registry::by_name("mnist").unwrap();
         let d = spec
-            .generate(SampleBudget::Reduced { train: 50, test: 10 }, 7)
+            .generate(
+                SampleBudget::Reduced {
+                    train: 50,
+                    test: 10,
+                },
+                7,
+            )
             .unwrap();
         assert_eq!(d.train.len(), 50);
         assert_eq!(d.test.len(), 10);

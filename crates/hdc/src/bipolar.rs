@@ -39,6 +39,7 @@ pub struct BipolarVector {
 
 impl BipolarVector {
     /// Packs the signs of a real vector (`v >= 0` maps to `+1`).
+    #[must_use]
     pub fn from_signs(values: &[f32]) -> Self {
         let dim = values.len();
         let mut words = vec![0u64; dim.div_ceil(64)];
@@ -92,7 +93,7 @@ impl BipolarVector {
         for (i, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
             let mut diff = a ^ b;
             // Mask out padding bits in the last word.
-            if i == self.words.len() - 1 && self.dim % 64 != 0 {
+            if i == self.words.len() - 1 && !self.dim.is_multiple_of(64) {
                 diff &= (1u64 << (self.dim % 64)) - 1;
             }
             distance += diff.count_ones();
@@ -125,6 +126,7 @@ pub struct BipolarModel {
 
 impl BipolarModel {
     /// Binarizes a trained real-valued model.
+    #[must_use]
     pub fn binarize(model: &HdcModel) -> Self {
         BipolarModel {
             encoder: model.encoder().clone(),
@@ -161,9 +163,11 @@ impl BipolarModel {
                 let mut best = 0usize;
                 let mut best_distance = u32::MAX;
                 for (j, class) in self.classes.iter().enumerate() {
-                    let d = class.hamming_distance(&query).ok_or(HdcError::InvalidConfig(
-                        "class/query dimensionality mismatch",
-                    ))?;
+                    let d = class
+                        .hamming_distance(&query)
+                        .ok_or(HdcError::InvalidConfig(
+                            "class/query dimensionality mismatch",
+                        ))?;
                     if d < best_distance {
                         best_distance = d;
                         best = j;
@@ -176,6 +180,11 @@ impl BipolarModel {
 }
 
 /// Binarizes class hypervectors column-wise (one packed vector per class).
+///
+/// # Panics
+///
+/// Panics only if an internal invariant breaks: every class index
+/// iterated is below `classes.class_count()`.
 pub fn binarize_classes(classes: &ClassHypervectors) -> Vec<BipolarVector> {
     (0..classes.class_count())
         .map(|j| {
@@ -265,8 +274,7 @@ mod tests {
         let (model, features, labels) = trained();
         let float_acc = crate::eval::accuracy(&model.predict(&features).unwrap(), &labels).unwrap();
         let bipolar = BipolarModel::binarize(&model);
-        let bip_acc =
-            crate::eval::accuracy(&bipolar.predict(&features).unwrap(), &labels).unwrap();
+        let bip_acc = crate::eval::accuracy(&bipolar.predict(&features).unwrap(), &labels).unwrap();
         assert!(float_acc > 0.95);
         assert!(
             bip_acc > float_acc - 0.1,

@@ -32,6 +32,7 @@ pub struct BaseHypervectors {
 
 impl BaseHypervectors {
     /// Generates base hypervectors for `n` features at dimensionality `d`.
+    #[must_use]
     pub fn generate(n: usize, d: usize, rng: &mut DetRng) -> Self {
         BaseHypervectors {
             matrix: Matrix::random_normal(n, d, rng),
@@ -40,6 +41,7 @@ impl BaseHypervectors {
 
     /// Wraps an existing `n x d` matrix as base hypervectors (used by the
     /// bagging merge, which stacks and zero-pads sub-model bases).
+    #[must_use]
     pub fn from_matrix(matrix: Matrix) -> Self {
         BaseHypervectors { matrix }
     }
@@ -86,10 +88,12 @@ impl BaseHypervectors {
         let mut pairs = 0;
         for i in 0..n.min(16) {
             for j in (i + 1)..n.min(16) {
-                let c = ops::cosine(self.matrix.row(i), self.matrix.row(j))
-                    .expect("rows have equal length");
-                total += c.abs();
-                pairs += 1;
+                // Rows of one matrix always have equal length, so cosine
+                // cannot fail here; skip the pair rather than panic.
+                if let Ok(c) = ops::cosine(self.matrix.row(i), self.matrix.row(j)) {
+                    total += c.abs();
+                    pairs += 1;
+                }
             }
         }
         if pairs == 0 {
@@ -113,6 +117,7 @@ pub struct NonlinearEncoder {
 
 impl NonlinearEncoder {
     /// Creates an encoder over the given base hypervectors.
+    #[must_use]
     pub fn new(base: BaseHypervectors) -> Self {
         NonlinearEncoder { base }
     }
@@ -160,6 +165,7 @@ pub struct LinearEncoder {
 
 impl LinearEncoder {
     /// Creates a linear encoder over the given base hypervectors.
+    #[must_use]
     pub fn new(base: BaseHypervectors) -> Self {
         LinearEncoder { base }
     }

@@ -76,7 +76,9 @@ mod tests {
             "label 9 out of range for 5 classes"
         );
         assert!(HdcError::EmptyDataset.to_string().contains("no samples"));
-        assert!(HdcError::InvalidConfig("dim is zero").to_string().contains("dim is zero"));
+        assert!(HdcError::InvalidConfig("dim is zero")
+            .to_string()
+            .contains("dim is zero"));
     }
 
     #[test]

@@ -65,16 +65,10 @@ impl ConfusionMatrix {
         let mut counts = vec![vec![0usize; classes]; classes];
         for (&p, &l) in predictions.iter().zip(labels) {
             if p >= classes {
-                return Err(HdcError::LabelOutOfRange {
-                    label: p,
-                    classes,
-                });
+                return Err(HdcError::LabelOutOfRange { label: p, classes });
             }
             if l >= classes {
-                return Err(HdcError::LabelOutOfRange {
-                    label: l,
-                    classes,
-                });
+                return Err(HdcError::LabelOutOfRange { label: l, classes });
             }
             counts[l][p] += 1;
         }

@@ -33,6 +33,7 @@ pub struct ClassHypervectors {
 
 impl ClassHypervectors {
     /// All-zero class hypervectors (the paper's training start state).
+    #[must_use]
     pub fn zeros(d: usize, k: usize) -> Self {
         ClassHypervectors {
             matrix: Matrix::zeros(d, k),
@@ -40,6 +41,7 @@ impl ClassHypervectors {
     }
 
     /// Wraps an existing `d x k` matrix (used by the bagging merge).
+    #[must_use]
     pub fn from_matrix(matrix: Matrix) -> Self {
         ClassHypervectors { matrix }
     }
@@ -224,8 +226,8 @@ impl HdcModel {
     pub fn predict_encoded(&self, encoded: &Matrix) -> Result<Vec<usize>> {
         match self.similarity {
             Similarity::Dot => {
-                let scores = gemm::matmul(encoded, self.classes.as_matrix())
-                    .map_err(HdcError::from)?;
+                let scores =
+                    gemm::matmul(encoded, self.classes.as_matrix()).map_err(HdcError::from)?;
                 (0..scores.rows())
                     .map(|r| ops::argmax(scores.row(r)).map_err(HdcError::from))
                     .collect()
@@ -337,7 +339,10 @@ mod tests {
     fn zero_class_hypervectors_score_zero() {
         let classes = ClassHypervectors::zeros(8, 3);
         let encoded = vec![1.0f32; 8];
-        assert_eq!(classes.scores(&encoded, Similarity::Dot).unwrap(), vec![0.0; 3]);
+        assert_eq!(
+            classes.scores(&encoded, Similarity::Dot).unwrap(),
+            vec![0.0; 3]
+        );
         assert_eq!(
             classes.scores(&encoded, Similarity::Cosine).unwrap(),
             vec![0.0; 3]

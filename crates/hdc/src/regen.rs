@@ -251,7 +251,10 @@ mod tests {
         let classes = ClassHypervectors::from_matrix(m);
         let scores = dimension_scores(&classes);
         assert!(scores[0] < 1e-9, "constant row must score ~0: {scores:?}");
-        assert!(scores[1] > 1.0, "discriminative row must score high: {scores:?}");
+        assert!(
+            scores[1] > 1.0,
+            "discriminative row must score high: {scores:?}"
+        );
     }
 
     #[test]

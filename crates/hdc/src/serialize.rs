@@ -94,7 +94,9 @@ pub fn read_model(data: &[u8]) -> Result<HdcModel> {
         return Err(HdcError::InvalidConfig("bad model container magic"));
     }
     if buf.get_u32_le() != VERSION {
-        return Err(HdcError::InvalidConfig("unsupported model container version"));
+        return Err(HdcError::InvalidConfig(
+            "unsupported model container version",
+        ));
     }
     let features = buf.get_u32_le() as usize;
     let dim = buf.get_u32_le() as usize;
@@ -124,9 +126,9 @@ pub fn read_model(data: &[u8]) -> Result<HdcModel> {
         class_data.push(buf.get_f32_le());
     }
 
-    let encoder = NonlinearEncoder::new(BaseHypervectors::from_matrix(
-        Matrix::from_vec(features, dim, base)?,
-    ));
+    let encoder = NonlinearEncoder::new(BaseHypervectors::from_matrix(Matrix::from_vec(
+        features, dim, base,
+    )?));
     let class_hvs = ClassHypervectors::from_matrix(Matrix::from_vec(dim, classes, class_data)?);
     HdcModel::from_parts(encoder, class_hvs, similarity)
 }

@@ -43,6 +43,7 @@ pub struct TrainConfig {
 impl TrainConfig {
     /// Creates a configuration with paper-style defaults at the given
     /// dimensionality.
+    #[must_use]
     pub fn new(dim: usize) -> Self {
         TrainConfig {
             dim,
@@ -55,30 +56,35 @@ impl TrainConfig {
     }
 
     /// Sets the number of training passes.
+    #[must_use]
     pub fn with_iterations(mut self, iterations: usize) -> Self {
         self.iterations = iterations;
         self
     }
 
     /// Sets the learning rate `lambda`.
+    #[must_use]
     pub fn with_learning_rate(mut self, rate: f32) -> Self {
         self.learning_rate = rate;
         self
     }
 
     /// Sets the RNG seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Sets the similarity metric.
+    #[must_use]
     pub fn with_similarity(mut self, similarity: Similarity) -> Self {
         self.similarity = similarity;
         self
     }
 
     /// Enables early stopping with the given patience (in passes).
+    #[must_use]
     pub fn with_patience(mut self, patience: usize) -> Self {
         self.patience = Some(patience);
         self
@@ -101,7 +107,9 @@ impl TrainConfig {
             return Err(HdcError::InvalidConfig("learning rate must be positive"));
         }
         if self.patience == Some(0) {
-            return Err(HdcError::InvalidConfig("patience must be positive when set"));
+            return Err(HdcError::InvalidConfig(
+                "patience must be positive when set",
+            ));
         }
         Ok(())
     }
@@ -373,7 +381,9 @@ impl OnlineTrainer {
     /// a non-positive learning rate.
     pub fn new(d: usize, classes: usize, learning_rate: f32) -> Result<Self> {
         if d == 0 || classes == 0 {
-            return Err(HdcError::InvalidConfig("dimension and classes must be positive"));
+            return Err(HdcError::InvalidConfig(
+                "dimension and classes must be positive",
+            ));
         }
         if !learning_rate.is_finite() || learning_rate <= 0.0 {
             return Err(HdcError::InvalidConfig("learning rate must be positive"));
@@ -407,14 +417,22 @@ impl OnlineTrainer {
         if predicted != label {
             ops::axpy(self.learning_rate, encoded, &mut self.class_rows[label])
                 .map_err(HdcError::from)?;
-            ops::axpy(-self.learning_rate, encoded, &mut self.class_rows[predicted])
-                .map_err(HdcError::from)?;
+            ops::axpy(
+                -self.learning_rate,
+                encoded,
+                &mut self.class_rows[predicted],
+            )
+            .map_err(HdcError::from)?;
         } else {
             // Reinforce correct predictions gently so the first pass still
             // accumulates class mass (pure perceptron updates would leave
             // never-missed classes at zero).
-            ops::axpy(self.learning_rate * 0.1, encoded, &mut self.class_rows[label])
-                .map_err(HdcError::from)?;
+            ops::axpy(
+                self.learning_rate * 0.1,
+                encoded,
+                &mut self.class_rows[label],
+            )
+            .map_err(HdcError::from)?;
         }
         self.seen += 1;
         Ok(())
@@ -439,7 +457,11 @@ mod tests {
     use super::*;
     use hd_tensor::rng::DetRng;
 
-    fn encoded_clusters(samples_per_class: usize, d: usize, classes: usize) -> (Matrix, Vec<usize>) {
+    fn encoded_clusters(
+        samples_per_class: usize,
+        d: usize,
+        classes: usize,
+    ) -> (Matrix, Vec<usize>) {
         // Clusters around random unit directions in hypervector space.
         let mut rng = DetRng::new(7);
         let centers: Vec<Vec<f32>> = (0..classes)
@@ -513,8 +535,14 @@ mod tests {
     fn config_validation() {
         assert!(TrainConfig::new(0).validate().is_err());
         assert!(TrainConfig::new(8).with_iterations(0).validate().is_err());
-        assert!(TrainConfig::new(8).with_learning_rate(0.0).validate().is_err());
-        assert!(TrainConfig::new(8).with_learning_rate(f32::NAN).validate().is_err());
+        assert!(TrainConfig::new(8)
+            .with_learning_rate(0.0)
+            .validate()
+            .is_err());
+        assert!(TrainConfig::new(8)
+            .with_learning_rate(f32::NAN)
+            .validate()
+            .is_err());
         assert!(TrainConfig::new(8).validate().is_ok());
     }
 
@@ -548,9 +576,7 @@ mod tests {
         // Score each sample and count correct predictions.
         let mut correct = 0;
         for (row, &label) in labels.iter().enumerate() {
-            let scores = classes
-                .scores(encoded.row(row), Similarity::Dot)
-                .unwrap();
+            let scores = classes.scores(encoded.row(row), Similarity::Dot).unwrap();
             if ops::argmax(&scores).unwrap() == label {
                 correct += 1;
             }
@@ -657,8 +683,12 @@ mod tests {
     #[test]
     fn learning_rate_scales_updates() {
         let (encoded, labels) = encoded_clusters(5, 32, 2);
-        let c1 = TrainConfig::new(32).with_iterations(1).with_learning_rate(1.0);
-        let c2 = TrainConfig::new(32).with_iterations(1).with_learning_rate(2.0);
+        let c1 = TrainConfig::new(32)
+            .with_iterations(1)
+            .with_learning_rate(1.0);
+        let c2 = TrainConfig::new(32)
+            .with_iterations(1)
+            .with_learning_rate(2.0);
         let (m1, _) = train_encoded(&encoded, &labels, 2, &c1).unwrap();
         let (m2, _) = train_encoded(&encoded, &labels, 2, &c2).unwrap();
         // With double the rate, the first-pass updates are exactly doubled.

@@ -40,6 +40,7 @@ pub struct ModelBuilder {
 
 impl ModelBuilder {
     /// Starts a model that consumes `input_dim` features per sample.
+    #[must_use]
     pub fn new(input_dim: usize) -> Self {
         ModelBuilder {
             input_dim,
@@ -68,6 +69,7 @@ impl ModelBuilder {
     }
 
     /// Appends an element-wise activation layer.
+    #[must_use]
     pub fn activation(mut self, act: Activation) -> Self {
         self.layers.push(Layer::Activation(act));
         self
@@ -77,6 +79,7 @@ impl ModelBuilder {
     /// the resulting model for an accelerator target fails with
     /// [`NnError::UnsupportedOp`], which is precisely how the framework
     /// discovers that class-hypervector update must stay on the host.
+    #[must_use]
     pub fn elementwise(mut self, op: ElementwiseOp, lambda: f32) -> Self {
         self.layers.push(Layer::Elementwise { op, lambda });
         self
@@ -146,7 +149,10 @@ mod tests {
 
     #[test]
     fn empty_build_fails() {
-        assert_eq!(ModelBuilder::new(4).build().unwrap_err(), NnError::EmptyModel);
+        assert_eq!(
+            ModelBuilder::new(4).build().unwrap_err(),
+            NnError::EmptyModel
+        );
     }
 
     #[test]

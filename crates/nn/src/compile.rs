@@ -47,19 +47,51 @@ impl Default for TargetSpec {
 }
 
 impl TargetSpec {
-    /// Creates a target with explicit parameters.
+    /// Creates a target with explicit parameters, rejecting invalid ones.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any dimension is zero.
-    pub fn new(name: impl Into<String>, array_rows: usize, array_cols: usize, param_buffer_bytes: usize) -> Self {
-        assert!(array_rows > 0 && array_cols > 0, "array dims must be positive");
-        assert!(param_buffer_bytes > 0, "buffer must be positive");
-        TargetSpec {
+    /// Returns [`NnError::InvalidTarget`] if any array dimension or the
+    /// parameter buffer size is zero.
+    pub fn try_new(
+        name: impl Into<String>,
+        array_rows: usize,
+        array_cols: usize,
+        param_buffer_bytes: usize,
+    ) -> Result<Self> {
+        if array_rows == 0 || array_cols == 0 {
+            return Err(NnError::InvalidTarget(format!(
+                "array dims must be positive (got {array_rows}x{array_cols})"
+            )));
+        }
+        if param_buffer_bytes == 0 {
+            return Err(NnError::InvalidTarget("buffer must be positive".to_owned()));
+        }
+        Ok(TargetSpec {
             name: name.into(),
             array_rows,
             array_cols,
             param_buffer_bytes,
+        })
+    }
+
+    /// Creates a target with explicit parameters.
+    ///
+    /// Thin wrapper over [`TargetSpec::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        array_rows: usize,
+        array_cols: usize,
+        param_buffer_bytes: usize,
+    ) -> Self {
+        match Self::try_new(name, array_rows, array_cols, param_buffer_bytes) {
+            Ok(spec) => spec,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -136,11 +168,7 @@ impl CompiledModel {
     /// # Panics
     ///
     /// Panics if `rate` is outside `[0, 1]`.
-    pub fn inject_weight_faults(
-        &mut self,
-        rate: f64,
-        rng: &mut hd_tensor::rng::DetRng,
-    ) -> usize {
+    pub fn inject_weight_faults(&mut self, rate: f64, rng: &mut hd_tensor::rng::DetRng) -> usize {
         self.quantized.inject_weight_faults(rate, rng)
     }
 }
@@ -211,6 +239,22 @@ fn compile_inner(
         }
     }
 
+    // Static graph verification before any quantization work. Capacity
+    // overflow keeps its legacy typed form (the runtime partitioner
+    // matches on it); everything else surfaces as the structured report.
+    let report = crate::verify::verify_model(model, target);
+    if report.has_errors() {
+        if report.errors().all(|d| d.code == "verify/over-capacity") {
+            return Err(NnError::ModelTooLarge {
+                required: report.param_bytes_required(),
+                available: target.param_buffer_bytes,
+            });
+        }
+        return Err(NnError::Verification {
+            diagnostics: report.errors().cloned().collect(),
+        });
+    }
+
     let quantized = if per_channel {
         QuantizedModel::quantize_per_channel(model, calibration)?
     } else {
@@ -231,9 +275,11 @@ fn compile_inner(
             QuantStage::FullyConnected { weights, .. } => {
                 (weights.rows(), weights.cols(), weights.byte_size())
             }
-            QuantStage::FullyConnectedPerChannel { weights, .. } => {
-                (weights.rows(), weights.cols(), weights.byte_size() + 4 * weights.cols())
-            }
+            QuantStage::FullyConnectedPerChannel { weights, .. } => (
+                weights.rows(),
+                weights.cols(),
+                weights.byte_size() + 4 * weights.cols(),
+            ),
             QuantStage::Lut(_) => continue,
         };
         tile_plans.push(TilePlan {
@@ -347,5 +393,39 @@ mod tests {
     #[should_panic(expected = "array dims must be positive")]
     fn zero_array_rejected() {
         let _ = TargetSpec::new("bad", 0, 64, 1024);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(matches!(
+            TargetSpec::try_new("bad", 0, 64, 1024),
+            Err(NnError::InvalidTarget(_))
+        ));
+        assert!(matches!(
+            TargetSpec::try_new("bad", 64, 64, 0),
+            Err(NnError::InvalidTarget(_))
+        ));
+        let ok = TargetSpec::try_new("ok", 64, 64, 1024).unwrap();
+        assert_eq!(ok.name, "ok");
+    }
+
+    #[test]
+    fn non_finite_weights_fail_verification_before_quantization() {
+        let mut weights = Matrix::zeros(4, 4);
+        weights[(0, 0)] = f32::INFINITY;
+        let model = ModelBuilder::new(4)
+            .fully_connected(weights)
+            .unwrap()
+            .build()
+            .unwrap();
+        let err = compile(&model, &Matrix::zeros(2, 4), &TargetSpec::default()).unwrap_err();
+        match err {
+            NnError::Verification { diagnostics } => {
+                assert!(diagnostics
+                    .iter()
+                    .any(|d| d.code == "verify/non-finite-weight"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
     }
 }

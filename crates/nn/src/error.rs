@@ -4,6 +4,8 @@ use std::fmt;
 use hd_quant::QuantError;
 use hd_tensor::TensorError;
 
+use crate::diag::Diagnostic;
+
 /// Error type for model construction, execution, serialization and
 /// compilation.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,8 +50,23 @@ pub enum NnError {
         /// Bytes available in the target's parameter buffer.
         available: usize,
     },
+    /// A compilation target was described with invalid parameters.
+    InvalidTarget(String),
+    /// The static model-graph verifier rejected the model.
+    ///
+    /// Carries every error-severity [`Diagnostic`] the verifier produced,
+    /// so callers can render the full structured report instead of one
+    /// opaque message.
+    Verification {
+        /// Error-severity findings from [`crate::verify::verify_graph`].
+        diagnostics: Vec<Diagnostic>,
+    },
     /// Malformed or truncated serialized model data.
     Serialization(String),
+    /// An internal invariant was violated. Seeing this error is a bug in
+    /// the library, but hot paths propagate it instead of aborting the
+    /// whole training/inference run.
+    Internal(String),
     /// An underlying tensor operation failed.
     Tensor(TensorError),
     /// An underlying quantization operation failed.
@@ -81,7 +98,16 @@ impl fmt::Display for NnError {
                 f,
                 "model parameters need {required} bytes, target buffer holds {available}"
             ),
+            NnError::InvalidTarget(msg) => write!(f, "invalid target spec: {msg}"),
+            NnError::Verification { diagnostics } => {
+                write!(f, "model verification failed with {} error(s)", diagnostics.len())?;
+                for d in diagnostics {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
+            }
             NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            NnError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::Quant(e) => write!(f, "quantization error: {e}"),
         }

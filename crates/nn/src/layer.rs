@@ -168,7 +168,10 @@ mod tests {
             weights: Matrix::zeros(3, 5),
         };
         assert_eq!(fc.quantized_param_bytes(), 15);
-        assert_eq!(Layer::Activation(Activation::Tanh).quantized_param_bytes(), 256);
+        assert_eq!(
+            Layer::Activation(Activation::Tanh).quantized_param_bytes(),
+            256
+        );
     }
 
     #[test]

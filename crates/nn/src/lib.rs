@@ -48,14 +48,18 @@ mod model;
 mod quantized;
 
 pub mod compile;
+pub mod diag;
 pub mod serialize;
+pub mod verify;
 
 pub use builder::ModelBuilder;
 pub use compile::{CompiledModel, TargetSpec, TilePlan};
+pub use diag::{Diagnostic, Severity, Site};
 pub use error::NnError;
 pub use layer::{Activation, ElementwiseOp, Layer};
 pub use model::Model;
 pub use quantized::{QuantStage, QuantizedModel};
+pub use verify::{verify_graph, verify_model, VerifyReport};
 
 /// Convenience result alias for fallible model operations.
 pub type Result<T> = std::result::Result<T, NnError>;

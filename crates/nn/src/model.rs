@@ -242,7 +242,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let out = m.forward(&Matrix::from_rows(&[&[2.0, 3.0]]).unwrap()).unwrap();
+        let out = m
+            .forward(&Matrix::from_rows(&[&[2.0, 3.0]]).unwrap())
+            .unwrap();
         assert!((out[(0, 0)] - 5.0f32.tanh()).abs() < 1e-6);
         assert!((out[(0, 1)] - 3.0f32.tanh()).abs() < 1e-6);
     }

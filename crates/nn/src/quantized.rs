@@ -100,7 +100,9 @@ impl QuantizedModel {
         for stage in base.stages {
             stages.push(match stage {
                 QuantStage::FullyConnected { out_params, .. } => {
-                    let weights = float_fc.next().expect("stage/layer counts agree");
+                    let weights = float_fc.next().ok_or_else(|| {
+                        NnError::Internal("quantized stages outnumber float FC layers".into())
+                    })?;
                     QuantStage::FullyConnectedPerChannel {
                         weights: hd_quant::per_channel::ChannelQuantizedMatrix::quantize(weights)?,
                         out_params,
@@ -131,6 +133,15 @@ impl QuantizedModel {
             tensor_params.push(cal.to_params()?);
         }
 
+        // `forward_with_intermediates` yields one tensor per layer
+        // boundary; a miss here is a library bug, propagated rather than
+        // panicking mid-run.
+        let params_at = |i: usize| -> Result<QuantParams> {
+            tensor_params.get(i).copied().ok_or_else(|| {
+                NnError::Internal(format!("missing calibration params for tensor {i}"))
+            })
+        };
+
         let mut stages = Vec::with_capacity(model.layers().len());
         for (i, layer) in model.layers().iter().enumerate() {
             match layer {
@@ -138,16 +149,14 @@ impl QuantizedModel {
                     let wparams = QuantParams::symmetric(weights.max_abs())?;
                     stages.push(QuantStage::FullyConnected {
                         weights: QuantizedMatrix::quantize(weights, wparams),
-                        out_params: tensor_params[i + 1],
+                        out_params: params_at(i + 1)?,
                     });
                 }
                 Layer::Activation(act) => {
                     let a = *act;
-                    let lut = ActivationLut::from_fn(
-                        tensor_params[i],
-                        tensor_params[i + 1],
-                        move |v| a.eval(v),
-                    );
+                    let lut = ActivationLut::from_fn(params_at(i)?, params_at(i + 1)?, move |v| {
+                        a.eval(v)
+                    });
                     stages.push(QuantStage::Lut(lut));
                 }
                 Layer::Elementwise { op, .. } => {
@@ -161,7 +170,7 @@ impl QuantizedModel {
         Ok(QuantizedModel {
             input_dim: model.input_dim(),
             output_dim: model.output_dim(),
-            input_params: tensor_params[0],
+            input_params: params_at(0)?,
             stages,
         })
     }
@@ -204,11 +213,20 @@ impl QuantizedModel {
     }
 
     /// Quantization of the final output tensor.
-    pub fn output_params(&self) -> QuantParams {
-        match self.stages.last().expect("stages are non-empty") {
-            QuantStage::FullyConnected { out_params, .. }
-            | QuantStage::FullyConnectedPerChannel { out_params, .. } => *out_params,
-            QuantStage::Lut(lut) => lut.output_params(),
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyModel`] if the model has no stages (not
+    /// constructible through the public API, but propagated rather than
+    /// panicking).
+    pub fn output_params(&self) -> Result<QuantParams> {
+        match self.stages.last() {
+            Some(
+                QuantStage::FullyConnected { out_params, .. }
+                | QuantStage::FullyConnectedPerChannel { out_params, .. },
+            ) => Ok(*out_params),
+            Some(QuantStage::Lut(lut)) => Ok(lut.output_params()),
+            None => Err(NnError::EmptyModel),
         }
     }
 
@@ -242,11 +260,7 @@ impl QuantizedModel {
     /// # Panics
     ///
     /// Panics if `rate` is outside `[0, 1]`.
-    pub fn inject_weight_faults(
-        &mut self,
-        rate: f64,
-        rng: &mut hd_tensor::rng::DetRng,
-    ) -> usize {
+    pub fn inject_weight_faults(&mut self, rate: f64, rng: &mut hd_tensor::rng::DetRng) -> usize {
         let mut flipped = 0usize;
         for stage in &mut self.stages {
             if let QuantStage::FullyConnected { weights, .. } = stage {
@@ -435,7 +449,7 @@ mod tests {
         // Last stage is the classification FC layer.
         match qmodel.stages().last().unwrap() {
             QuantStage::FullyConnected { out_params, .. } => {
-                assert_eq!(qmodel.output_params(), *out_params);
+                assert_eq!(qmodel.output_params().unwrap(), *out_params);
             }
             other => panic!("unexpected last stage {other:?}"),
         }
@@ -494,9 +508,8 @@ mod tests {
             other => panic!("unexpected stage {other:?}"),
         };
         // Small-magnitude column 0 reconstructs far better per channel.
-        let col_err = |m: &Matrix| -> f32 {
-            (0..32).map(|r| (m[(r, 0)] - float_w2[(r, 0)]).abs()).sum()
-        };
+        let col_err =
+            |m: &Matrix| -> f32 { (0..32).map(|r| (m[(r, 0)] - float_w2[(r, 0)]).abs()).sum() };
         assert!(
             col_err(&pc_w2) < col_err(&pt_w2) / 4.0,
             "per-channel column error {} vs per-tensor {}",

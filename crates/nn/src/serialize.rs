@@ -136,7 +136,9 @@ pub fn read_model(data: &[u8]) -> Result<Model> {
     }
     let version = buf.get_u32_le();
     if version != VERSION {
-        return Err(NnError::Serialization(format!("unsupported version {version}")));
+        return Err(NnError::Serialization(format!(
+            "unsupported version {version}"
+        )));
     }
     let input_dim = buf.get_u32_le() as usize;
     need(&buf, 4, "layer count")?;
@@ -286,7 +288,9 @@ pub fn read_quantized_model(data: &[u8]) -> Result<QuantizedModel> {
     }
     let version = buf.get_u32_le();
     if version != VERSION {
-        return Err(NnError::Serialization(format!("unsupported version {version}")));
+        return Err(NnError::Serialization(format!(
+            "unsupported version {version}"
+        )));
     }
     let input_dim = buf.get_u32_le() as usize;
     need(&buf, 4, "output dim")?;
@@ -355,9 +359,8 @@ pub fn read_quantized_model(data: &[u8]) -> Result<QuantizedModel> {
                         weights[(r, c)] = scale * q as f32;
                     }
                 }
-                let rebuilt =
-                    hd_quant::per_channel::ChannelQuantizedMatrix::quantize(&weights)
-                        .map_err(NnError::from)?;
+                let rebuilt = hd_quant::per_channel::ChannelQuantizedMatrix::quantize(&weights)
+                    .map_err(NnError::from)?;
                 stages.push(QuantStage::FullyConnectedPerChannel {
                     weights: rebuilt,
                     out_params,

@@ -57,12 +57,9 @@ proptest! {
         let pos = pos % blob.len();
         blob[pos] ^= 1 << bit;
         // Either parses (mutation hit weight data) or errors — no panic.
-        match serialize::read_model(&blob) {
-            Ok(model) => {
-                // If it parsed, the model is structurally valid.
-                prop_assert!(model.input_dim() > 0 || model.output_dim() > 0);
-            }
-            Err(_) => {}
+        if let Ok(model) = serialize::read_model(&blob) {
+            // If it parsed, the model is structurally valid.
+            prop_assert!(model.input_dim() > 0 || model.output_dim() > 0);
         }
     }
 

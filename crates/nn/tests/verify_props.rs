@@ -1,0 +1,99 @@
+//! Property tests for the static model-graph verifier: random layer
+//! stacks must be accepted exactly when their dimensions chain and their
+//! parameters fit the target buffer.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use hd_tensor::Matrix;
+use wide_nn::{verify_graph, Activation, Layer, TargetSpec};
+
+/// Builds a fully-connected stack whose layer widths follow `dims`
+/// (`dims[0]` is the input width), with a tanh after every FC so each
+/// stage matches the accelerator-friendly FC+activation pattern.
+fn chained_stack(dims: &[usize]) -> (usize, Vec<Layer>) {
+    let mut layers = Vec::new();
+    for w in dims.windows(2) {
+        layers.push(Layer::FullyConnected {
+            weights: Matrix::filled(w[0], w[1], 0.5),
+        });
+        layers.push(Layer::Activation(Activation::Tanh));
+    }
+    (dims[0], layers)
+}
+
+fn param_bytes(layers: &[Layer]) -> usize {
+    layers.iter().map(Layer::quantized_param_bytes).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chained_stacks_accept_iff_params_fit(
+        dims in vec(1usize..9, 2..6),
+        budget in 1usize..6000,
+    ) {
+        let (input_dim, layers) = chained_stack(&dims);
+        let target = TargetSpec::try_new("prop", 8, 8, budget).unwrap();
+        let report = verify_graph(input_dim, &layers, &target);
+        let fits = report.param_bytes_required() <= budget;
+        prop_assert_eq!(
+            !report.has_errors(),
+            fits,
+            "dims {:?}, budget {}, required {}",
+            dims.clone(),
+            budget,
+            report.param_bytes_required()
+        );
+        prop_assert_eq!(report.param_bytes_required(), param_bytes(&layers));
+        if !fits {
+            prop_assert!(report.errors().all(|d| d.code == "verify/over-capacity"));
+        }
+    }
+
+    #[test]
+    fn broken_chains_are_rejected_with_shape_mismatch(
+        dims in vec(1usize..9, 3..6),
+        break_at in 0usize..4,
+        delta in 1usize..5,
+    ) {
+        let (input_dim, mut layers) = chained_stack(&dims);
+        // Corrupt one FC layer's input width so the chain no longer links.
+        let fc_indices: Vec<usize> = (0..layers.len()).step_by(2).collect();
+        let broken = fc_indices[break_at % fc_indices.len()];
+        let (rows, cols) = match &layers[broken] {
+            Layer::FullyConnected { weights } => (weights.rows(), weights.cols()),
+            _ => unreachable!("even indices are FC layers"),
+        };
+        layers[broken] = Layer::FullyConnected {
+            weights: Matrix::filled(rows + delta, cols, 0.5),
+        };
+        let target = TargetSpec::try_new("prop", 8, 8, usize::MAX / 2).unwrap();
+        let report = verify_graph(input_dim, &layers, &target);
+        prop_assert!(report.has_errors());
+        prop_assert!(
+            report.errors().any(|d| d.code == "verify/shape-mismatch"),
+            "expected shape mismatch, got {:?}",
+            report.errors().map(|d| d.code.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn verifier_never_panics_on_arbitrary_dims(
+        input_dim in 0usize..6,
+        rows in 0usize..6,
+        cols in 0usize..6,
+        budget in 1usize..64,
+    ) {
+        // Zero dims and absurd budgets must come back as diagnostics, not
+        // panics; the report is internally consistent either way.
+        let layers = vec![Layer::FullyConnected {
+            weights: Matrix::filled(rows, cols, 0.5),
+        }];
+        let target = TargetSpec::try_new("prop", 4, 4, budget).unwrap();
+        let report = verify_graph(input_dim, &layers, &target);
+        let ok = input_dim > 0 && rows == input_dim && cols > 0 && rows * cols <= budget;
+        prop_assert_eq!(report.is_ok(), ok, "in {} w {}x{} b {}", input_dim, rows, cols, budget);
+    }
+}

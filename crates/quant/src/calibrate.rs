@@ -49,6 +49,7 @@ pub struct Calibrator {
 
 impl Calibrator {
     /// Creates a calibrator with the given range-selection method.
+    #[must_use]
     pub fn new(method: CalibrationMethod) -> Self {
         Calibrator {
             method,
@@ -114,8 +115,8 @@ impl Calibrator {
             CalibrationMethod::MinMax => Ok((self.min, self.max)),
             CalibrationMethod::Percentile(q) => {
                 let hi = stats::percentile(&self.samples, q).ok_or(QuantError::EmptyCalibration)?;
-                let lo =
-                    stats::percentile(&self.samples, 1.0 - q).ok_or(QuantError::EmptyCalibration)?;
+                let lo = stats::percentile(&self.samples, 1.0 - q)
+                    .ok_or(QuantError::EmptyCalibration)?;
                 Ok((lo, hi))
             }
         }

@@ -43,23 +43,23 @@ fn check(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<()> {
 /// `a.cols() != b.rows()`.
 pub fn matmul_accumulate(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<(Vec<i32>, f32)> {
     check(a, b)?;
-    let (m, k) = a.shape();
+    let m = a.rows();
     let n = b.cols();
     let za = a.params().zero_point();
     let zb = b.params().zero_point();
     let mut acc = vec![0i32; m * n];
 
-    for i in 0..m {
-        let a_row = a.row(i);
-        let out_row = &mut acc[i * n..(i + 1) * n];
-        for p in 0..k {
-            let av = a_row[p] as i32 - za;
-            if av == 0 {
-                continue;
-            }
-            let b_row = b.row(p);
-            for (o, &bq) in out_row.iter_mut().zip(b_row) {
-                *o += av * (bq as i32 - zb);
+    if n > 0 {
+        for (i, out_row) in acc.chunks_mut(n).enumerate() {
+            for (p, &aq) in a.row(i).iter().enumerate() {
+                let av = aq as i32 - za;
+                if av == 0 {
+                    continue;
+                }
+                let b_row = b.row(p);
+                for (o, &bq) in out_row.iter_mut().zip(b_row) {
+                    *o += av * (bq as i32 - zb);
+                }
             }
         }
     }
@@ -96,7 +96,7 @@ pub fn matmul_accumulate(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<(Ve
 pub fn matmul_dequantized(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<Matrix> {
     let (acc, scale) = matmul_accumulate(a, b)?;
     let data: Vec<f32> = acc.iter().map(|&v| scale * v as f32).collect();
-    Ok(Matrix::from_vec(a.rows(), b.cols(), data).expect("shape invariant"))
+    Matrix::from_vec(a.rows(), b.cols(), data).map_err(Into::into)
 }
 
 /// Multiplies two quantized matrices and requantizes the result into
@@ -116,7 +116,12 @@ pub fn matmul_requantized(
         .iter()
         .map(|&v| out_params.requantize_accumulator(v, scale))
         .collect();
-    Ok(QuantizedMatrix::from_raw(a.rows(), b.cols(), data, out_params))
+    Ok(QuantizedMatrix::from_raw(
+        a.rows(),
+        b.cols(),
+        data,
+        out_params,
+    ))
 }
 
 #[cfg(test)]
@@ -125,7 +130,12 @@ mod tests {
     use hd_tensor::gemm as fgemm;
     use hd_tensor::rng::DetRng;
 
-    fn quantize_pair(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix, QuantizedMatrix, QuantizedMatrix) {
+    fn quantize_pair(
+        m: usize,
+        k: usize,
+        n: usize,
+        seed: u64,
+    ) -> (Matrix, Matrix, QuantizedMatrix, QuantizedMatrix) {
         let mut rng = DetRng::new(seed);
         let a = Matrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
         let b = Matrix::random_uniform(k, n, -1.0, 1.0, &mut rng);

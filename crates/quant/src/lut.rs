@@ -39,6 +39,7 @@ pub struct ActivationLut {
 
 impl ActivationLut {
     /// Builds a table for an arbitrary scalar function.
+    #[must_use]
     pub fn from_fn(
         input_params: QuantParams,
         output_params: QuantParams,
@@ -59,11 +60,13 @@ impl ActivationLut {
 
     /// Builds the hyperbolic-tangent table used by the paper's non-linear
     /// encoding layer.
+    #[must_use]
     pub fn tanh(input_params: QuantParams, output_params: QuantParams) -> Self {
         Self::from_fn(input_params, output_params, f32::tanh)
     }
 
     /// Builds an identity (requantization-only) table.
+    #[must_use]
     pub fn identity(input_params: QuantParams, output_params: QuantParams) -> Self {
         Self::from_fn(input_params, output_params, |v| v)
     }
@@ -73,7 +76,12 @@ impl ActivationLut {
     /// # Panics
     ///
     /// Panics if `table.len() != 256`.
-    pub fn from_parts(table: Vec<i8>, input_params: QuantParams, output_params: QuantParams) -> Self {
+    #[must_use]
+    pub fn from_parts(
+        table: Vec<i8>,
+        input_params: QuantParams,
+        output_params: QuantParams,
+    ) -> Self {
         assert_eq!(table.len(), 256, "activation table must have 256 entries");
         ActivationLut {
             table,

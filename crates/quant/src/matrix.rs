@@ -35,6 +35,7 @@ pub struct QuantizedMatrix {
 
 impl QuantizedMatrix {
     /// Quantizes a real matrix element-wise under `params`.
+    #[must_use]
     pub fn quantize(m: &Matrix, params: QuantParams) -> Self {
         let data = m.iter().map(|&v| params.quantize(v)).collect();
         QuantizedMatrix {
@@ -50,6 +51,7 @@ impl QuantizedMatrix {
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
+    #[must_use]
     pub fn from_raw(rows: usize, cols: usize, data: Vec<i8>, params: QuantParams) -> Self {
         assert_eq!(
             data.len(),
@@ -66,8 +68,17 @@ impl QuantizedMatrix {
     }
 
     /// Recovers the real-valued matrix (with quantization error).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if an internal invariant breaks: the stored data length
+    /// always matches `rows * cols` by construction.
     pub fn dequantize(&self) -> Matrix {
-        let data: Vec<f32> = self.data.iter().map(|&q| self.params.dequantize(q)).collect();
+        let data: Vec<f32> = self
+            .data
+            .iter()
+            .map(|&q| self.params.dequantize(q))
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
             .expect("internal invariant: data length matches shape")
     }
@@ -124,7 +135,10 @@ impl QuantizedMatrix {
     ///
     /// Panics if `rate` is outside `[0, 1]`.
     pub fn apply_bit_flips(&mut self, rate: f64, rng: &mut hd_tensor::rng::DetRng) -> usize {
-        assert!((0.0..=1.0).contains(&rate), "flip rate {rate} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "flip rate {rate} outside [0, 1]"
+        );
         let mut flipped = 0usize;
         for byte in &mut self.data {
             for bit in 0..8 {
@@ -169,7 +183,10 @@ mod tests {
         let m = Matrix::zeros(2, 2);
         let params = QuantParams::from_min_max(-1.0, 3.0).unwrap();
         let q = QuantizedMatrix::quantize(&m, params);
-        assert!(q.as_slice().iter().all(|&v| v as i32 == params.zero_point()));
+        assert!(q
+            .as_slice()
+            .iter()
+            .all(|&v| v as i32 == params.zero_point()));
         assert!(q.dequantize().iter().all(|&v| v == 0.0));
     }
 

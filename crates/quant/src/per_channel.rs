@@ -142,8 +142,8 @@ impl ChannelQuantizedMatrix {
         for i in 0..m {
             let a_row = a.row(i);
             let out_row = &mut acc[i * self.cols..(i + 1) * self.cols];
-            for p in 0..self.rows {
-                let av = a_row[p] as i32 - za;
+            for (p, &aq) in a_row.iter().enumerate().take(self.rows) {
+                let av = aq as i32 - za;
                 if av == 0 {
                     continue;
                 }
@@ -269,10 +269,8 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let w = ChannelQuantizedMatrix::quantize(&Matrix::zeros(4, 2)).unwrap();
-        let a = QuantizedMatrix::quantize(
-            &Matrix::zeros(1, 5),
-            QuantParams::symmetric(1.0).unwrap(),
-        );
+        let a =
+            QuantizedMatrix::quantize(&Matrix::zeros(1, 5), QuantParams::symmetric(1.0).unwrap());
         assert!(w.matmul_dequantized(&a).is_err());
     }
 

@@ -55,7 +55,10 @@ impl fmt::Display for TensorError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match expected {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match expected {expected}"
+                )
             }
             TensorError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds for dimension {bound}")
@@ -104,7 +107,10 @@ mod tests {
     #[test]
     fn display_empty_dimension() {
         let err = TensorError::EmptyDimension { op: "argmax" };
-        assert_eq!(err.to_string(), "operation argmax requires non-empty dimensions");
+        assert_eq!(
+            err.to_string(),
+            "operation argmax requires non-empty dimensions"
+        );
     }
 
     #[test]

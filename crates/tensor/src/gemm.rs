@@ -3,7 +3,7 @@
 //! HDC encoding is "indeed a vector–matrix multiplication that is ready to
 //! accelerate on most hardware accelerators" (paper, Section III-A); on the
 //! host CPU baseline it is a plain SGEMM. This module provides a cache
-//! blocked kernel plus a [`crossbeam`]-scoped row-parallel driver so that
+//! blocked kernel plus a [`std::thread::scope`] row-parallel driver so that
 //! the *functional* parts of the experiments (accuracy measurements) finish
 //! in reasonable wall-clock time. The *analytic* runtime models in the
 //! `cpu-model` and `tpu-sim` crates are what reproduce the paper's timing
@@ -119,7 +119,9 @@ pub fn matvec(x: &[f32], b: &Matrix) -> Result<Vec<f32>> {
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn parallel_rows(a: &Matrix, b: &Matrix, out: &mut Matrix, threads: usize) {
@@ -130,7 +132,7 @@ fn parallel_rows(a: &Matrix, b: &Matrix, out: &mut Matrix, threads: usize) {
     let b_data = b.as_slice();
     let out_data = out.as_mut_slice();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut remaining = out_data;
         let mut row_start = 0;
         while row_start < m {
@@ -138,13 +140,12 @@ fn parallel_rows(a: &Matrix, b: &Matrix, out: &mut Matrix, threads: usize) {
             let (chunk, rest) = remaining.split_at_mut(rows_here * n);
             remaining = rest;
             let a_chunk = &a_data[row_start * k..(row_start + rows_here) * k];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 block_kernel(a_chunk, b_data, chunk, rows_here, k, n);
             });
             row_start += rows_here;
         }
-    })
-    .expect("gemm worker thread panicked");
+    });
 }
 
 /// The serial blocked kernel: `out (m x n) += a (m x k) * b (k x n)`.
@@ -225,7 +226,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = matmul(&a, &b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

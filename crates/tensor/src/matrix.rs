@@ -44,6 +44,7 @@ impl Matrix {
     /// let m = Matrix::zeros(2, 2);
     /// assert_eq!(m.iter().sum::<f32>(), 0.0);
     /// ```
+    #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
@@ -53,6 +54,7 @@ impl Matrix {
     }
 
     /// Creates a `rows x cols` matrix with every element set to `value`.
+    #[must_use]
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
         Matrix {
             rows,
@@ -71,6 +73,7 @@ impl Matrix {
     /// assert_eq!(i[(1, 1)], 1.0);
     /// assert_eq!(i[(0, 1)], 0.0);
     /// ```
+    #[must_use]
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
@@ -101,7 +104,9 @@ impl Matrix {
     /// Returns [`TensorError::LengthMismatch`] if the rows have differing
     /// lengths, and [`TensorError::EmptyDimension`] if `rows` is empty.
     pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
-        let first = rows.first().ok_or(TensorError::EmptyDimension { op: "from_rows" })?;
+        let first = rows
+            .first()
+            .ok_or(TensorError::EmptyDimension { op: "from_rows" })?;
         let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
@@ -129,6 +134,7 @@ impl Matrix {
     /// let m = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
     /// assert_eq!(m[(1, 0)], 2.0);
     /// ```
+    #[must_use]
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
@@ -145,12 +151,14 @@ impl Matrix {
     /// This is exactly how the paper generates base hypervectors: random
     /// components with `mu = 0`, `sigma = 1`, making distinct rows nearly
     /// orthogonal in high dimensions.
+    #[must_use]
     pub fn random_normal(rows: usize, cols: usize, rng: &mut DetRng) -> Self {
         let data = (0..rows * cols).map(|_| rng.next_normal()).collect();
         Matrix { rows, cols, data }
     }
 
     /// Creates a matrix whose elements are drawn uniformly from `[lo, hi)`.
+    #[must_use]
     pub fn random_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut DetRng) -> Self {
         let data = (0..rows * cols)
             .map(|_| lo + (hi - lo) * rng.next_f32())
@@ -230,7 +238,9 @@ impl Matrix {
                 bound: self.cols,
             });
         }
-        Ok((0..self.rows).map(|r| self.data[r * self.cols + c]).collect())
+        Ok((0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect())
     }
 
     /// Iterates over all elements in row-major order.
@@ -328,7 +338,9 @@ impl Matrix {
     /// Returns [`TensorError::EmptyDimension`] when `parts` is empty and
     /// [`TensorError::ShapeMismatch`] when row counts differ.
     pub fn hstack(parts: &[&Matrix]) -> Result<Matrix> {
-        let first = parts.first().ok_or(TensorError::EmptyDimension { op: "hstack" })?;
+        let first = parts
+            .first()
+            .ok_or(TensorError::EmptyDimension { op: "hstack" })?;
         let rows = first.rows;
         let mut cols = 0;
         for p in parts {
@@ -363,7 +375,9 @@ impl Matrix {
     /// Returns [`TensorError::EmptyDimension`] when `parts` is empty and
     /// [`TensorError::ShapeMismatch`] when column counts differ.
     pub fn vstack(parts: &[&Matrix]) -> Result<Matrix> {
-        let first = parts.first().ok_or(TensorError::EmptyDimension { op: "vstack" })?;
+        let first = parts
+            .first()
+            .ok_or(TensorError::EmptyDimension { op: "vstack" })?;
         let cols = first.cols;
         let mut rows = 0;
         let mut data = Vec::new();
@@ -461,14 +475,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -476,7 +496,12 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix {}x{} [", self.rows, self.cols)?;
-        let preview: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.3}")).collect();
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.3}"))
+            .collect();
         write!(f, "{}", preview.join(", "))?;
         if self.data.len() > 8 {
             write!(f, ", ...")?;
@@ -488,8 +513,18 @@ impl fmt::Debug for Matrix {
 impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in 0..self.rows.min(6) {
-            let row: Vec<String> = self.row(r).iter().take(8).map(|v| format!("{v:8.4}")).collect();
-            writeln!(f, "[{}{}]", row.join(" "), if self.cols > 8 { " ..." } else { "" })?;
+            let row: Vec<String> = self
+                .row(r)
+                .iter()
+                .take(8)
+                .map(|v| format!("{v:8.4}"))
+                .collect();
+            writeln!(
+                f,
+                "[{}{}]",
+                row.join(" "),
+                if self.cols > 8 { " ..." } else { "" }
+            )?;
         }
         if self.rows > 6 {
             writeln!(f, "... ({} rows total)", self.rows)?;

@@ -31,6 +31,7 @@ pub struct DetRng {
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
+    #[must_use]
     pub fn new(seed: u64) -> Self {
         DetRng {
             inner: StdRng::seed_from_u64(seed),
@@ -113,7 +114,10 @@ impl DetRng {
     ///
     /// Panics if `count > bound`.
     pub fn sample_without_replacement(&mut self, bound: usize, count: usize) -> Vec<usize> {
-        assert!(count <= bound, "cannot draw {count} distinct values from {bound}");
+        assert!(
+            count <= bound,
+            "cannot draw {count} distinct values from {bound}"
+        );
         let mut pool: Vec<usize> = (0..bound).collect();
         for i in 0..count {
             let j = i + self.next_index(bound - i);
@@ -169,7 +173,10 @@ mod tests {
     fn normal_scaled_shifts_mean() {
         let mut rng = DetRng::new(6);
         let n = 20_000;
-        let mean: f32 = (0..n).map(|_| rng.next_normal_scaled(3.0, 0.5)).sum::<f32>() / n as f32;
+        let mean: f32 = (0..n)
+            .map(|_| rng.next_normal_scaled(3.0, 0.5))
+            .sum::<f32>()
+            / n as f32;
         assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
     }
 
@@ -217,7 +224,10 @@ mod tests {
         let mut sorted = items.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
-        assert_ne!(items, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+        assert_ne!(
+            items, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
     }
 
     #[test]

@@ -82,11 +82,7 @@ pub fn mse(a: &[f32], b: &[f32]) -> f32 {
     if a.is_empty() {
         return 0.0;
     }
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f32>()
-        / a.len() as f32
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>() / a.len() as f32
 }
 
 /// Signal-to-quantization-noise ratio in decibels: `10 log10(P_sig / MSE)`.

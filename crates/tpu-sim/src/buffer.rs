@@ -31,6 +31,7 @@ pub struct UnifiedBuffer {
 
 impl UnifiedBuffer {
     /// Creates a buffer with the given capacity in bytes.
+    #[must_use]
     pub fn new(capacity: usize) -> Self {
         UnifiedBuffer { capacity, used: 0 }
     }

@@ -70,7 +70,10 @@ mod tests {
     fn default_matches_edge_tpu_headline_throughput() {
         let cfg = DeviceConfig::default();
         let tops = cfg.peak_ops_per_sec() / 1e12;
-        assert!((3.5..4.5).contains(&tops), "peak {tops} TOPS not Edge-TPU-like");
+        assert!(
+            (3.5..4.5).contains(&tops),
+            "peak {tops} TOPS not Edge-TPU-like"
+        );
     }
 
     #[test]

@@ -116,6 +116,7 @@ impl std::fmt::Debug for Device {
 
 impl Device {
     /// Creates a device with the given configuration.
+    #[must_use]
     pub fn new(config: DeviceConfig) -> Self {
         let array = SystolicArray::new(config.target.array_rows, config.target.array_cols);
         let link = HostLink::new(config.link);
@@ -175,10 +176,14 @@ impl Device {
         };
 
         state.buffer.reset();
-        state
-            .buffer
-            .allocate(bytes)
-            .expect("capacity was checked above");
+        if state.buffer.allocate(bytes).is_err() {
+            // Unreachable given the capacity check above, but propagate a
+            // typed error rather than poison the device lock by panicking.
+            return Err(SimError::BufferOverflow {
+                required: bytes,
+                available: state.buffer.capacity(),
+            });
+        }
         state.model = Some(compiled);
         state.ledger.record_load(&report);
         Ok(report)
@@ -242,9 +247,9 @@ impl Device {
                     let real = weights
                         .matmul_dequantized(&current)
                         .map_err(wide_nn::NnError::from)?;
-                    cycles += self
-                        .array
-                        .stream_cycles(current.rows(), weights.rows(), weights.cols());
+                    cycles +=
+                        self.array
+                            .stream_cycles(current.rows(), weights.rows(), weights.cols());
                     current = hd_quant::QuantizedMatrix::quantize(&real, *out_params);
                 }
                 QuantStage::Lut(lut) => {
@@ -289,14 +294,20 @@ impl Device {
     /// # Panics
     ///
     /// Panics if `chunk == 0`.
-    pub fn invoke_chunked(&self, batch: &Matrix, chunk: usize) -> Result<(Matrix, Vec<InvokeStats>)> {
+    pub fn invoke_chunked(
+        &self,
+        batch: &Matrix,
+        chunk: usize,
+    ) -> Result<(Matrix, Vec<InvokeStats>)> {
         assert!(chunk > 0, "chunk must be positive");
         let mut outputs = Vec::new();
         let mut all_stats = Vec::new();
         let mut start = 0;
         while start < batch.rows() {
             let end = (start + chunk).min(batch.rows());
-            let part = batch.slice_rows(start, end).map_err(wide_nn::NnError::from)?;
+            let part = batch
+                .slice_rows(start, end)
+                .map_err(wide_nn::NnError::from)?;
             let (out, stats) = self.invoke(&part)?;
             outputs.push(out);
             all_stats.push(stats);
@@ -379,7 +390,10 @@ mod tests {
         device.load_model(compiled).unwrap();
         let (device_out, _) = device.invoke(&calib).unwrap();
         let ref_out = reference.forward(&calib).unwrap();
-        assert_eq!(device_out, ref_out, "device datapath diverged from reference");
+        assert_eq!(
+            device_out, ref_out,
+            "device datapath diverged from reference"
+        );
     }
 
     #[test]
@@ -389,7 +403,10 @@ mod tests {
         device.load_model(compiled).unwrap();
         assert!(matches!(
             device.invoke(&Matrix::zeros(1, 21)).unwrap_err(),
-            SimError::BatchWidth { expected: 20, actual: 21 }
+            SimError::BatchWidth {
+                expected: 20,
+                actual: 21
+            }
         ));
     }
 

@@ -32,7 +32,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::NoModelLoaded => write!(f, "no model loaded on device"),
             SimError::BatchWidth { expected, actual } => {
-                write!(f, "batch has {actual} features, loaded model expects {expected}")
+                write!(
+                    f,
+                    "batch has {actual} features, loaded model expects {expected}"
+                )
             }
             SimError::BufferOverflow {
                 required,
@@ -67,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(SimError::NoModelLoaded.to_string(), "no model loaded on device");
+        assert_eq!(
+            SimError::NoModelLoaded.to_string(),
+            "no model loaded on device"
+        );
         assert!(SimError::BatchWidth {
             expected: 4,
             actual: 5

@@ -26,6 +26,7 @@ impl HostLink {
     /// # Panics
     ///
     /// Panics if the bandwidth is not positive or the latency is negative.
+    #[must_use]
     pub fn new(config: HostLinkConfig) -> Self {
         assert!(
             config.bandwidth_bytes_per_sec > 0.0,

@@ -27,6 +27,7 @@ impl SystolicArray {
     /// # Panics
     ///
     /// Panics if either dimension is zero.
+    #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "array dimensions must be positive");
         SystolicArray { rows, cols }
@@ -86,11 +87,14 @@ impl SystolicArray {
         out_params: QuantParams,
     ) -> Result<(QuantizedMatrix, u64)> {
         if input.cols() != weights.rows() {
-            // Delegate the error construction to the reference kernel for
-            // a consistent message.
-            hd_quant::gemm::matmul_accumulate(input, weights)
-                .map_err(wide_nn::NnError::from)?;
-            unreachable!("reference kernel must reject mismatched shapes");
+            // Same error the reference kernel raises, so the two datapaths
+            // stay interchangeable for callers inspecting the failure.
+            let shape_err = hd_tensor::TensorError::ShapeMismatch {
+                op: "quantized matmul",
+                lhs: input.shape(),
+                rhs: weights.shape(),
+            };
+            return Err(wide_nn::NnError::from(hd_quant::QuantError::from(shape_err)).into());
         }
         let (m, k) = input.shape();
         let n = weights.cols();
@@ -110,8 +114,9 @@ impl SystolicArray {
                 let n_end = (n_start + self.cols).min(n);
                 for row in 0..m {
                     let in_row = input.row(row);
-                    for p in k_start..k_end {
-                        let av = in_row[p] as i32 - za;
+                    let tile_inputs = in_row.iter().enumerate().take(k_end).skip(k_start);
+                    for (p, &iq) in tile_inputs {
+                        let av = iq as i32 - za;
                         if av == 0 {
                             continue;
                         }
@@ -186,8 +191,7 @@ mod tests {
         let out_params = QuantParams::from_min_max(-8.0, 8.0).unwrap();
 
         let (tiled, cycles) = array.execute_fc(&input, &weights, out_params).unwrap();
-        let reference =
-            hd_quant::gemm::matmul_requantized(&input, &weights, out_params).unwrap();
+        let reference = hd_quant::gemm::matmul_requantized(&input, &weights, out_params).unwrap();
         assert_eq!(tiled, reference, "tiled datapath diverged from reference");
         assert_eq!(cycles, array.stream_cycles(5, 50, 37));
     }
@@ -199,8 +203,7 @@ mod tests {
         let weights = random_quantized(10, 8, 4);
         let out_params = QuantParams::from_min_max(-4.0, 4.0).unwrap();
         let (tiled, _) = array.execute_fc(&input, &weights, out_params).unwrap();
-        let reference =
-            hd_quant::gemm::matmul_requantized(&input, &weights, out_params).unwrap();
+        let reference = hd_quant::gemm::matmul_requantized(&input, &weights, out_params).unwrap();
         assert_eq!(tiled, reference);
     }
 

@@ -30,6 +30,7 @@ pub struct ModelDims {
 
 impl ModelDims {
     /// Dimensions of the paper's encoder half: `n -> d` with a `tanh`.
+    #[must_use]
     pub fn encoder(n: usize, d: usize) -> Self {
         ModelDims {
             input_dim: n,
@@ -41,6 +42,7 @@ impl ModelDims {
 
     /// Dimensions of the paper's full three-layer inference network:
     /// `n -> d -> k` with a `tanh` in the middle.
+    #[must_use]
     pub fn inference(n: usize, d: usize, k: usize) -> Self {
         ModelDims {
             input_dim: n,
@@ -51,6 +53,7 @@ impl ModelDims {
     }
 
     /// Extracts dimensions from a float model.
+    #[must_use]
     pub fn from_model(model: &Model) -> Self {
         let mut dims = ModelDims {
             input_dim: model.input_dim(),
@@ -73,6 +76,7 @@ impl ModelDims {
     }
 
     /// Extracts dimensions from a quantized model.
+    #[must_use]
     pub fn from_quantized(model: &QuantizedModel) -> Self {
         let mut dims = ModelDims {
             input_dim: model.input_dim(),
@@ -98,6 +102,7 @@ impl ModelDims {
     }
 
     /// Extracts dimensions from a compiled model.
+    #[must_use]
     pub fn from_compiled(compiled: &CompiledModel) -> Self {
         let mut dims = ModelDims {
             input_dim: compiled.input_dim(),
@@ -371,7 +376,10 @@ mod tests {
         let dims = ModelDims::encoder(27, 10_000);
         let tpu_per_sample = invoke_estimate(&cfg, &dims, 256).total_s / 256.0;
         let cpu_per_sample = 2.0 * 27.0 * 10_000.0 / 35.0e9;
-        assert!(tpu_per_sample > cpu_per_sample, "PAMAP2-like encode should not speed up");
+        assert!(
+            tpu_per_sample > cpu_per_sample,
+            "PAMAP2-like encode should not speed up"
+        );
     }
 
     #[test]

@@ -88,8 +88,7 @@ fn concurrent_load_and_invoke_never_corrupt_state() {
                     .unwrap()
                     .build()
                     .unwrap();
-                let compiled =
-                    compile::compile(&model, &batch, &TargetSpec::default()).unwrap();
+                let compiled = compile::compile(&model, &batch, &TargetSpec::default()).unwrap();
                 device.load_model(compiled).unwrap();
             }
         })

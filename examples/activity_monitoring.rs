@@ -18,7 +18,13 @@ use hyperedge::{ExecutionSetting, Pipeline, PipelineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = registry::by_name("ucihar").expect("ucihar is registered");
-    let mut data = spec.generate(SampleBudget::Reduced { train: 480, test: 240 }, 7)?;
+    let mut data = spec.generate(
+        SampleBudget::Reduced {
+            train: 480,
+            test: 240,
+        },
+        7,
+    )?;
     data.normalize();
 
     println!("== phase 1: co-designed training on the accelerator ==");
@@ -47,7 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // features (a re-mounted wearable, say).
     let mut rng = DetRng::new(99);
     let drift: Vec<f32> = (0..data.feature_count())
-        .map(|f| if f % 3 == 0 { 0.8 + 0.1 * rng.next_normal() } else { 0.0 })
+        .map(|f| {
+            if f % 3 == 0 {
+                0.8 + 0.1 * rng.next_normal()
+            } else {
+                0.0
+            }
+        })
         .collect();
     let mut drifted_test = data.test.features.clone();
     for r in 0..drifted_test.rows() {
@@ -55,11 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             *v += d;
         }
     }
-    let before = eval::accuracy(
-        &outcome.model.predict(&drifted_test)?,
-        &data.test.labels,
-    )?;
-    println!("accuracy on drifted data before adaptation: {:.1}%", 100.0 * before);
+    let before = eval::accuracy(&outcome.model.predict(&drifted_test)?, &data.test.labels)?;
+    println!(
+        "accuracy on drifted data before adaptation: {:.1}%",
+        100.0 * before
+    );
 
     // Online adaptation: stream a small drifted calibration set through a
     // single-pass trainer seeded from the deployed class hypervectors.

@@ -32,7 +32,10 @@ fn main() {
         encode_batch
     );
     println!();
-    println!("{:>9} {:>12} {:>12} {:>9}", "features", "cpu_s", "tpu_s", "speedup");
+    println!(
+        "{:>9} {:>12} {:>12} {:>9}",
+        "features", "cpu_s", "tpu_s", "speedup"
+    );
 
     let mut crossover: Option<usize> = None;
     let mut prev_below = true;

@@ -15,7 +15,13 @@ use hyperedge::federated::{federated_fit, FederatedConfig, Partition};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = registry::by_name("ucihar").expect("ucihar is registered");
-    let mut data = spec.generate(SampleBudget::Reduced { train: 600, test: 240 }, 17)?;
+    let mut data = spec.generate(
+        SampleBudget::Reduced {
+            train: 600,
+            test: 240,
+        },
+        17,
+    )?;
     data.normalize();
 
     println!(
@@ -27,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, partition) in [
         ("IID shards (every node sees every class)", Partition::Iid),
-        ("non-IID shards (90% class-skewed)", Partition::ClassSkew(0.9)),
+        (
+            "non-IID shards (90% class-skewed)",
+            Partition::ClassSkew(0.9),
+        ),
     ] {
         let config = FederatedConfig::new(2048)
             .with_nodes(6)
@@ -44,10 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let acc = eval::accuracy(&model.predict(&data.test.features)?, &data.test.labels)?;
 
         println!("== {label} ==");
-        println!(
-            "shard sizes: {:?}",
-            stats.shard_sizes
-        );
+        println!("shard sizes: {:?}", stats.shard_sizes);
         for round in &stats.rounds {
             println!(
                 "round {}: mean local accuracy {:.1}%, {} class-hypervector updates",

@@ -15,7 +15,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A PAMAP2-shaped activity-recognition workload (27 features, 5
     // classes), reduced for a fast demo run.
     let spec = registry::by_name("pamap2").expect("pamap2 is registered");
-    let mut data = spec.generate(SampleBudget::Reduced { train: 600, test: 200 }, 42)?;
+    let mut data = spec.generate(
+        SampleBudget::Reduced {
+            train: 600,
+            test: 200,
+        },
+        42,
+    )?;
     data.normalize();
 
     println!(

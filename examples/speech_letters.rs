@@ -17,14 +17,24 @@ use hyperedge::{ExecutionSetting, PipelineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = registry::by_name("isolet").expect("isolet is registered");
-    let mut data = spec.generate(SampleBudget::Reduced { train: 780, test: 260 }, 11)?;
+    let mut data = spec.generate(
+        SampleBudget::Reduced {
+            train: 780,
+            test: 260,
+        },
+        11,
+    )?;
     data.normalize();
     let d = 2048;
 
     println!("== full-width model (d = {d}, 20 iterations) ==");
     let full_config = TrainConfig::new(d).with_iterations(20).with_seed(5);
-    let (full_model, full_stats) =
-        HdcModel::fit(&data.train.features, &data.train.labels, data.classes, &full_config)?;
+    let (full_model, full_stats) = HdcModel::fit(
+        &data.train.features,
+        &data.train.labels,
+        data.classes,
+        &full_config,
+    )?;
     let full_acc = eval::accuracy(&full_model.predict(&data.test.features)?, &data.test.labels)?;
     println!(
         "test accuracy {:.1}% after {} total updates",
@@ -32,10 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         full_stats.total_updates()
     );
 
-    println!("\n== bagged training (M = 4, d' = {}, 6 iterations, alpha = 0.6) ==", d / 4);
+    println!(
+        "\n== bagged training (M = 4, d' = {}, 6 iterations, alpha = 0.6) ==",
+        d / 4
+    );
     let bag_config = BaggingConfig::paper_defaults(d).with_seed(6);
-    let (bagged, bag_stats) =
-        train_bagged(&data.train.features, &data.train.labels, data.classes, &bag_config)?;
+    let (bagged, bag_stats) = train_bagged(
+        &data.train.features,
+        &data.train.labels,
+        data.classes,
+        &bag_config,
+    )?;
     let merged = bagged.merge()?;
     let bag_acc = eval::accuracy(&merged.predict(&data.test.features)?, &data.test.labels)?;
     println!(

@@ -7,7 +7,11 @@ use hyperedge::{ExecutionSetting, Pipeline, PipelineConfig};
 use integration_tests::{clustered_dataset, split_half};
 
 fn pipeline(dim: usize, iterations: usize) -> Pipeline {
-    Pipeline::new(PipelineConfig::new(dim).with_iterations(iterations).with_seed(99))
+    Pipeline::new(
+        PipelineConfig::new(dim)
+            .with_iterations(iterations)
+            .with_seed(99),
+    )
 }
 
 #[test]
@@ -27,7 +31,12 @@ fn every_setting_learns_every_paper_dataset_shape() {
         let chance = 1.0 / data.classes as f64;
         for setting in ExecutionSetting::all() {
             let outcome = p
-                .train(&data.train.features, &data.train.labels, data.classes, setting)
+                .train(
+                    &data.train.features,
+                    &data.train.labels,
+                    data.classes,
+                    setting,
+                )
                 .expect("training succeeds");
             let report = p
                 .evaluate(&outcome, &data.test.features, &data.test.labels)

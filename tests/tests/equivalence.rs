@@ -112,7 +112,10 @@ fn serialized_model_behaves_identically_on_device() {
     let qmodel = QuantizedModel::quantize(&model, &batch).unwrap();
     let q_restored =
         serialize::read_quantized_model(&serialize::write_quantized_model(&qmodel)).unwrap();
-    assert_eq!(q_restored.forward(&batch).unwrap(), qmodel.forward(&batch).unwrap());
+    assert_eq!(
+        q_restored.forward(&batch).unwrap(),
+        qmodel.forward(&batch).unwrap()
+    );
 
     let compiled_a = compile::compile(&model, &batch, &TargetSpec::default()).unwrap();
     let compiled_b = compile::compile(&restored, &batch, &TargetSpec::default()).unwrap();

@@ -1,0 +1,55 @@
+//! Tier-1 static-analysis gate: the whole workspace must lint clean
+//! (modulo the reasoned allowlist in the root `lint.toml`) on every
+//! `cargo test` run, so lint regressions fail the same gate as unit
+//! tests.
+
+use std::path::Path;
+
+use hd_analysis::{engine, Allowlist, Severity};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate sits directly below the workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let allowlist_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("root lint.toml exists");
+    let allowlist = Allowlist::parse(&allowlist_text).expect("root lint.toml parses");
+    let report = engine::lint_workspace(root, &allowlist).expect("workspace scan succeeds");
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    assert!(
+        !report.fails(true),
+        "hd-lint found violations (fix them or allowlist with a reason in lint.toml):\n{}",
+        report.to_text()
+    );
+    assert_eq!(report.count(Severity::Error), 0);
+}
+
+#[test]
+fn allowlist_entries_all_still_fire() {
+    // A stale allowlist entry means the underlying code was fixed: prune
+    // it so suppressions never outlive their reasons.
+    let root = workspace_root();
+    let allowlist_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("root lint.toml exists");
+    let allowlist = Allowlist::parse(&allowlist_text).expect("root lint.toml parses");
+    let report = engine::lint_workspace(root, &allowlist).expect("workspace scan succeeds");
+    for entry in allowlist.entries() {
+        let used = report.suppressed.iter().any(|d| {
+            d.code == format!("lint/{}", entry.rule)
+                && matches!(
+                    &d.site,
+                    hd_analysis::Site::Source { file, .. } if file.ends_with(&entry.path)
+                )
+        });
+        assert!(
+            used,
+            "allowlist entry ({} / {}) no longer matches anything — remove it",
+            entry.rule, entry.path
+        );
+    }
+}

@@ -12,7 +12,9 @@ fn skewed_network(seed: u64) -> (wide_nn::Model, Matrix) {
     let mut rng = DetRng::new(seed);
     let w1 = Matrix::random_normal(16, 96, &mut rng);
     // Output columns with wildly different magnitudes.
-    let w2 = Matrix::from_fn(96, 6, |_, c| 10f32.powi(c as i32 % 3 - 1) * rng.next_normal());
+    let w2 = Matrix::from_fn(96, 6, |_, c| {
+        10f32.powi(c as i32 % 3 - 1) * rng.next_normal()
+    });
     let model = ModelBuilder::new(16)
         .fully_connected(w1)
         .unwrap()
@@ -28,8 +30,7 @@ fn skewed_network(seed: u64) -> (wide_nn::Model, Matrix) {
 #[test]
 fn per_channel_compiled_model_matches_reference_on_device() {
     let (model, batch) = skewed_network(1);
-    let compiled =
-        compile::compile_per_channel(&model, &batch, &TargetSpec::default()).unwrap();
+    let compiled = compile::compile_per_channel(&model, &batch, &TargetSpec::default()).unwrap();
     let reference = compiled.quantized().clone();
     assert!(matches!(
         reference.stages()[0],

@@ -104,7 +104,10 @@ fn paper_scale_shapes_hold() {
         runtime::training_breakdown(&config, &mnist, ExecutionSetting::Tpu, &profile).total_s();
     let bag = runtime::training_breakdown(&config, &mnist, ExecutionSetting::TpuBagging, &profile)
         .total_s();
-    assert!(bag < tpu && tpu < cpu, "ordering: bag {bag}, tpu {tpu}, cpu {cpu}");
+    assert!(
+        bag < tpu && tpu < cpu,
+        "ordering: bag {bag}, tpu {tpu}, cpu {cpu}"
+    );
 
     // 2. PAMAP2 encoding gains nothing from the accelerator.
     let cpu_b =
