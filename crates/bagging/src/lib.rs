@@ -49,7 +49,10 @@ pub use config::BaggingConfig;
 pub use error::BaggingError;
 pub use merge::{BaggedModel, SubModel};
 pub use sample::{bootstrap_rows, feature_subset};
-pub use train::{train_bagged, train_bagged_with, BaggingStats, SubModelStats};
+pub use train::{
+    bagged_member_specs, train_bagged, train_bagged_with, train_members, BaggingStats, MemberSpec,
+    SubModelStats,
+};
 
 /// The paper's training-cost reduction estimate
 /// `C'/C = M x (d'/d) x (I'/I) x alpha x beta`.

@@ -1,7 +1,7 @@
 use serde::{Deserialize, Serialize};
 
 use hd_tensor::Matrix;
-use hdc::{BaseHypervectors, ClassHypervectors, HdcModel, NonlinearEncoder, Similarity};
+use hdc::{BaseHypervectors, ClassHypervectors, Encoder, HdcModel, NonlinearEncoder, Similarity};
 
 use crate::error::BaggingError;
 

@@ -2,7 +2,7 @@ use serde::{Deserialize, Serialize};
 
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
-use hdc::{train_encoded, BaseHypervectors, NonlinearEncoder, TrainConfig, TrainStats};
+use hdc::{BaseHypervectors, Executor, HostExecutor, NonlinearEncoder, TrainConfig, TrainStats};
 
 use crate::config::BaggingConfig;
 use crate::error::BaggingError;
@@ -40,7 +40,32 @@ impl BaggingStats {
     }
 }
 
-/// Trains `M` bagged HDC sub-models per the paper's recipe.
+/// The complete recipe for training one ensemble member: which training
+/// rows it sees, the encoder it projects them through, and its inner
+/// training configuration.
+///
+/// [`bagged_member_specs`] produces the paper's bootstrap plan;
+/// single-model callers (the pipeline's CPU/TPU settings) build one spec
+/// over the whole dataset, so every setting trains through the same
+/// generic loop in [`train_members`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberSpec {
+    /// Member index within the ensemble.
+    pub index: usize,
+    /// Training-row indices for this member; `None` trains on the full
+    /// dataset without resampling.
+    pub rows: Option<Vec<usize>>,
+    /// Features this member is allowed to see (unsampled feature rows of
+    /// its base matrix are zeroed).
+    pub sampled_features: usize,
+    /// The member's encoder.
+    pub encoder: NonlinearEncoder,
+    /// The member's inner training configuration.
+    pub train: TrainConfig,
+}
+
+/// Builds the paper's bagging plan: `M` member specs with bootstrap row
+/// sampling, feature sampling, and independent per-member RNG streams.
 ///
 /// For each sub-model `m`:
 ///
@@ -49,67 +74,28 @@ impl BaggingStats {
 /// 3. pick a `beta` fraction of features; base-hypervector rows of
 ///    *unsampled* features are zeroed, which makes the later merge
 ///    implement feature sampling "automatically" (Section III-B),
-/// 4. generate an `n x d'` base matrix, encode the sampled rows, and run
-///    `I'` iterations of class-hypervector update.
-///
-/// Encoding runs on the host in `f32`; use [`train_bagged_with`] to route
-/// it through an accelerator (the paper's co-designed flow).
+/// 4. generate an `n x d'` base matrix.
 ///
 /// # Errors
 ///
-/// * [`BaggingError::InvalidConfig`] — bad configuration.
-/// * Wrapped [`hdc::HdcError`] — label or shape problems.
-pub fn train_bagged(
-    features: &Matrix,
-    labels: &[usize],
-    classes: usize,
+/// [`BaggingError::InvalidConfig`] — bad configuration.
+pub fn bagged_member_specs(
+    samples: usize,
+    features: usize,
     config: &BaggingConfig,
-) -> Result<(BaggedModel, BaggingStats), BaggingError> {
-    train_bagged_with(features, labels, classes, config, |encoder, batch| {
-        encoder.encode(batch).map_err(BaggingError::from)
-    })
-}
-
-/// [`train_bagged`] with a caller-supplied encoding step.
-///
-/// The `encode` closure receives each sub-model's encoder and its
-/// bootstrap-sampled batch and returns the encoded hypervectors. The
-/// paper's framework passes a closure that compiles the sub-encoder to an
-/// accelerator model and invokes the device, so the training-time
-/// encoding exhibits genuine int8 quantization; the default in
-/// [`train_bagged`] encodes on the host in `f32`.
-///
-/// # Errors
-///
-/// Same as [`train_bagged`], plus whatever the closure returns.
-pub fn train_bagged_with(
-    features: &Matrix,
-    labels: &[usize],
-    classes: usize,
-    config: &BaggingConfig,
-    mut encode: impl FnMut(&NonlinearEncoder, &Matrix) -> Result<Matrix, BaggingError>,
-) -> Result<(BaggedModel, BaggingStats), BaggingError> {
+) -> Result<Vec<MemberSpec>, BaggingError> {
     config.validate()?;
-    if features.rows() == 0 || classes == 0 {
+    if samples == 0 || features == 0 {
         return Err(BaggingError::Hdc(hdc::HdcError::EmptyDataset));
     }
-    if labels.len() != features.rows() {
-        return Err(BaggingError::Hdc(hdc::HdcError::LabelCount {
-            samples: features.rows(),
-            labels: labels.len(),
-        }));
-    }
-
-    let n = features.cols();
+    let n = features;
     let mut master = DetRng::new(config.seed);
-    let mut sub_models = Vec::with_capacity(config.sub_models);
-    let mut stats = BaggingStats::default();
-
+    let mut specs = Vec::with_capacity(config.sub_models);
     for m in 0..config.sub_models {
         let mut rng = master.fork(m as u64);
 
         // Bootstrap sampling: rows with replacement, features without.
-        let rows = bootstrap_rows(&mut rng, features.rows(), config.dataset_ratio);
+        let rows = bootstrap_rows(&mut rng, samples, config.dataset_ratio);
         let kept_features = feature_subset(&mut rng, n, config.feature_ratio);
 
         // Base hypervectors with unsampled feature rows zeroed — the
@@ -127,31 +113,128 @@ pub fn train_bagged_with(
             }
         }
 
-        let sub_features = features.select_rows(&rows)?;
-        let sub_labels: Vec<usize> = rows.iter().map(|&r| labels[r]).collect();
+        specs.push(MemberSpec {
+            index: m,
+            rows: Some(rows),
+            sampled_features: kept_features.len(),
+            encoder: NonlinearEncoder::new(BaseHypervectors::from_matrix(base)),
+            train: TrainConfig::new(config.sub_dim)
+                .with_iterations(config.iterations)
+                .with_learning_rate(config.learning_rate)
+                .with_seed(config.seed.wrapping_add(m as u64)),
+        });
+    }
+    Ok(specs)
+}
 
-        let encoder = NonlinearEncoder::new(BaseHypervectors::from_matrix(base));
-        let encoded = encode(&encoder, &sub_features)?;
-        let train_config = TrainConfig::new(config.sub_dim)
-            .with_iterations(config.iterations)
-            .with_learning_rate(config.learning_rate)
-            .with_seed(config.seed.wrapping_add(m as u64));
+/// The generic ensemble training loop: trains every member spec through
+/// the given [`Executor`] (encode placement, then class-hypervector
+/// update placement) and collects the results into a [`BaggedModel`].
+///
+/// A one-member plan over the full dataset degenerates to ordinary
+/// single-model training — the merged model *is* the member.
+///
+/// # Errors
+///
+/// * Wrapped [`hdc::HdcError`] — label or shape problems, or executor
+///   failures.
+/// * [`BaggingError::InvalidConfig`] — an empty plan or inconsistent
+///   member shapes.
+pub fn train_members(
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    specs: Vec<MemberSpec>,
+    exec: &dyn Executor,
+) -> Result<(BaggedModel, BaggingStats), BaggingError> {
+    if features.rows() == 0 || classes == 0 {
+        return Err(BaggingError::Hdc(hdc::HdcError::EmptyDataset));
+    }
+    if labels.len() != features.rows() {
+        return Err(BaggingError::Hdc(hdc::HdcError::LabelCount {
+            samples: features.rows(),
+            labels: labels.len(),
+        }));
+    }
+    if specs.is_empty() {
+        return Err(BaggingError::InvalidConfig(
+            "training plan has no members".into(),
+        ));
+    }
+
+    let mut sub_models = Vec::with_capacity(specs.len());
+    let mut stats = BaggingStats::default();
+    for spec in specs {
+        let selected;
+        let selected_labels;
+        let (member_features, member_labels): (&Matrix, &[usize]) = match &spec.rows {
+            Some(rows) => {
+                selected = features.select_rows(rows)?;
+                selected_labels = rows.iter().map(|&r| labels[r]).collect::<Vec<usize>>();
+                (&selected, &selected_labels)
+            }
+            None => (features, labels),
+        };
+
+        let encoded = exec.encode_batch(&spec.encoder, member_features)?;
         let (class_hvs, train_stats) =
-            train_encoded(&encoded, &sub_labels, classes, &train_config)?;
+            exec.train_classes(&encoded, member_labels, classes, &spec.train)?;
 
         stats.sub_models.push(SubModelStats {
-            index: m,
-            sampled_rows: rows.len(),
-            sampled_features: kept_features.len(),
+            index: spec.index,
+            sampled_rows: member_features.rows(),
+            sampled_features: spec.sampled_features,
             train: train_stats,
         });
         sub_models.push(SubModel {
-            encoder,
+            encoder: spec.encoder,
             classes: class_hvs,
         });
     }
 
     Ok((BaggedModel::new(sub_models, classes)?, stats))
+}
+
+/// Trains `M` bagged HDC sub-models per the paper's recipe (see
+/// [`bagged_member_specs`] for the sampling details).
+///
+/// Encoding runs on the host in `f32`; use [`train_bagged_with`] to route
+/// it through an accelerator backend (the paper's co-designed flow).
+///
+/// # Errors
+///
+/// * [`BaggingError::InvalidConfig`] — bad configuration.
+/// * Wrapped [`hdc::HdcError`] — label or shape problems.
+pub fn train_bagged(
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    config: &BaggingConfig,
+) -> Result<(BaggedModel, BaggingStats), BaggingError> {
+    train_bagged_with(features, labels, classes, config, &HostExecutor)
+}
+
+/// [`train_bagged`] with a caller-supplied [`Executor`].
+///
+/// The executor receives each sub-model's encoder and its
+/// bootstrap-sampled batch. The framework passes an accelerator-placed
+/// backend that compiles each sub-encoder once and invokes the shared
+/// device, so training-time encoding exhibits genuine int8 quantization;
+/// the default in [`train_bagged`] is [`HostExecutor`] (`f32` on the
+/// host).
+///
+/// # Errors
+///
+/// Same as [`train_bagged`], plus whatever the executor returns.
+pub fn train_bagged_with(
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    config: &BaggingConfig,
+    exec: &dyn Executor,
+) -> Result<(BaggedModel, BaggingStats), BaggingError> {
+    let specs = bagged_member_specs(features.rows(), features.cols(), config)?;
+    train_members(features, labels, classes, specs, exec)
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use std::hint::black_box;
 
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
-use hdc::{BaseHypervectors, NonlinearEncoder};
+use hdc::{BaseHypervectors, Encoder, NonlinearEncoder};
 
 fn encoder(n: usize, d: usize) -> NonlinearEncoder {
     let mut rng = DetRng::new(7);

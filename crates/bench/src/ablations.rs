@@ -16,8 +16,8 @@ use hd_datasets::registry;
 use hd_tensor::rng::DetRng;
 use hdc::bipolar::BipolarModel;
 use hdc::{
-    train_encoded, BaseHypervectors, HdcModel, LinearEncoder, NonlinearEncoder, Similarity,
-    TrainConfig,
+    train_encoded, BaseHypervectors, Encoder, HdcModel, LinearEncoder, NonlinearEncoder,
+    Similarity, TrainConfig,
 };
 use hyperedge::runtime;
 use hyperedge::{ExecutionSetting, Pipeline};
@@ -120,6 +120,9 @@ pub fn ablation_quant() -> ResultTable {
             "bipolar_model_bytes",
         ],
     );
+    // One device serves every dataset's per-channel run; each compiled
+    // model is loaded in turn (the device holds one model at a time).
+    let device = tpu_sim::Device::new(tpu_sim::DeviceConfig::default());
     for spec in registry::paper_datasets() {
         let data = functional_dataset(&spec, SEED);
         let pipeline = Pipeline::new(functional_config());
@@ -136,7 +139,6 @@ pub fn ablation_quant() -> ResultTable {
             &wide_nn::TargetSpec::default(),
         )
         .expect("compile");
-        let device = tpu_sim::Device::new(tpu_sim::DeviceConfig::default());
         device.load_model(compiled).expect("load");
         let (scores, _) = device
             .invoke_chunked(&data.test.features, 64)
@@ -273,16 +275,18 @@ pub fn robustness() -> ResultTable {
     .expect("fit succeeds");
     let network = hyperedge::wide_model::inference_network(&model).expect("network");
 
+    // Compile once and construct one device; every fault rate reloads the
+    // pristine parameters before injecting its own faults.
+    let compiled = wide_nn::compile::compile(
+        &network,
+        &data.train.features,
+        &wide_nn::TargetSpec::default(),
+    )
+    .expect("compile");
+    let device = tpu_sim::Device::new(tpu_sim::DeviceConfig::default());
     for &rate in &[0.0f64, 0.0001, 0.0005, 0.001, 0.005, 0.01] {
-        // int8 device path with faults injected after load.
-        let compiled = wide_nn::compile::compile(
-            &network,
-            &data.train.features,
-            &wide_nn::TargetSpec::default(),
-        )
-        .expect("compile");
-        let device = tpu_sim::Device::new(tpu_sim::DeviceConfig::default());
-        device.load_model(compiled).expect("load");
+        // int8 device path with faults injected after a fresh load.
+        device.load_model(compiled.clone()).expect("load");
         let mut rng = DetRng::new(SEED ^ (rate * 1e7) as u64);
         device.inject_weight_faults(rate, &mut rng).expect("inject");
         let (scores, _) = device

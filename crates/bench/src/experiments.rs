@@ -7,6 +7,7 @@
 
 use cpu_model::{cost, Platform};
 use hd_datasets::registry;
+use hdc::Encoder;
 use hyperedge::runtime::{self, UpdateProfile};
 use hyperedge::{ExecutionSetting, Pipeline};
 use tpu_sim::timing::{self, ModelDims};

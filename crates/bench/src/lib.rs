@@ -23,6 +23,11 @@
 //! scale, with the measured per-iteration update fractions plugged in.
 //! Results print as aligned tables and are also written as CSV under
 //! `results/`.
+//!
+//! Setting `HD_BENCH_SMOKE=1` switches the functional runs to a reduced
+//! smoke scale (d = 512, 3 iterations, ~120 train samples per dataset)
+//! so CI can run the harness binaries in release mode on every push; the
+//! analytic runtime models are unaffected.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,11 +53,38 @@ pub const FUNCTIONAL_DIM: usize = 2048;
 /// paper's d = 10000.
 pub const PAPER_DIM: usize = 10_000;
 
-/// Reduced per-dataset sample budget for functional runs.
+/// Hypervector dimensionality for smoke-mode functional runs. Divisible
+/// by the bagging sub-model count so `TpuBagging` still exercises the
+/// merge path.
+pub const SMOKE_DIM: usize = 512;
+
+/// Training iterations for smoke-mode functional runs.
+pub const SMOKE_ITERATIONS: usize = 3;
+
+/// Whether the harness is in smoke mode: `HD_BENCH_SMOKE` set to a
+/// non-empty value other than `0`. Smoke mode shrinks dimensionality,
+/// iteration counts and sample budgets so CI can drive every backend
+/// path of the `fig5`/`fig10` harnesses in seconds; the analytic runtime
+/// models still evaluate at paper scale.
+pub fn smoke_mode() -> bool {
+    std::env::var("HD_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn budget_caps(smoke: bool) -> (usize, usize) {
+    if smoke {
+        (120, 60)
+    } else {
+        (700, 350)
+    }
+}
+
+/// Reduced per-dataset sample budget for functional runs (smaller still
+/// in [`smoke_mode`]).
 pub fn reduced_budget(spec: &DatasetSpec) -> SampleBudget {
+    let (train_cap, test_cap) = budget_caps(smoke_mode());
     SampleBudget::Reduced {
-        train: spec.train_samples.min(700),
-        test: spec.test_samples.min(350),
+        train: spec.train_samples.min(train_cap),
+        test: spec.test_samples.min(test_cap),
     }
 }
 
@@ -72,7 +104,13 @@ pub fn functional_dataset(spec: &DatasetSpec, seed: u64) -> Dataset {
 
 /// The pipeline configuration used by functional runs.
 pub fn functional_config() -> PipelineConfig {
-    PipelineConfig::new(FUNCTIONAL_DIM).with_seed(0xBEEF)
+    if smoke_mode() {
+        PipelineConfig::new(SMOKE_DIM)
+            .with_seed(0xBEEF)
+            .with_iterations(SMOKE_ITERATIONS)
+    } else {
+        PipelineConfig::new(FUNCTIONAL_DIM).with_seed(0xBEEF)
+    }
 }
 
 /// The pipeline configuration used by paper-scale analytic runtime
@@ -326,6 +364,16 @@ mod tests {
             }
             other => panic!("unexpected budget {other:?}"),
         }
+    }
+
+    #[test]
+    fn smoke_caps_are_smaller_and_smoke_dim_supports_bagging() {
+        let (full_train, full_test) = budget_caps(false);
+        let (smoke_train, smoke_test) = budget_caps(true);
+        assert!(smoke_train < full_train && smoke_test < full_test);
+        assert_eq!(full_train, 700);
+        assert_eq!(smoke_train, 120);
+        assert_eq!(SMOKE_DIM % 4, 0, "bagging sub-models need dim % M == 0");
     }
 
     #[test]

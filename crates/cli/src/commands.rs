@@ -147,10 +147,12 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
     let report = pipeline.evaluate(&outcome, &data.test.features, &data.test.labels)?;
     hdm::save_model(&outcome.model, &out_path)?;
 
+    let measured = outcome.ledger.breakdown();
     Ok(format!(
         "trained {} on {} ({} samples, d = {dim}, {iterations} iterations)\n\
          test accuracy: {:.1}%\n\
          modeled training time: {:.4}s (encode {:.4} + update {:.4} + model-gen {:.4})\n\
+         measured backend time: {:.4}s over {} compilation(s), {} cache hit(s), {} new device(s)\n\
          saved to {out_path}\n",
         setting.label(),
         data.name,
@@ -160,6 +162,10 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
         outcome.runtime.encode_s,
         outcome.runtime.update_s,
         outcome.runtime.model_gen_s,
+        measured.total_s(),
+        outcome.ledger.compilations,
+        outcome.ledger.cache_hits,
+        outcome.ledger.devices_created,
     ))
 }
 

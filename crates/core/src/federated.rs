@@ -44,8 +44,8 @@ use serde::{Deserialize, Serialize};
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
 use hdc::{
-    train_encoded_warm, BaseHypervectors, ClassHypervectors, HdcModel, NonlinearEncoder,
-    Similarity, TrainConfig,
+    train_encoded_warm, BaseHypervectors, ClassHypervectors, Executor, HdcModel, HostExecutor,
+    NonlinearEncoder, Similarity, TrainConfig,
 };
 
 use crate::error::FrameworkError;
@@ -200,6 +200,9 @@ fn partition_indices(
 
 /// Runs federated HDC training and returns the aggregated global model.
 ///
+/// Shard encoding runs on the host in `f32`; use [`federated_fit_with`]
+/// to place it on an execution backend.
+///
 /// # Errors
 ///
 /// * [`FrameworkError::InvalidConfig`] — bad configuration.
@@ -209,6 +212,25 @@ pub fn federated_fit(
     labels: &[usize],
     classes: usize,
     config: &FederatedConfig,
+) -> Result<(HdcModel, FederatedStats)> {
+    federated_fit_with(features, labels, classes, config, &HostExecutor)
+}
+
+/// [`federated_fit`] with a caller-supplied [`Executor`] for shard
+/// encoding — in the deployed setting each node encodes on its own
+/// accelerator, which the framework models by passing an
+/// accelerator-placed backend (e.g.
+/// [`HybridBackend`](crate::backend::HybridBackend)).
+///
+/// # Errors
+///
+/// Same as [`federated_fit`], plus whatever the executor returns.
+pub fn federated_fit_with(
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    config: &FederatedConfig,
+    exec: &dyn Executor,
 ) -> Result<(HdcModel, FederatedStats)> {
     config.validate()?;
     if features.rows() == 0 || classes == 0 {
@@ -246,7 +268,7 @@ pub fn federated_fit(
         }
         let shard_features = features.select_rows(shard)?;
         let shard_labels: Vec<usize> = shard.iter().map(|&i| labels[i]).collect();
-        let encoded = encoder.encode(&shard_features)?;
+        let encoded = exec.encode_batch(&encoder, &shard_features)?;
         node_data.push(Some((encoded, shard_labels)));
     }
 
@@ -398,6 +420,31 @@ mod tests {
         let (a, _) = federated_fit(&features, &labels, 2, &config).unwrap();
         let (b, _) = federated_fit(&features, &labels, 2, &config).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn device_encoded_federation_matches_host_closely() {
+        use crate::backend::ExecutionBackend;
+        let (features, labels) = clustered(20, 10, 3, 7);
+        let config = FederatedConfig::new(256).with_nodes(3).with_rounds(3);
+        let (host_model, _) = federated_fit(&features, &labels, 3, &config).unwrap();
+        let backend = crate::backend::HybridBackend::new(&crate::PipelineConfig::new(256));
+        let (dev_model, _) = federated_fit_with(&features, &labels, 3, &config, &backend).unwrap();
+        let host_acc =
+            hdc::eval::accuracy(&host_model.predict(&features).unwrap(), &labels).unwrap();
+        let dev_acc = hdc::eval::accuracy(&dev_model.predict(&features).unwrap(), &labels).unwrap();
+        assert!(
+            dev_acc > host_acc - 0.15,
+            "device {dev_acc} vs host {host_acc}"
+        );
+        let ledger = backend.ledger();
+        // One compiled encoder per shard calibration, on one device. The
+        // warm-started local updates run host-side outside the backend,
+        // so only encoding shows up in its ledger.
+        assert_eq!(ledger.compilations, 3);
+        assert_eq!(ledger.devices_created, 1);
+        assert!(ledger.encode_s > 0.0);
+        assert_eq!(ledger.update_s, 0.0);
     }
 
     #[test]

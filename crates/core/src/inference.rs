@@ -1,11 +1,8 @@
-use hd_tensor::{ops, Matrix};
+use hd_tensor::Matrix;
 use hdc::HdcModel;
-use tpu_sim::Device;
-use wide_nn::compile;
 
 use crate::config::{ExecutionSetting, PipelineConfig};
-use crate::runtime::{self, WorkloadSpec};
-use crate::wide_model;
+use crate::pipeline::Pipeline;
 use crate::Result;
 
 /// Result of running inference over a test batch.
@@ -20,20 +17,32 @@ pub struct InferenceReport {
 
 /// Runs trained HDC models on test data under each execution setting.
 ///
+/// This is a thin convenience wrapper over [`Pipeline::infer`] — there is
+/// exactly one inference implementation, routed through the pipeline's
+/// shared [`ExecutionBackend`](crate::backend::ExecutionBackend) handles.
 /// On the CPU path the model predicts in `f32`; on the accelerator paths
-/// the full three-layer wide-NN inference model is compiled, loaded once,
-/// and invoked in latency-oriented batches, so predictions carry genuine
-/// int8 quantization effects.
+/// the full three-layer wide-NN inference model is compiled (once — the
+/// backend caches it), loaded onto the persistent device, and invoked in
+/// latency-oriented batches, so predictions carry genuine int8
+/// quantization effects.
 #[derive(Debug, Clone)]
 pub struct InferenceEngine {
-    config: PipelineConfig,
+    pipeline: Pipeline,
 }
 
 impl InferenceEngine {
     /// Creates an engine with the given pipeline configuration.
     #[must_use]
     pub fn new(config: PipelineConfig) -> Self {
-        InferenceEngine { config }
+        InferenceEngine {
+            pipeline: Pipeline::new(config),
+        }
+    }
+
+    /// The underlying pipeline (exposes the backend registry and its
+    /// telemetry).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
     }
 
     /// Runs inference under `setting`, returning predictions and the
@@ -48,38 +57,7 @@ impl InferenceEngine {
         features: &Matrix,
         setting: ExecutionSetting,
     ) -> Result<InferenceReport> {
-        let workload = WorkloadSpec {
-            train_samples: 0,
-            test_samples: features.rows(),
-            features: model.feature_count(),
-            classes: model.class_count(),
-        };
-        let runtime_s = runtime::inference_time_s(&self.config, &workload, setting);
-        let predictions = match setting {
-            ExecutionSetting::CpuBaseline => model.predict(features)?,
-            ExecutionSetting::Tpu | ExecutionSetting::TpuBagging => {
-                self.predict_on_device(model, features)?
-            }
-        };
-        Ok(InferenceReport {
-            predictions,
-            runtime_s,
-        })
-    }
-
-    fn predict_on_device(&self, model: &HdcModel, features: &Matrix) -> Result<Vec<usize>> {
-        let network = wide_model::inference_network(model)?;
-        // Calibrate on (a subset of) the test batch, as a deployment
-        // pipeline would calibrate on representative data.
-        let calib_rows = features.rows().min(256);
-        let calibration = features.slice_rows(0, calib_rows)?;
-        let compiled = compile::compile(&network, &calibration, &self.config.device.target)?;
-        let device = Device::new(self.config.device.clone());
-        device.load_model(compiled)?;
-        let (scores, _stats) = device.invoke_chunked(features, self.config.infer_batch)?;
-        (0..scores.rows())
-            .map(|r| ops::argmax(scores.row(r)).map_err(crate::FrameworkError::from))
-            .collect()
+        self.pipeline.infer(model, features, setting)
     }
 }
 
@@ -136,6 +114,15 @@ mod tests {
             a.runtime_s, b.runtime_s,
             "merged model must add zero overhead"
         );
+        // Both settings share one backend handle, so the second run hits
+        // the compiled-model cache instead of recompiling.
+        let ledger = engine
+            .pipeline()
+            .backend(ExecutionSetting::TpuBagging)
+            .ledger();
+        assert_eq!(ledger.compilations, 1);
+        assert_eq!(ledger.cache_hits, 1);
+        assert_eq!(ledger.devices_created, 1);
     }
 
     #[test]

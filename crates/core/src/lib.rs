@@ -16,9 +16,15 @@
 //!
 //! The key public types:
 //!
-//! * [`Pipeline`] — trains a model under a chosen [`ExecutionSetting`],
-//!   returning the trained model, functional accuracy inputs, and a
-//!   per-phase [`RuntimeBreakdown`],
+//! * [`Pipeline`] — trains a model under a chosen [`ExecutionSetting`]
+//!   through one generic loop parameterized by an execution backend,
+//!   returning the trained model, functional accuracy inputs, a
+//!   per-phase [`RuntimeBreakdown`], and the backend's measured
+//!   [`BackendLedger`],
+//! * [`backend`] — the [`ExecutionBackend`] trait and its three
+//!   placements ([`CpuBackend`], [`TpuBackend`], [`HybridBackend`]),
+//!   with a persistent device and compiled-model cache on the
+//!   accelerator side,
 //! * [`InferenceEngine`] — runs trained models on test data under each
 //!   setting,
 //! * [`wide_model`] — the HDC-to-wide-NN interpretation (Fig. 2),
@@ -58,14 +64,18 @@ mod error;
 mod inference;
 mod pipeline;
 
+pub mod backend;
 pub mod federated;
 pub mod runtime;
 pub mod wide_model;
 
+pub use backend::{
+    BackendLedger, BackendRegistry, CpuBackend, ExecutionBackend, HybridBackend, TpuBackend,
+};
 pub use config::{ExecutionSetting, PipelineConfig};
 pub use error::FrameworkError;
 pub use inference::{InferenceEngine, InferenceReport};
-pub use pipeline::{EvaluationReport, Pipeline, TrainingOutcome};
+pub use pipeline::{EvaluationReport, Pipeline, TrainingOutcome, TrainingTelemetry};
 pub use runtime::{EnergyBreakdown, RuntimeBreakdown, UpdateProfile, WorkloadSpec};
 
 /// Convenience result alias for fallible framework operations.

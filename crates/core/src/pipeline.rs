@@ -1,18 +1,15 @@
-use hd_bagging::{train_bagged_with, BaggingError, BaggingStats};
+use std::sync::Arc;
+
+use hd_bagging::{bagged_member_specs, train_members, BaggingStats, MemberSpec};
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
-use hdc::{
-    train_encoded, BaseHypervectors, HdcModel, NonlinearEncoder, Similarity, TrainConfig,
-    TrainStats,
-};
-use tpu_sim::Device;
-use wide_nn::compile;
+use hdc::{BaseHypervectors, HdcModel, NonlinearEncoder, TrainConfig, TrainStats};
 
+use crate::backend::{BackendLedger, BackendRegistry, ExecutionBackend};
 use crate::config::{ExecutionSetting, PipelineConfig};
 use crate::error::FrameworkError;
-use crate::inference::{InferenceEngine, InferenceReport};
+use crate::inference::InferenceReport;
 use crate::runtime::{self, RuntimeBreakdown, UpdateProfile, WorkloadSpec};
-use crate::wide_model;
 use crate::Result;
 
 /// Functional training telemetry, per setting.
@@ -38,6 +35,10 @@ pub struct TrainingOutcome {
     pub update_profile: UpdateProfile,
     /// Modeled per-phase runtime at this run's actual workload size.
     pub runtime: RuntimeBreakdown,
+    /// What the backend actually executed for this run: measured
+    /// (simulated-clock) phase seconds plus compile/load/device counters.
+    /// Convert with [`runtime::measured_breakdown`] for the phase view.
+    pub ledger: BackendLedger,
 }
 
 impl TrainingOutcome {
@@ -70,22 +71,45 @@ pub struct EvaluationReport {
 
 /// The paper's co-designed training/inference orchestrator.
 ///
+/// Every setting trains through **one** generic loop
+/// ([`hd_bagging::train_members`]) parameterized by an
+/// [`ExecutionBackend`] handle: the CPU baseline and the accelerated
+/// settings differ only in the backend the registry hands back and in the
+/// member plan (one full-width member vs. `M` bagged members). The
+/// backends are shared for the pipeline's lifetime, so the accelerated
+/// settings keep one persistent device and reuse compiled models across
+/// training, evaluation, and repeated calls.
+///
 /// See the [crate-level example](crate) for end-to-end usage.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     config: PipelineConfig,
+    backends: Arc<BackendRegistry>,
 }
 
 impl Pipeline {
-    /// Creates a pipeline with the given configuration.
+    /// Creates a pipeline with the given configuration, constructing its
+    /// shared backend handles (including the one persistent simulated
+    /// device the accelerated settings use).
     #[must_use]
     pub fn new(config: PipelineConfig) -> Self {
-        Pipeline { config }
+        let backends = Arc::new(BackendRegistry::new(&config));
+        Pipeline { config, backends }
     }
 
     /// The pipeline configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The shared backend registry.
+    pub fn backends(&self) -> &BackendRegistry {
+        &self.backends
+    }
+
+    /// The backend handle serving an execution setting.
+    pub fn backend(&self, setting: ExecutionSetting) -> &dyn ExecutionBackend {
+        self.backends.get(setting)
     }
 
     /// Trains a model under `setting` and reports per-phase runtimes at
@@ -110,99 +134,22 @@ impl Pipeline {
             features: features.cols(),
             classes,
         };
-        match setting {
-            ExecutionSetting::CpuBaseline => self.train_cpu(features, labels, classes, &workload),
-            ExecutionSetting::Tpu => self.train_tpu(features, labels, classes, &workload),
-            ExecutionSetting::TpuBagging => {
-                self.train_tpu_bagging(features, labels, classes, &workload)
-            }
-        }
-    }
 
-    fn train_cpu(
-        &self,
-        features: &Matrix,
-        labels: &[usize],
-        classes: usize,
-        workload: &WorkloadSpec,
-    ) -> Result<TrainingOutcome> {
-        let mut rng = DetRng::new(self.config.seed);
-        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(
-            features.cols(),
-            self.config.dim,
-            &mut rng,
-        ));
-        let encoded = encoder.encode(features)?;
-        let (class_hvs, stats) = train_encoded(&encoded, labels, classes, &self.train_config())?;
-        let profile = UpdateProfile::from_train_stats(&stats, features.rows());
-        let runtime = runtime::training_breakdown(
-            &self.config,
-            workload,
-            ExecutionSetting::CpuBaseline,
-            &profile,
-        );
-        Ok(TrainingOutcome {
-            setting: ExecutionSetting::CpuBaseline,
-            model: HdcModel::from_parts(encoder, class_hvs, Similarity::Dot)?,
-            telemetry: TrainingTelemetry::Single(stats),
-            update_profile: profile,
-            runtime,
-        })
-    }
-
-    fn train_tpu(
-        &self,
-        features: &Matrix,
-        labels: &[usize],
-        classes: usize,
-        workload: &WorkloadSpec,
-    ) -> Result<TrainingOutcome> {
-        let mut rng = DetRng::new(self.config.seed);
-        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(
-            features.cols(),
-            self.config.dim,
-            &mut rng,
-        ));
-
-        // Lower the encoder half of the wide NN to the accelerator and
-        // encode the whole training set there — quantization and all.
-        let encoded = self.encode_on_device(&encoder, features)?;
-
-        let (class_hvs, stats) = train_encoded(&encoded, labels, classes, &self.train_config())?;
-        let profile = UpdateProfile::from_train_stats(&stats, features.rows());
-        let runtime =
-            runtime::training_breakdown(&self.config, workload, ExecutionSetting::Tpu, &profile);
-        Ok(TrainingOutcome {
-            setting: ExecutionSetting::Tpu,
-            model: HdcModel::from_parts(encoder, class_hvs, Similarity::Dot)?,
-            telemetry: TrainingTelemetry::Single(stats),
-            update_profile: profile,
-            runtime,
-        })
-    }
-
-    fn train_tpu_bagging(
-        &self,
-        features: &Matrix,
-        labels: &[usize],
-        classes: usize,
-        workload: &WorkloadSpec,
-    ) -> Result<TrainingOutcome> {
-        let (bagged, stats) = train_bagged_with(
-            features,
-            labels,
-            classes,
-            &self.config.bagging,
-            |encoder, batch| {
-                self.encode_on_device(encoder, batch).map_err(|e| {
-                    BaggingError::InvalidConfig(format!("device encoding failed: {e}"))
-                })
-            },
-        )?;
+        let backend = self.backend(setting);
+        let before = backend.ledger();
+        let specs = self.member_plan(features, setting)?;
+        let (bagged, stats) = train_members(features, labels, classes, specs, backend)?;
         let model = bagged.merge()?;
+        let ledger = backend.ledger().delta_since(&before);
 
-        // Average measured fractions across sub-models, iteration-wise.
-        let iters = self.config.bagging.iterations;
+        // Average measured update fractions across members,
+        // iteration-wise (a single member reproduces its own profile).
+        let iters = stats
+            .sub_models
+            .iter()
+            .map(|s| s.train.iterations.len())
+            .max()
+            .unwrap_or(0);
         let mut fractions = vec![0.0f64; iters];
         for sub in &stats.sub_models {
             let p = UpdateProfile::from_train_stats(&sub.train, sub.sampled_rows);
@@ -210,33 +157,55 @@ impl Pipeline {
                 *f += p.fraction(i) / stats.sub_models.len() as f64;
             }
         }
-        let profile = UpdateProfile::from_fractions(fractions);
-        let runtime = runtime::training_breakdown(
-            &self.config,
-            workload,
-            ExecutionSetting::TpuBagging,
-            &profile,
-        );
+        let profile = UpdateProfile::try_from_fractions(fractions)?;
+        let runtime = runtime::training_breakdown(&self.config, &workload, setting, &profile);
+
+        let telemetry = match setting {
+            ExecutionSetting::TpuBagging => TrainingTelemetry::Bagged(stats),
+            ExecutionSetting::CpuBaseline | ExecutionSetting::Tpu => {
+                let single =
+                    stats.sub_models.into_iter().next().ok_or_else(|| {
+                        FrameworkError::InvalidConfig("empty training plan".into())
+                    })?;
+                TrainingTelemetry::Single(single.train)
+            }
+        };
+
         Ok(TrainingOutcome {
-            setting: ExecutionSetting::TpuBagging,
+            setting,
             model,
-            telemetry: TrainingTelemetry::Bagged(stats),
+            telemetry,
             update_profile: profile,
             runtime,
+            ledger,
         })
     }
 
-    /// Compiles an encoder to the accelerator target, loads it, and
-    /// encodes a batch there (chunked at the configured encode batch).
-    fn encode_on_device(&self, encoder: &NonlinearEncoder, batch: &Matrix) -> Result<Matrix> {
-        let network = wide_model::encoder_network(encoder)?;
-        let calib_rows = batch.rows().min(256);
-        let calibration = batch.slice_rows(0, calib_rows)?;
-        let compiled = compile::compile(&network, &calibration, &self.config.device.target)?;
-        let device = Device::new(self.config.device.clone());
-        device.load_model(compiled)?;
-        let (encoded, _stats) = device.invoke_chunked(batch, self.config.encode_batch)?;
-        Ok(encoded)
+    /// Builds the training plan for a setting: one full-width member over
+    /// the whole dataset, or the paper's `M`-member bootstrap plan.
+    fn member_plan(&self, features: &Matrix, setting: ExecutionSetting) -> Result<Vec<MemberSpec>> {
+        match setting {
+            ExecutionSetting::TpuBagging => Ok(bagged_member_specs(
+                features.rows(),
+                features.cols(),
+                &self.config.bagging,
+            )?),
+            ExecutionSetting::CpuBaseline | ExecutionSetting::Tpu => {
+                let mut rng = DetRng::new(self.config.seed);
+                let encoder = NonlinearEncoder::new(BaseHypervectors::generate(
+                    features.cols(),
+                    self.config.dim,
+                    &mut rng,
+                ));
+                Ok(vec![MemberSpec {
+                    index: 0,
+                    rows: None,
+                    sampled_features: features.cols(),
+                    encoder,
+                    train: self.train_config(),
+                }])
+            }
+        }
     }
 
     fn train_config(&self) -> TrainConfig {
@@ -244,6 +213,32 @@ impl Pipeline {
             .with_iterations(self.config.iterations)
             .with_learning_rate(self.config.learning_rate)
             .with_seed(self.config.seed)
+    }
+
+    /// Runs inference under `setting` through the corresponding backend,
+    /// returning predictions and the modeled runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation/device/shape errors.
+    pub fn infer(
+        &self,
+        model: &HdcModel,
+        features: &Matrix,
+        setting: ExecutionSetting,
+    ) -> Result<InferenceReport> {
+        let workload = WorkloadSpec {
+            train_samples: 0,
+            test_samples: features.rows(),
+            features: model.feature_count(),
+            classes: model.class_count(),
+        };
+        let runtime_s = runtime::inference_time_s(&self.config, &workload, setting);
+        let predictions = self.backend(setting).predict(model, features)?;
+        Ok(InferenceReport {
+            predictions,
+            runtime_s,
+        })
     }
 
     /// Evaluates a training outcome on held-out data under the outcome's
@@ -259,8 +254,7 @@ impl Pipeline {
         test_features: &Matrix,
         test_labels: &[usize],
     ) -> Result<EvaluationReport> {
-        let engine = InferenceEngine::new(self.config.clone());
-        let inference = engine.run(&outcome.model, test_features, outcome.setting)?;
+        let inference = self.infer(&outcome.model, test_features, outcome.setting)?;
         let accuracy = hdc::eval::accuracy(&inference.predictions, test_labels)
             .map_err(FrameworkError::from)?;
         Ok(EvaluationReport {
@@ -310,6 +304,11 @@ mod tests {
         assert!(outcome.runtime.encode_s > 0.0);
         assert!(outcome.runtime.update_s > 0.0);
         assert_eq!(outcome.runtime.model_gen_s, 0.0);
+        // The CPU backend never touches a device or compiles anything.
+        assert_eq!(outcome.ledger.compilations, 0);
+        assert_eq!(outcome.ledger.devices_created, 0);
+        assert!(outcome.ledger.encode_s > 0.0);
+        assert!(outcome.ledger.update_s > 0.0);
 
         let report = p
             .evaluate(&outcome, &data.test.features, &data.test.labels)
@@ -349,8 +348,11 @@ mod tests {
             (cpu_acc - tpu_acc).abs() < 0.15,
             "cpu {cpu_acc} vs tpu {tpu_acc}"
         );
-        // One-time model generation shows up only on the TPU path.
+        // One-time model generation shows up only on the TPU path —
+        // in the closed-form model and in the measured ledger alike.
         assert!(tpu.runtime.model_gen_s > 0.0);
+        assert!(tpu.ledger.model_gen_s > 0.0);
+        assert_eq!(cpu.ledger.model_gen_s, 0.0);
     }
 
     #[test]
@@ -374,6 +376,51 @@ mod tests {
             .evaluate(&outcome, &data.test.features, &data.test.labels)
             .unwrap();
         assert!(report.accuracy > 0.4, "accuracy {}", report.accuracy);
+    }
+
+    #[test]
+    fn bagging_compiles_each_sub_encoder_once_on_one_device() {
+        // The co-design fix this module exists for: a bagged M=4 run must
+        // compile exactly the 4 distinct sub-encoders, construct no new
+        // device, and keep everything resident for reuse.
+        let data = small_dataset(7);
+        let p = pipeline();
+        let m = p.config().bagging.sub_models as u64;
+        let outcome = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::TpuBagging,
+            )
+            .unwrap();
+        assert_eq!(outcome.ledger.compilations, m);
+        assert_eq!(outcome.ledger.model_loads, m);
+        assert_eq!(
+            outcome.ledger.devices_created, 0,
+            "training must reuse the registry's persistent device"
+        );
+        assert_eq!(
+            p.backend(ExecutionSetting::TpuBagging)
+                .ledger()
+                .devices_created,
+            1,
+            "the pipeline owns exactly one device"
+        );
+
+        // Retraining hits the compiled-model cache: same specs, same
+        // calibration bits, zero new compilations.
+        let again = p
+            .train(
+                &data.train.features,
+                &data.train.labels,
+                data.classes,
+                ExecutionSetting::TpuBagging,
+            )
+            .unwrap();
+        assert_eq!(again.ledger.compilations, 0);
+        assert_eq!(again.ledger.cache_hits, m);
+        assert_eq!(again.model, outcome.model);
     }
 
     #[test]
@@ -403,6 +450,8 @@ mod tests {
             bag.runtime.update_s,
             cpu.runtime.update_s
         );
+        // The measured ledgers agree with the modeled ordering.
+        assert!(bag.ledger.update_s < cpu.ledger.update_s);
     }
 
     #[test]

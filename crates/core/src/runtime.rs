@@ -442,6 +442,16 @@ pub fn inference_energy_j(
     }
 }
 
+/// The per-phase view of **measured** backend telemetry, in the same
+/// shape as the closed-form models — the single interface through which
+/// runtime analysis consumes what a backend actually executed (at the
+/// simulated clocks), as opposed to what the models predict at an
+/// arbitrary scale.
+#[must_use]
+pub fn measured_breakdown(ledger: &crate::backend::BackendLedger) -> RuntimeBreakdown {
+    ledger.breakdown()
+}
+
 /// Convenience: the full training breakdown for a pipeline configuration
 /// under a given setting.
 pub fn training_breakdown(

@@ -7,14 +7,18 @@
 //! the weight matrix between the hidden layer and the output layer.
 
 use hd_tensor::Matrix;
-use hdc::{HdcModel, NonlinearEncoder};
+use hdc::{Encoder, EncoderActivation, HdcModel};
 use wide_nn::{Activation, ElementwiseOp, Model, ModelBuilder};
 
 use crate::Result;
 
 /// Builds the *first half* of the wide network: the encoding model
-/// `F -> tanh(F x B)` that the framework ships to the accelerator during
-/// training (paper Fig. 1, "training set encoding on Edge TPU").
+/// `F -> tanh(F x B)` (or plain `F x B` for a linear encoder) that the
+/// framework ships to the accelerator during training (paper Fig. 1,
+/// "training set encoding on Edge TPU").
+///
+/// Accepts any [`hdc::Encoder`], so the nonlinear and linear encoders
+/// lower through the same path.
 ///
 /// # Errors
 ///
@@ -36,12 +40,14 @@ use crate::Result;
 /// # Ok(())
 /// # }
 /// ```
-pub fn encoder_network(encoder: &NonlinearEncoder) -> Result<Model> {
-    let model = ModelBuilder::new(encoder.base().feature_count())
-        .fully_connected(encoder.base().as_matrix().clone())?
-        .activation(Activation::Tanh)
-        .build()?;
-    Ok(model)
+pub fn encoder_network(encoder: &dyn Encoder) -> Result<Model> {
+    let builder = ModelBuilder::new(encoder.base().feature_count())
+        .fully_connected(encoder.base().as_matrix().clone())?;
+    let builder = match encoder.activation() {
+        EncoderActivation::Tanh => builder.activation(Activation::Tanh),
+        EncoderActivation::Identity => builder,
+    };
+    Ok(builder.build()?)
 }
 
 /// Builds the *full* three-layer inference network

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use hd_tensor::Matrix;
 
+use crate::encoder::Encoder;
 use crate::error::HdcError;
 use crate::model::{ClassHypervectors, HdcModel};
 use crate::Result;

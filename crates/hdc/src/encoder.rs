@@ -104,6 +104,71 @@ impl BaseHypervectors {
     }
 }
 
+/// The optional non-linearity an [`Encoder`] applies after the base
+/// projection — the hidden-layer activation of the wide-NN interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EncoderActivation {
+    /// No activation: the linear mapping `E = F x B` of prior work.
+    Identity,
+    /// The paper's `tanh` non-linearity: `E = tanh(F x B)`.
+    Tanh,
+}
+
+/// An HDC encoder: a base-hypervector projection followed by an optional
+/// non-linearity.
+///
+/// Every encoder is fully described by its [`BaseHypervectors`] and its
+/// [`EncoderActivation`]; `encode` and `encode_sample` are shared default
+/// implementations over that description, so [`NonlinearEncoder`] and
+/// [`LinearEncoder`] no longer duplicate the batched math, and execution
+/// backends can compile *any* encoder to the accelerator from the same
+/// two accessors.
+pub trait Encoder: Send + Sync {
+    /// The base hypervectors — the first-layer weights of the wide-NN
+    /// interpretation.
+    fn base(&self) -> &BaseHypervectors;
+
+    /// The activation applied after the projection.
+    fn activation(&self) -> EncoderActivation;
+
+    /// Number of input features `n`.
+    fn feature_count(&self) -> usize {
+        self.base().feature_count()
+    }
+
+    /// Hypervector dimensionality `d`.
+    fn dim(&self) -> usize {
+        self.base().dim()
+    }
+
+    /// Encodes a batch of samples (one per row) into hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped shape error if `batch.cols()` differs from the
+    /// feature count.
+    fn encode(&self, batch: &Matrix) -> Result<Matrix> {
+        let mut encoded = gemm::matmul(batch, self.base().as_matrix()).map_err(HdcError::from)?;
+        if self.activation() == EncoderActivation::Tanh {
+            ops::tanh_inplace(encoded.as_mut_slice());
+        }
+        Ok(encoded)
+    }
+
+    /// Encodes a single sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped shape error on a feature-count mismatch.
+    fn encode_sample(&self, sample: &[f32]) -> Result<Vec<f32>> {
+        let mut encoded = gemm::matvec(sample, self.base().as_matrix()).map_err(HdcError::from)?;
+        if self.activation() == EncoderActivation::Tanh {
+            ops::tanh_inplace(&mut encoded);
+        }
+        Ok(encoded)
+    }
+}
+
 /// The paper's non-linear encoder: `E = tanh(F x B)`.
 ///
 /// Encoding is "indeed a vector-matrix multiplication that is ready to
@@ -126,28 +191,15 @@ impl NonlinearEncoder {
     pub fn base(&self) -> &BaseHypervectors {
         &self.base
     }
+}
 
-    /// Encodes a batch of samples (one per row) into hypervectors.
-    ///
-    /// # Errors
-    ///
-    /// Returns a wrapped shape error if `batch.cols()` differs from the
-    /// feature count.
-    pub fn encode(&self, batch: &Matrix) -> Result<Matrix> {
-        let mut encoded = gemm::matmul(batch, self.base.as_matrix()).map_err(HdcError::from)?;
-        ops::tanh_inplace(encoded.as_mut_slice());
-        Ok(encoded)
+impl Encoder for NonlinearEncoder {
+    fn base(&self) -> &BaseHypervectors {
+        &self.base
     }
 
-    /// Encodes a single sample.
-    ///
-    /// # Errors
-    ///
-    /// Returns a wrapped shape error on a feature-count mismatch.
-    pub fn encode_sample(&self, sample: &[f32]) -> Result<Vec<f32>> {
-        let mut encoded = gemm::matvec(sample, self.base.as_matrix()).map_err(HdcError::from)?;
-        ops::tanh_inplace(&mut encoded);
-        Ok(encoded)
+    fn activation(&self) -> EncoderActivation {
+        EncoderActivation::Tanh
     }
 }
 
@@ -174,24 +226,15 @@ impl LinearEncoder {
     pub fn base(&self) -> &BaseHypervectors {
         &self.base
     }
+}
 
-    /// Encodes a batch of samples without a non-linearity.
-    ///
-    /// # Errors
-    ///
-    /// Returns a wrapped shape error if `batch.cols()` differs from the
-    /// feature count.
-    pub fn encode(&self, batch: &Matrix) -> Result<Matrix> {
-        gemm::matmul(batch, self.base.as_matrix()).map_err(HdcError::from)
+impl Encoder for LinearEncoder {
+    fn base(&self) -> &BaseHypervectors {
+        &self.base
     }
 
-    /// Encodes a single sample.
-    ///
-    /// # Errors
-    ///
-    /// Returns a wrapped shape error on a feature-count mismatch.
-    pub fn encode_sample(&self, sample: &[f32]) -> Result<Vec<f32>> {
-        gemm::matvec(sample, self.base.as_matrix()).map_err(HdcError::from)
+    fn activation(&self) -> EncoderActivation {
+        EncoderActivation::Identity
     }
 }
 
@@ -294,6 +337,26 @@ mod tests {
             assert!((a - b).abs() < 1e-5);
         }
         assert!(linear.encode_sample(&[0.0; 6]).is_err());
+    }
+
+    #[test]
+    fn trait_object_encoding_matches_concrete() {
+        let enc = encoder(8, 64, 12);
+        let dyn_enc: &dyn Encoder = &enc;
+        let mut rng = DetRng::new(13);
+        let batch = Matrix::random_normal(3, 8, &mut rng);
+        assert_eq!(dyn_enc.encode(&batch).unwrap(), enc.encode(&batch).unwrap());
+        assert_eq!(dyn_enc.activation(), EncoderActivation::Tanh);
+        assert_eq!(dyn_enc.feature_count(), 8);
+        assert_eq!(dyn_enc.dim(), 64);
+
+        let linear = LinearEncoder::new(enc.base().clone());
+        let dyn_linear: &dyn Encoder = &linear;
+        assert_eq!(dyn_linear.activation(), EncoderActivation::Identity);
+        assert_eq!(
+            dyn_linear.encode(&batch).unwrap(),
+            gemm::matmul(&batch, enc.base().as_matrix()).unwrap()
+        );
     }
 
     #[test]

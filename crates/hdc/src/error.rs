@@ -28,6 +28,9 @@ pub enum HdcError {
     InvalidConfig(&'static str),
     /// An underlying tensor operation failed.
     Tensor(TensorError),
+    /// An execution backend could not run a phase (device compile/load
+    /// failures, or an update phase the backend cannot place).
+    Backend(String),
 }
 
 impl fmt::Display for HdcError {
@@ -42,6 +45,7 @@ impl fmt::Display for HdcError {
             HdcError::EmptyDataset => write!(f, "dataset has no samples or no classes"),
             HdcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             HdcError::Tensor(e) => write!(f, "tensor error: {e}"),
+            HdcError::Backend(msg) => write!(f, "execution backend error: {msg}"),
         }
     }
 }

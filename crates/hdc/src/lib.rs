@@ -43,6 +43,7 @@
 pub mod bipolar;
 mod encoder;
 mod error;
+mod exec;
 mod model;
 mod train;
 
@@ -50,8 +51,9 @@ pub mod eval;
 pub mod regen;
 pub mod serialize;
 
-pub use encoder::{BaseHypervectors, LinearEncoder, NonlinearEncoder};
+pub use encoder::{BaseHypervectors, Encoder, EncoderActivation, LinearEncoder, NonlinearEncoder};
 pub use error::HdcError;
+pub use exec::{Executor, HostExecutor};
 pub use model::{ClassHypervectors, HdcModel, Similarity};
 pub use train::{
     train_encoded, train_encoded_tracked, train_encoded_warm, IterationStats, OnlineTrainer,

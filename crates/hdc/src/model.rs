@@ -3,7 +3,7 @@ use serde::{Deserialize, Serialize};
 use hd_tensor::rng::DetRng;
 use hd_tensor::{gemm, ops, Matrix};
 
-use crate::encoder::{BaseHypervectors, NonlinearEncoder};
+use crate::encoder::{BaseHypervectors, Encoder, NonlinearEncoder};
 use crate::error::HdcError;
 use crate::train::{train_encoded, TrainConfig, TrainStats};
 use crate::Result;

@@ -39,6 +39,8 @@ use serde::{Deserialize, Serialize};
 use hd_tensor::rng::DetRng;
 use hd_tensor::{stats, Matrix};
 
+use crate::encoder::Encoder;
+
 use crate::encoder::{BaseHypervectors, NonlinearEncoder};
 use crate::error::HdcError;
 use crate::model::{ClassHypervectors, HdcModel};

@@ -13,7 +13,7 @@
 
 use hd_datasets::{registry, SampleBudget};
 use hd_tensor::rng::DetRng;
-use hdc::{eval, OnlineTrainer, Similarity};
+use hdc::{eval, Encoder, OnlineTrainer, Similarity};
 use hyperedge::{ExecutionSetting, Pipeline, PipelineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,190 @@
+//! Backend-equivalence suite: the `ExecutionBackend` layer must be a
+//! pure refactor of the execution paths, not a numerics change.
+//!
+//! * `CpuBackend` encode/predict match the float wide-nn reference,
+//! * `TpuBackend` predictions are bit-exact with the quantized wide-nn
+//!   reference for models trained under every `ExecutionSetting`,
+//! * merged-bagging inference is identical through either backend
+//!   (property-tested against each backend's reference executor).
+
+use proptest::prelude::*;
+
+use hd_bagging::{train_bagged, BaggingConfig};
+use hd_tensor::{ops, Matrix};
+use hdc::{Executor, HdcModel};
+use hyperedge::{
+    wide_model, CpuBackend, ExecutionBackend, ExecutionSetting, Pipeline, PipelineConfig,
+    TpuBackend,
+};
+use integration_tests::{clustered_dataset, split_half};
+use wide_nn::compile;
+
+/// Mirrors the backend's calibration choice (`backend::CALIBRATION_ROWS`).
+const CALIBRATION_ROWS: usize = 256;
+
+fn config() -> PipelineConfig {
+    PipelineConfig::new(256).with_iterations(4).with_seed(7)
+}
+
+/// The quantized wide-nn reference for inference: compile the model's
+/// inference network exactly as `TpuBackend` does (same calibration
+/// slice, same target) and run the compiled int8 executor on the host.
+fn quantized_reference_predictions(
+    config: &PipelineConfig,
+    model: &HdcModel,
+    features: &Matrix,
+) -> Vec<usize> {
+    let network = wide_model::inference_network(model).unwrap();
+    let calibration = features
+        .slice_rows(0, features.rows().min(CALIBRATION_ROWS))
+        .unwrap();
+    let compiled = compile::compile(&network, &calibration, &config.device.target).unwrap();
+    let scores = compiled.quantized().forward(features).unwrap();
+    (0..scores.rows())
+        .map(|r| ops::argmax(scores.row(r)).unwrap())
+        .collect()
+}
+
+/// The float wide-nn reference for inference.
+fn float_reference_predictions(model: &HdcModel, features: &Matrix) -> Vec<usize> {
+    let network = wide_model::inference_network(model).unwrap();
+    let scores = network.forward(features).unwrap();
+    (0..scores.rows())
+        .map(|r| ops::argmax(scores.row(r)).unwrap())
+        .collect()
+}
+
+#[test]
+fn cpu_backend_encode_matches_float_reference_network() {
+    let (features, labels) = clustered_dataset(30, 12, 3, 0.4, 11);
+    let cfg = config();
+    let pipeline = Pipeline::new(cfg.clone());
+    let outcome = pipeline
+        .train(&features, &labels, 3, ExecutionSetting::CpuBaseline)
+        .unwrap();
+    let encoder = outcome.model.encoder();
+
+    let backend = CpuBackend::new(&cfg);
+    let backend_encoded = backend.encode_batch(encoder, &features).unwrap();
+    let reference = wide_model::encoder_network(encoder)
+        .unwrap()
+        .forward(&features)
+        .unwrap();
+    assert_eq!(
+        backend_encoded, reference,
+        "CpuBackend encode must equal the float wide-nn encoder network"
+    );
+}
+
+#[test]
+fn cpu_backend_predictions_match_float_reference() {
+    let (features, labels) = clustered_dataset(30, 12, 3, 0.4, 12);
+    let (train, train_labels, test, _) = split_half(&features, &labels);
+    let cfg = config();
+    let pipeline = Pipeline::new(cfg.clone());
+    let outcome = pipeline
+        .train(&train, &train_labels, 3, ExecutionSetting::CpuBaseline)
+        .unwrap();
+
+    let backend = CpuBackend::new(&cfg);
+    let backend_preds = backend.predict(&outcome.model, &test).unwrap();
+    assert_eq!(
+        backend_preds,
+        float_reference_predictions(&outcome.model, &test)
+    );
+    assert_eq!(backend_preds, outcome.model.predict(&test).unwrap());
+}
+
+#[test]
+fn tpu_backend_bit_exact_with_quantized_reference_across_settings() {
+    let (features, labels) = clustered_dataset(30, 16, 4, 0.4, 13);
+    let (train, train_labels, test, _) = split_half(&features, &labels);
+    let cfg = config();
+    let pipeline = Pipeline::new(cfg.clone());
+
+    for setting in ExecutionSetting::all() {
+        let outcome = pipeline.train(&train, &train_labels, 4, setting).unwrap();
+        let backend = TpuBackend::new(&cfg);
+        let device_preds = backend.predict(&outcome.model, &test).unwrap();
+        assert_eq!(
+            device_preds,
+            quantized_reference_predictions(&cfg, &outcome.model, &test),
+            "device predictions diverged from the quantized reference for {}",
+            setting.label()
+        );
+        let ledger = backend.ledger();
+        assert_eq!(ledger.compilations, 1);
+        assert_eq!(ledger.devices_created, 1);
+    }
+}
+
+#[test]
+fn registry_backends_share_one_device_across_settings() {
+    let (features, labels) = clustered_dataset(20, 10, 2, 0.4, 14);
+    let pipeline = Pipeline::new(config());
+    let outcome = pipeline
+        .train(&features, &labels, 2, ExecutionSetting::Tpu)
+        .unwrap();
+
+    // Tpu and TpuBagging inference resolve to the same hybrid backend, so
+    // the second setting's predict is a pure cache hit on the first's.
+    let before = pipeline.backend(ExecutionSetting::Tpu).ledger();
+    let a = pipeline
+        .infer(&outcome.model, &features, ExecutionSetting::Tpu)
+        .unwrap();
+    let b = pipeline
+        .infer(&outcome.model, &features, ExecutionSetting::TpuBagging)
+        .unwrap();
+    assert_eq!(a.predictions, b.predictions);
+    let delta = pipeline
+        .backend(ExecutionSetting::Tpu)
+        .ledger()
+        .delta_since(&before);
+    assert_eq!(delta.compilations, 1, "second setting must hit the cache");
+    assert_eq!(delta.cache_hits, 1);
+    assert_eq!(delta.devices_created, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Merged-bagging inference is identical through either backend: the
+    /// CPU backend equals the float reference executor and the TPU
+    /// backend equals the quantized reference executor, for the same
+    /// merged model on the same batch.
+    #[test]
+    fn merged_bagging_inference_identical_through_either_backend(
+        seed in 0u64..500,
+        samples_per_class in 8usize..20,
+        classes in 2usize..5,
+    ) {
+        let (features, labels) =
+            clustered_dataset(samples_per_class, 10, classes, 0.4, seed);
+        let bag_config = BaggingConfig::paper_defaults(256)
+            .with_sub_models(4)
+            .with_sub_dim(64)
+            .with_seed(seed ^ 0xA5A5);
+        let (bagged, _) = train_bagged(&features, &labels, classes, &bag_config).unwrap();
+        let merged = bagged.merge().unwrap();
+
+        let cfg = config();
+        let cpu = CpuBackend::new(&cfg);
+        let tpu = TpuBackend::new(&cfg);
+        let cpu_preds = cpu.predict(&merged, &features).unwrap();
+        let tpu_preds = tpu.predict(&merged, &features).unwrap();
+        prop_assert_eq!(
+            &cpu_preds,
+            &float_reference_predictions(&merged, &features),
+            "CPU backend diverged from the float reference"
+        );
+        prop_assert_eq!(
+            &tpu_preds,
+            &quantized_reference_predictions(&cfg, &merged, &features),
+            "TPU backend diverged from the quantized reference"
+        );
+        // And repeating through the device is a pure cache hit.
+        let again = tpu.predict(&merged, &features).unwrap();
+        prop_assert_eq!(&again, &tpu_preds);
+        prop_assert_eq!(tpu.ledger().compilations, 1);
+    }
+}

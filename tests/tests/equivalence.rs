@@ -10,7 +10,7 @@
 use hd_bagging::{train_bagged, BaggingConfig};
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
-use hdc::{HdcModel, TrainConfig};
+use hdc::{Encoder, HdcModel, TrainConfig};
 use hyperedge::wide_model;
 use integration_tests::clustered_dataset;
 use tpu_sim::{Device, DeviceConfig};

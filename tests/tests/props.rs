@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use hd_quant::{gemm as qgemm, QuantParams, QuantizedMatrix};
 use hd_tensor::rng::DetRng;
 use hd_tensor::{gemm, ops, Matrix};
-use hdc::{BaseHypervectors, ClassHypervectors, HdcModel, NonlinearEncoder, Similarity};
+use hdc::{BaseHypervectors, ClassHypervectors, Encoder, HdcModel, NonlinearEncoder, Similarity};
 
 fn finite_range() -> impl Strategy<Value = (f32, f32)> {
     (-100.0f32..100.0, 0.01f32..100.0).prop_map(|(lo, span)| (lo, lo + span))
