@@ -1,0 +1,132 @@
+//! `no-unchecked-narrowing`: bare `as i8` / `as u8` / `as i32` casts in
+//! hot-path kernels.
+//!
+//! A narrowing `as` cast silently truncates: `(300i32) as i8` is `44`,
+//! not a clamp and not an error. In the int8 datapath that turns an
+//! accumulator overflow into a plausible-looking wrong answer instead of
+//! a diagnostic. The static range verifier ([`wide_nn::absint`]) proves
+//! compiled models stay inside the i32 accumulator, but kernel code must
+//! still narrow *somewhere* — and the sanctioned ways are the saturating
+//! wrappers in `hd_quant::narrow`, an explicit `.clamp(..) as _`, or the
+//! fallible `try_from`. Widening is never flagged as such, but `as i32`
+//! is on the needle list because at a call site the lint cannot see the
+//! operand type; lossless widenings should be written `i32::from(x)` /
+//! `i64::from(x)`, which the compiler checks and the lint ignores.
+
+use crate::lexer::MaskedSource;
+use crate::rules::{at, occurrences};
+use wide_nn::diag::Diagnostic;
+
+/// Narrowing (or ambiguous-width) cast spellings to look for.
+const NEEDLES: &[&str] = &["as i8", "as u8", "as i32"];
+
+/// Substrings that, appearing earlier on the same line, mark the cast as
+/// deliberately guarded: a clamp-then-cast, a saturating helper, or a
+/// checked/fallible conversion feeding the cast.
+const GUARDS: &[&str] = &[".clamp(", "saturating_", "try_from", "checked_"];
+
+/// Runs the rule over one hot-path file.
+pub(crate) fn no_unchecked_narrowing(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>) {
+    let code = source.code();
+    let bytes = code.as_bytes();
+    for needle in NEEDLES {
+        for offset in occurrences(source, needle) {
+            // `as` must be a standalone keyword and the target type a
+            // complete token: reject `has i8` and `as i32x4`-style hits.
+            if offset > 0 && is_ident_byte(bytes[offset - 1]) {
+                continue;
+            }
+            let end = offset + needle.len();
+            if bytes.get(end).copied().is_some_and(is_ident_byte) {
+                continue;
+            }
+            let line_start = code[..offset].rfind('\n').map(|p| p + 1).unwrap_or(0);
+            let before_on_line = &code[line_start..offset];
+            if GUARDS.iter().any(|g| before_on_line.contains(g)) {
+                continue;
+            }
+            let ty = needle.trim_start_matches("as ");
+            out.push(
+                at(
+                    Diagnostic::error(
+                        "lint/no-unchecked-narrowing",
+                        format!("bare `{needle}` cast in a hot-path kernel"),
+                    ),
+                    path,
+                    source,
+                    offset,
+                )
+                .with_help(format!(
+                    "`as {ty}` wraps silently on overflow; use hd_quant::narrow::saturate_*, \
+                     clamp-then-cast, or `{ty}::try_from` — and `i32::from`/`i64::from` for \
+                     lossless widening"
+                )),
+            );
+        }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lexer::MaskedSource;
+    use crate::rules::lint_source;
+    use wide_nn::diag::Diagnostic;
+
+    const HOT: &str = "crates/quant/src/gemm.rs";
+
+    fn narrowing_hits(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, &MaskedSource::new(src))
+            .into_iter()
+            .filter(|d| d.code == "lint/no-unchecked-narrowing")
+            .collect()
+    }
+
+    #[test]
+    fn bare_narrowing_casts_flagged_in_hot_path() {
+        let src = "fn f(x: i32) -> i8 { x as i8 }\nfn g(x: i64) -> i32 { x as i32 }\n";
+        let hits = narrowing_hits(HOT, src);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].message.contains("as i8"));
+        assert!(hits[1].message.contains("as i32"));
+    }
+
+    #[test]
+    fn cold_path_files_not_flagged() {
+        let src = "fn f(x: i32) -> i8 { x as i8 }\n";
+        assert!(narrowing_hits("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clamped_and_checked_casts_are_sanctioned() {
+        let src = concat!(
+            "fn a(x: i32) -> i8 { x.clamp(-128, 127) as i8 }\n",
+            "fn b(x: i64) -> i32 { x.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32 }\n",
+            "fn c(x: u32) -> u8 { u8::try_from(x).unwrap_or(0) }\n",
+        );
+        assert!(narrowing_hits(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn identifier_boundaries_respected() {
+        // `has i8` (identifier ending in `as`) and wider type names must
+        // not match.
+        let src = "fn f(has: bool) { let _ = has; }\nfn g(x: i64) -> i64 { x }\n";
+        assert!(narrowing_hits(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(x: i32) -> i8 { x as i8 }\n}\n";
+        assert!(narrowing_hits(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn casts_in_comments_and_strings_ignored() {
+        let src = "// rewrite x as i8 later\nfn f() -> &'static str { \"y as u8\" }\n";
+        assert!(narrowing_hits(HOT, src).is_empty());
+    }
+}

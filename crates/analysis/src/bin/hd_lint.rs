@@ -1,36 +1,45 @@
 //! The `hd-lint` command-line driver.
 //!
 //! ```text
-//! hd-lint [--root DIR] [--allowlist FILE] [--format text|json]
-//!         [--deny-warnings] [FILES...]
+//! hd-lint [--root DIR] [--allowlist FILE] [--format text|json|sarif]
+//!         [--sarif] [--deny-warnings] [--list-rules] [FILES...]
 //! ```
 //!
 //! With no `FILES`, lints the whole workspace (crates/, tests/,
-//! examples/). Exit status: 0 clean, 1 findings fail the policy, 2 usage
-//! or IO error.
+//! examples/). `--list-rules` prints the rule table and exits. Exit
+//! status: 0 clean, 1 findings fail the policy, 2 usage or IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hd_analysis::{engine, json, Allowlist, LintReport};
+use hd_analysis::{engine, json, sarif, Allowlist, LintReport, RULES};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Options {
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
-    json: bool,
+    format: Format,
     deny_warnings: bool,
+    list_rules: bool,
     files: Vec<PathBuf>,
 }
 
-const USAGE: &str = "usage: hd-lint [--root DIR] [--allowlist FILE] [--format text|json] \
-                     [--deny-warnings] [FILES...]";
+const USAGE: &str = "usage: hd-lint [--root DIR] [--allowlist FILE] [--format text|json|sarif] \
+                     [--sarif] [--deny-warnings] [--list-rules] [FILES...]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         root: None,
         allowlist: None,
-        json: false,
+        format: Format::Text,
         deny_warnings: false,
+        list_rules: false,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -43,11 +52,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.allowlist = Some(it.next().ok_or("--allowlist needs a file")?.into());
             }
             "--format" => match it.next().map(String::as_str) {
-                Some("text") => opts.json = false,
-                Some("json") => opts.json = true,
-                _ => return Err("--format must be text or json".to_owned()),
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some("sarif") => opts.format = Format::Sarif,
+                _ => return Err("--format must be text, json or sarif".to_owned()),
             },
+            "--sarif" => opts.format = Format::Sarif,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag}\n{USAGE}"));
@@ -56,6 +68,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Renders the rule table for `--list-rules`: one `id  severity
+/// description` line per rule, aligned. The README rules table is
+/// generated from this output.
+fn rules_table() -> String {
+    let id_width = RULES.iter().map(|r| r.name.len() + 5).max().unwrap_or(0);
+    let mut out = String::new();
+    for rule in RULES {
+        let id = format!("lint/{}", rule.name);
+        out.push_str(&format!(
+            "{id:<id_width$}  {:<7}  {}\n",
+            rule.severity.name(),
+            rule.description
+        ));
+    }
+    out
 }
 
 fn run(opts: &Options) -> Result<LintReport, String> {
@@ -112,12 +141,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.list_rules {
+        print!("{}", rules_table());
+        return ExitCode::SUCCESS;
+    }
     match run(&opts) {
         Ok(report) => {
-            if opts.json {
-                println!("{}", json::encode(&report.diagnostics));
-            } else {
-                print!("{}", report.to_text());
+            match opts.format {
+                Format::Json => println!("{}", json::encode(&report.diagnostics)),
+                Format::Sarif => print!("{}", sarif::encode(&report.diagnostics)),
+                Format::Text => print!("{}", report.to_text()),
             }
             if report.fails(opts.deny_warnings) {
                 ExitCode::from(1)
@@ -128,6 +161,43 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("hd-lint: {message}");
             ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn sarif_flag_and_format_agree() {
+        assert!(parse(&["--sarif"]).unwrap().format == Format::Sarif);
+        assert!(parse(&["--format", "sarif"]).unwrap().format == Format::Sarif);
+        assert!(parse(&["--format", "json"]).unwrap().format == Format::Json);
+        assert!(parse(&[]).unwrap().format == Format::Text);
+        assert!(parse(&["--format", "yaml"]).is_err());
+    }
+
+    #[test]
+    fn list_rules_flag_parses() {
+        assert!(parse(&["--list-rules"]).unwrap().list_rules);
+    }
+
+    #[test]
+    fn rules_table_has_one_line_per_rule() {
+        let table = rules_table();
+        assert_eq!(table.lines().count(), RULES.len());
+        for rule in RULES {
+            let line = table
+                .lines()
+                .find(|l| l.starts_with(&format!("lint/{}", rule.name)))
+                .expect("rule listed");
+            assert!(line.contains(rule.severity.name()));
+            assert!(line.contains(rule.description));
         }
     }
 }

@@ -17,7 +17,7 @@
 
 use wide_nn::diag::{Diagnostic, Severity, Site};
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -77,7 +77,7 @@ pub fn encode(diags: &[Diagnostic]) -> String {
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Null,
     Bool(bool),
     Num(f64),
@@ -87,26 +87,48 @@ enum Value {
 }
 
 impl Value {
-    fn get(&self, key: &str) -> Option<&Value> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_usize(&self) -> Option<usize> {
+    pub(crate) fn as_usize(&self) -> Option<usize> {
         match self {
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
             _ => None,
         }
     }
+
+    pub(crate) fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document into a [`Value`] tree, rejecting trailing
+/// data. Shared with the SARIF validity tests.
+pub(crate) fn parse_value(text: &str) -> Result<Value, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(root)
 }
 
 struct Parser<'a> {
@@ -340,16 +362,8 @@ fn decode_site(value: &Value) -> Result<Site, String> {
 ///
 /// Returns a description of the first syntax or schema problem.
 pub fn parse(text: &str) -> Result<Vec<Diagnostic>, String> {
-    let mut parser = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let root = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(format!("trailing data at byte {}", parser.pos));
-    }
-    let Value::Arr(items) = root else {
+    let root = parse_value(text)?;
+    let Some(items) = root.as_arr() else {
         return Err("expected a top-level array".to_owned());
     };
     items

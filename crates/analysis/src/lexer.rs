@@ -117,15 +117,24 @@ fn mask(source: &str) -> String {
                 let is_raw = k > 0
                     && (bytes[k - 1] == b'r'
                         && (k < 2 || !is_ident_byte(bytes[k - 2]) || bytes[k - 2] == b'b'));
-                let end = if is_raw {
+                let (end, terminated) = if is_raw {
                     find_raw_string_end(bytes, i + 1, hashes)
                 } else {
                     find_string_end(bytes, i + 1)
                 };
-                blank(
-                    &mut out,
-                    i + 1..end.saturating_sub(if is_raw { hashes + 1 } else { 1 }),
-                );
+                // Keep the closing delimiter visible only when it exists;
+                // an unterminated literal is blanked to end of input so no
+                // phantom tokens survive at the tail.
+                let tail = if terminated {
+                    if is_raw {
+                        hashes + 1
+                    } else {
+                        1
+                    }
+                } else {
+                    0
+                };
+                blank(&mut out, i + 1..end - tail);
                 i = end;
             }
             b'\'' => {
@@ -151,32 +160,36 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-fn find_string_end(bytes: &[u8], mut i: usize) -> usize {
+/// Returns `(end, terminated)`: one past the closing quote when the
+/// literal terminates, or `(len, false)` when it runs off the input.
+fn find_string_end(bytes: &[u8], mut i: usize) -> (usize, bool) {
     while i < bytes.len() {
         match bytes[i] {
             b'\\' => i += 2,
-            b'"' => return i + 1,
+            b'"' => return (i + 1, true),
             _ => i += 1,
         }
     }
-    bytes.len()
+    (bytes.len(), false)
 }
 
-fn find_raw_string_end(bytes: &[u8], mut i: usize, hashes: usize) -> usize {
+/// Returns `(end, terminated)` for a raw string opened with `hashes`
+/// `#`s: the closing quote must be followed by exactly that many `#`s.
+fn find_raw_string_end(bytes: &[u8], mut i: usize, hashes: usize) -> (usize, bool) {
     while i < bytes.len() {
         if bytes[i] == b'"'
             && bytes[i + 1..]
                 .iter()
                 .take(hashes)
-                .filter(|&&b| b == b'#')
+                .take_while(|&&b| b == b'#')
                 .count()
                 == hashes
         {
-            return i + 1 + hashes;
+            return (i + 1 + hashes, true);
         }
         i += 1;
     }
-    bytes.len()
+    (bytes.len(), false)
 }
 
 fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
@@ -361,5 +374,78 @@ mod tests {
     fn brace_match_finds_closer() {
         let src = b"{ a { b } c } d";
         assert_eq!(brace_match(src, 0), 13);
+    }
+
+    #[test]
+    fn raw_string_containing_line_comment_marker() {
+        let m = MaskedSource::new("let s = r\"a//b\"; let z = 5;");
+        assert!(!m.code().contains("//"));
+        assert!(m.code().contains("let z = 5;"));
+    }
+
+    #[test]
+    fn raw_string_containing_block_comment_markers() {
+        // `/*` inside the literal must not open a comment that swallows
+        // the rest of the file.
+        let m = MaskedSource::new("let s = r\"x /* y\"; let z = 5; /* real */ let w = 6;");
+        assert!(m.code().contains("let z = 5;"));
+        assert!(m.code().contains("let w = 6;"));
+        assert!(!m.code().contains("real"));
+    }
+
+    #[test]
+    fn multi_hash_raw_string_ignores_shorter_closers() {
+        let m = MaskedSource::new("let s = r##\"x \"# y\"##; let q = 7;");
+        assert!(!m.code().contains("x "));
+        assert!(!m.code().contains("# y"));
+        assert!(m.code().contains("let q = 7;"));
+    }
+
+    #[test]
+    fn byte_raw_strings_are_blanked() {
+        let m = MaskedSource::new("let s = br#\"panic!(\"p\")\"#; let v = 4;");
+        assert!(!m.code().contains("panic"));
+        assert!(m.code().contains("let v = 4;"));
+    }
+
+    #[test]
+    fn raw_string_backslash_is_not_an_escape() {
+        // r"\" is a complete raw string holding one backslash.
+        let m = MaskedSource::new("let s = r\"\\\"; let w = 6;");
+        assert!(!m.code().contains('\\'));
+        assert!(m.code().contains("let w = 6;"));
+    }
+
+    #[test]
+    fn unterminated_string_blanked_to_eof() {
+        let m = MaskedSource::new("let s = \"abc == 0.5");
+        assert!(!m.code().contains("0.5"), "{:?}", m.code());
+        assert!(!m.code().contains("abc"));
+        assert_eq!(m.code().len(), m.raw().len());
+    }
+
+    #[test]
+    fn unterminated_raw_string_blanked_to_eof() {
+        let m = MaskedSource::new("let s = r#\"abc == 0.5\"");
+        // The lone `"` lacks the closing `#`, so the literal never ends.
+        assert!(!m.code().contains("0.5"), "{:?}", m.code());
+        assert_eq!(m.code().len(), m.raw().len());
+    }
+
+    #[test]
+    fn unterminated_block_comment_blanked_to_eof() {
+        let m = MaskedSource::new("a /* open /* deeper */ still 0.5");
+        assert!(!m.code().contains("0.5"));
+        assert!(m.code().starts_with("a "));
+    }
+
+    #[test]
+    fn deeply_nested_and_empty_block_comments() {
+        let m = MaskedSource::new("a /*1/*2/*3*/2*/1*/ b /**/ c");
+        assert!(m.code().contains('a'));
+        assert!(m.code().contains('b'));
+        assert!(m.code().contains('c'));
+        assert!(!m.code().contains('1'));
+        assert!(!m.code().contains('3'));
     }
 }

@@ -17,20 +17,29 @@
 //!   the latency-critical kernels.
 //! * `no-float-eq` (error) — no exact `==`/`!=` against float literals
 //!   outside tests.
+//! * `no-unchecked-narrowing` (error) — no bare `as i8`/`as u8`/`as i32`
+//!   casts in hot-path kernels without a saturating/checked wrapper.
 //! * `fallible-returns-result` (warning) — panicking pub fns must return
 //!   `Result` or document `# Panics`.
 //! * `missing-must-use` (warning) — `pub fn … -> Self` builders need
 //!   `#[must_use]`.
+//!
+//! The [`absint`] module re-exports the value-range abstract
+//! interpretation from `wide_nn::absint` and hosts the narrowing rule;
+//! [`sarif`] renders reports for GitHub code scanning.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod allowlist;
 pub mod engine;
 pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 
 pub use allowlist::{AllowEntry, Allowlist, AllowlistError};
 pub use engine::{discover_files, find_workspace_root, lint_text, lint_workspace, LintReport};
+pub use rules::{RuleInfo, RULES, RULE_NAMES};
 pub use wide_nn::diag::{Diagnostic, Severity, Site};

@@ -6,7 +6,7 @@
 //! unwrap, compare floats exactly and panic at will.
 
 use crate::lexer::{brace_match, MaskedSource};
-use wide_nn::diag::Diagnostic;
+use wide_nn::diag::{Diagnostic, Severity};
 
 /// Files whose inner loops feed the paper's latency claims. Panics here
 /// abort a whole training/inference run, so they are banned outright.
@@ -22,8 +22,51 @@ pub const HOT_PATHS: &[&str] = &[
 pub const RULE_NAMES: &[&str] = &[
     "no-panic-in-hot-path",
     "no-float-eq",
+    "no-unchecked-narrowing",
     "fallible-returns-result",
     "missing-must-use",
+];
+
+/// Static metadata about one lint rule, surfaced by `hd-lint
+/// --list-rules` and embedded in the SARIF rules array.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule name; diagnostics carry the code `lint/<name>`.
+    pub name: &'static str,
+    /// Severity the rule emits at.
+    pub severity: Severity,
+    /// One-line description of what the rule forbids.
+    pub description: &'static str,
+}
+
+/// Metadata for every rule, in [`RULE_NAMES`] order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "no-panic-in-hot-path",
+        severity: Severity::Error,
+        description: "no unwrap/expect/panic!/slice indexing in the latency-critical kernels",
+    },
+    RuleInfo {
+        name: "no-float-eq",
+        severity: Severity::Error,
+        description: "no exact ==/!= comparison against float literals or constants outside tests",
+    },
+    RuleInfo {
+        name: "no-unchecked-narrowing",
+        severity: Severity::Error,
+        description: "no bare `as i8`/`as u8`/`as i32` casts in hot-path kernels without a \
+                      saturating, clamping, or checked wrapper",
+    },
+    RuleInfo {
+        name: "fallible-returns-result",
+        severity: Severity::Warning,
+        description: "panicking pub fns must return Result or document `# Panics`",
+    },
+    RuleInfo {
+        name: "missing-must-use",
+        severity: Severity::Warning,
+        description: "builder-style `pub fn .. -> Self` must be #[must_use]",
+    },
 ];
 
 /// Whether a workspace-relative path is test or bench code in its
@@ -46,6 +89,7 @@ pub fn lint_source(path: &str, source: &MaskedSource) -> Vec<Diagnostic> {
     }
     if HOT_PATHS.iter().any(|hp| path == *hp || path.ends_with(hp)) {
         no_panic_in_hot_path(path, source, &mut out);
+        crate::absint::narrowing::no_unchecked_narrowing(path, source, &mut out);
     }
     no_float_eq(path, source, &mut out);
     fallible_returns_result(path, source, &mut out);
@@ -53,14 +97,17 @@ pub fn lint_source(path: &str, source: &MaskedSource) -> Vec<Diagnostic> {
     out
 }
 
-fn at(diag: Diagnostic, path: &str, source: &MaskedSource, offset: usize) -> Diagnostic {
+pub(crate) fn at(diag: Diagnostic, path: &str, source: &MaskedSource, offset: usize) -> Diagnostic {
     let (line, column) = source.line_col(offset);
     diag.at_source(path, line, column)
 }
 
 /// Byte offsets of every occurrence of `needle` in `code` outside test
 /// regions.
-fn occurrences<'a>(source: &'a MaskedSource, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+pub(crate) fn occurrences<'a>(
+    source: &'a MaskedSource,
+    needle: &'a str,
+) -> impl Iterator<Item = usize> + 'a {
     let code = source.code();
     let mut from = 0;
     std::iter::from_fn(move || {
@@ -429,6 +476,15 @@ mod tests {
 
     fn codes(diags: &[Diagnostic]) -> Vec<&str> {
         diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn rule_metadata_matches_rule_names() {
+        let meta: Vec<&str> = RULES.iter().map(|r| r.name).collect();
+        assert_eq!(meta, RULE_NAMES);
+        for r in RULES {
+            assert!(!r.description.is_empty(), "{} has no description", r.name);
+        }
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! SARIF 2.1.0 output for `hd-lint`.
+//!
+//! GitHub code scanning ingests findings as SARIF (Static Analysis
+//! Results Interchange Format). This module renders a lint report as a
+//! minimal but schema-valid SARIF log: one run, the `hd-lint` driver
+//! with its [`RULES`](crate::rules::RULES) table, and one result per
+//! [`Diagnostic`]. There is no serde in this build, so the encoder is
+//! hand-rolled over the same string-escaping core as `--format json`,
+//! and the validity tests re-parse the output with the strict JSON
+//! parser in [`json`](crate::json).
+//!
+//! Source sites become `physicalLocation`s with a repository-relative
+//! URI under the `%SRCROOT%` base, which is what the `upload-sarif`
+//! action expects; layer- and model-level diagnostics (which have no
+//! file) are emitted without a location, which SARIF permits.
+
+use crate::json::escape_into;
+use crate::rules::RULES;
+use wide_nn::diag::{Diagnostic, Severity, Site};
+
+/// SARIF `level` for a diagnostic severity.
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, value: &str) {
+    escape_into(out, key);
+    out.push_str(": ");
+    escape_into(out, value);
+}
+
+/// Encodes diagnostics as a SARIF 2.1.0 log.
+#[must_use]
+pub fn encode(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(2048 + diags.len() * 256);
+    out.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"hd-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/hyperedge/hyperedge\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in RULES.iter().enumerate() {
+        out.push_str("            {");
+        push_kv(&mut out, "id", &format!("lint/{}", rule.name));
+        out.push_str(", ");
+        push_kv(&mut out, "name", rule.name);
+        out.push_str(", \"shortDescription\": {");
+        push_kv(&mut out, "text", rule.description);
+        out.push_str("}, \"defaultConfiguration\": {");
+        push_kv(&mut out, "level", level(rule.severity));
+        out.push_str("}}");
+        if i + 1 < RULES.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("        {");
+        push_kv(&mut out, "ruleId", &d.code);
+        if let Some(index) = RULES
+            .iter()
+            .position(|r| format!("lint/{}", r.name) == d.code)
+        {
+            out.push_str(&format!(", \"ruleIndex\": {index}"));
+        }
+        out.push_str(", ");
+        push_kv(&mut out, "level", level(d.severity));
+        out.push_str(", \"message\": {");
+        let text = match &d.help {
+            Some(help) => format!("{}\nhelp: {help}", d.message),
+            None => d.message.clone(),
+        };
+        push_kv(&mut out, "text", &text);
+        out.push('}');
+        if let Site::Source { file, line, column } = &d.site {
+            out.push_str(", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {");
+            push_kv(&mut out, "uri", file);
+            out.push_str(", \"uriBaseId\": \"%SRCROOT%\"}, \"region\": {");
+            out.push_str(&format!(
+                "\"startLine\": {}, \"startColumn\": {}",
+                line.max(&1),
+                column.max(&1)
+            ));
+            out.push_str("}}}]");
+        }
+        out.push('}');
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_value, Value};
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::error("lint/no-float-eq", "x == 0.5")
+                .at_source("crates/a/src/lib.rs", 3, 9)
+                .with_help("compare against a tolerance"),
+            Diagnostic::warning("lint/missing-must-use", "builder").at_source(
+                "crates/b/src/lib.rs",
+                7,
+                5,
+            ),
+            Diagnostic::error("range/accumulator-overflow", "acc exceeds i32")
+                .at_layer(0, "fully-connected"),
+        ]
+    }
+
+    fn run(log: &Value) -> &Value {
+        &log.get("runs").unwrap().as_arr().unwrap()[0]
+    }
+
+    #[test]
+    fn output_is_valid_json_with_sarif_envelope() {
+        let log = parse_value(&encode(&sample())).expect("sarif parses");
+        assert_eq!(log.get("version").unwrap().as_str(), Some("2.1.0"));
+        assert!(log
+            .get("$schema")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("sarif-2.1.0"));
+        assert_eq!(log.get("runs").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn driver_lists_every_rule() {
+        let log = parse_value(&encode(&[])).unwrap();
+        let driver = run(&log).get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(driver.get("name").unwrap().as_str(), Some("hd-lint"));
+        let rules = driver.get("rules").unwrap().as_arr().unwrap();
+        assert_eq!(rules.len(), RULES.len());
+        for (rule, meta) in rules.iter().zip(RULES) {
+            assert_eq!(
+                rule.get("id").unwrap().as_str().unwrap(),
+                format!("lint/{}", meta.name)
+            );
+            assert_eq!(
+                rule.get("defaultConfiguration")
+                    .unwrap()
+                    .get("level")
+                    .unwrap()
+                    .as_str()
+                    .unwrap(),
+                level(meta.severity)
+            );
+        }
+    }
+
+    #[test]
+    fn source_results_carry_physical_locations() {
+        let log = parse_value(&encode(&sample())).unwrap();
+        let results = run(&log).get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 3);
+        let first = &results[0];
+        assert_eq!(
+            first.get("ruleId").unwrap().as_str(),
+            Some("lint/no-float-eq")
+        );
+        assert_eq!(first.get("ruleIndex").unwrap().as_usize(), Some(1));
+        assert_eq!(first.get("level").unwrap().as_str(), Some("error"));
+        assert!(first
+            .get("message")
+            .unwrap()
+            .get("text")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("help: compare"));
+        let region = first.get("locations").unwrap().as_arr().unwrap()[0]
+            .get("physicalLocation")
+            .unwrap();
+        assert_eq!(
+            region
+                .get("artifactLocation")
+                .unwrap()
+                .get("uri")
+                .unwrap()
+                .as_str(),
+            Some("crates/a/src/lib.rs")
+        );
+        assert_eq!(
+            region
+                .get("region")
+                .unwrap()
+                .get("startLine")
+                .unwrap()
+                .as_usize(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn non_source_results_omit_locations_and_rule_index() {
+        let log = parse_value(&encode(&sample())).unwrap();
+        let results = run(&log).get("results").unwrap().as_arr().unwrap();
+        let overflow = &results[2];
+        assert_eq!(
+            overflow.get("ruleId").unwrap().as_str(),
+            Some("range/accumulator-overflow")
+        );
+        assert!(overflow.get("locations").is_none());
+        assert!(overflow.get("ruleIndex").is_none());
+    }
+
+    #[test]
+    fn empty_report_still_valid() {
+        let log = parse_value(&encode(&[])).unwrap();
+        assert_eq!(run(&log).get("results").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn messages_with_quotes_and_newlines_escape_cleanly() {
+        let diags = vec![Diagnostic::error("lint/x", "say \"hi\"\nline2")];
+        let log = parse_value(&encode(&diags)).expect("escaped output parses");
+        let results = run(&log).get("results").unwrap().as_arr().unwrap();
+        assert_eq!(
+            results[0]
+                .get("message")
+                .unwrap()
+                .get("text")
+                .unwrap()
+                .as_str(),
+            Some("say \"hi\"\nline2")
+        );
+    }
+}

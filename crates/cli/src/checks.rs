@@ -3,7 +3,7 @@
 //! ```text
 //! hyperedge lint   [--format text|json] [--deny-warnings]
 //! hyperedge verify [--features N] [--dim D] [--classes K]
-//!                  [--buffer BYTES] [--format text|json]
+//!                  [--buffer BYTES] [--ranges] [--format text|json]
 //! ```
 //!
 //! `lint` runs the `hd-analysis` workspace lint engine (the same pass as
@@ -11,7 +11,11 @@
 //! `verify` builds the paper's wide inference network at the given shape
 //! and runs the `wide-nn` static model-graph verifier against the target,
 //! printing the structured diagnostics — the compile-time contract check
-//! without compiling or quantizing anything.
+//! without compiling or quantizing anything. With `--ranges` it also
+//! quantizes the model against a deterministic calibration set and runs
+//! the interval abstract interpretation ([`wide_nn::absint`]), reporting
+//! per-stage accumulator and output bounds; a model whose worst-case
+//! accumulator exceeds the i32 datapath fails the check (exit 1).
 //!
 //! These flags include bare booleans (`--deny-warnings`), so the two
 //! subcommands parse their own arguments instead of going through
@@ -23,13 +27,16 @@ use std::process::ExitCode;
 
 use hd_analysis::{engine, json, Allowlist};
 use hd_tensor::Matrix;
-use wide_nn::{verify_model, Activation, ModelBuilder, TargetSpec};
+use wide_nn::{
+    verify_model, verify_ranges, Activation, ModelBuilder, NnError, QuantizedModel, RangeConfig,
+    TargetSpec,
+};
 
 const CHECKS_USAGE: &str = "usage: hyperedge <lint|verify> [options]\n\
     \n\
     hyperedge lint   [--format text|json] [--deny-warnings]\n\
     hyperedge verify [--features N] [--dim D] [--classes K] \
-[--buffer BYTES] [--format text|json]";
+[--buffer BYTES] [--ranges] [--format text|json]";
 
 /// Dispatches `hyperedge lint` / `hyperedge verify`.
 #[must_use]
@@ -95,6 +102,7 @@ fn run_verify(args: &[String]) -> Result<bool, String> {
     let mut dim = 10_000usize;
     let mut classes = 10usize;
     let mut buffer = TargetSpec::default().param_buffer_bytes;
+    let mut ranges = false;
     let mut as_json = false;
     let mut it = args.iter();
     let parse_usize = |value: Option<&String>, flag: &str| -> Result<usize, String> {
@@ -109,6 +117,7 @@ fn run_verify(args: &[String]) -> Result<bool, String> {
             "--dim" => dim = parse_usize(it.next(), "--dim")?,
             "--classes" => classes = parse_usize(it.next(), "--classes")?,
             "--buffer" => buffer = parse_usize(it.next(), "--buffer")?,
+            "--ranges" => ranges = true,
             "--format" => as_json = parse_format(it.next())?,
             other => return Err(format!("unknown verify option {other:?}\n{CHECKS_USAGE}")),
         }
@@ -129,8 +138,39 @@ fn run_verify(args: &[String]) -> Result<bool, String> {
         .and_then(|b| b.build())
         .map_err(|e| e.to_string())?;
     let report = verify_model(&model, &target);
+
+    // With --ranges, quantize against a deterministic, all-positive
+    // calibration set (worst case for the zero-point offset term) and run
+    // the interval abstract interpretation over the quantized graph.
+    let mut range_diags = Vec::new();
+    let mut range_text = String::new();
+    let mut range_failed = false;
+    if ranges {
+        let calibration = Matrix::from_fn(8, features, |r, c| ((r * 31 + c) % 97) as f32 / 96.0);
+        match QuantizedModel::quantize(&model, &calibration) {
+            Ok(quantized) => {
+                let range_report = verify_ranges(&quantized, &RangeConfig::default());
+                range_failed = range_report.has_errors();
+                range_diags.extend(range_report.diagnostics().iter().cloned());
+                range_text = format!("{range_report}");
+            }
+            // Quantization itself runs the same analysis and rejects
+            // overflowing models; surface its diagnostics as the report.
+            Err(NnError::Verification { diagnostics }) => {
+                range_failed = true;
+                range_text = diagnostics
+                    .iter()
+                    .map(|d| format!("{d}\n"))
+                    .collect::<String>();
+                range_diags.extend(diagnostics);
+            }
+            Err(other) => return Err(other.to_string()),
+        }
+    }
+
     if as_json {
-        let diagnostics: Vec<_> = report.diagnostics().to_vec();
+        let mut diagnostics: Vec<_> = report.diagnostics().to_vec();
+        diagnostics.extend(range_diags);
         println!("{}", json::encode(&diagnostics));
     } else {
         print!("{report}");
@@ -139,6 +179,7 @@ fn run_verify(args: &[String]) -> Result<bool, String> {
             report.param_bytes_required(),
             target.param_buffer_bytes
         );
+        print!("{range_text}");
     }
-    Ok(!report.has_errors())
+    Ok(!report.has_errors() && !range_failed)
 }

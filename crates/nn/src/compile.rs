@@ -129,6 +129,7 @@ pub struct CompiledModel {
     target: TargetSpec,
     quantized: QuantizedModel,
     tile_plans: Vec<TilePlan>,
+    range_report: crate::absint::RangeReport,
 }
 
 impl CompiledModel {
@@ -145,6 +146,13 @@ impl CompiledModel {
     /// The per-FC-layer tile plans.
     pub fn tile_plans(&self) -> &[TilePlan] {
         &self.tile_plans
+    }
+
+    /// The static range analysis computed at compile time: per-stage
+    /// value intervals plus any saturation/dead-range warnings. Models
+    /// with overflow errors never compile, so this report is warning-only.
+    pub fn range_report(&self) -> &crate::absint::RangeReport {
+        &self.range_report
     }
 
     /// Total parameter bytes the device must hold.
@@ -290,10 +298,17 @@ fn compile_inner(
         });
     }
 
+    // Quantization already hard-errored on overflow; keep the full report
+    // (intervals + warnings) attached to the artifact so every
+    // backend-compiled model is range-verified once per cache entry.
+    let range_report =
+        crate::absint::analyze_ranges(&quantized, &crate::absint::RangeConfig::default());
+
     Ok(CompiledModel {
         target: target.clone(),
         quantized,
         tile_plans,
+        range_report,
     })
 }
 

@@ -13,6 +13,8 @@
 //!   inference,
 //! * [`QuantizedModel`] — post-training int8 quantization and the
 //!   reference int8 executor (bit-identical to the `tpu-sim` datapath),
+//! * [`absint`] — interval abstract interpretation proving the int8
+//!   datapath cannot overflow its i32 accumulators,
 //! * [`serialize`] — a compact binary `.wnn` container,
 //! * [`compile`] — lowering to an accelerator tile program, including the
 //!   *unsupported-op* diagnostics that force the paper's class-hypervector
@@ -47,11 +49,13 @@ mod layer;
 mod model;
 mod quantized;
 
+pub mod absint;
 pub mod compile;
 pub mod diag;
 pub mod serialize;
 pub mod verify;
 
+pub use absint::{analyze_ranges, Interval, RangeConfig, RangeReport, StageRange};
 pub use builder::ModelBuilder;
 pub use compile::{CompiledModel, TargetSpec, TilePlan};
 pub use diag::{Diagnostic, Severity, Site};
@@ -59,7 +63,7 @@ pub use error::NnError;
 pub use layer::{Activation, ElementwiseOp, Layer};
 pub use model::Model;
 pub use quantized::{QuantStage, QuantizedModel};
-pub use verify::{verify_graph, verify_model, VerifyReport};
+pub use verify::{verify_graph, verify_model, verify_ranges, VerifyReport};
 
 /// Convenience result alias for fallible model operations.
 pub type Result<T> = std::result::Result<T, NnError>;

@@ -9,6 +9,19 @@ use crate::layer::Layer;
 use crate::model::Model;
 use crate::Result;
 
+/// Gate every freshly quantized model through the interval range
+/// analysis: a model whose worst-case accumulator can overflow the i32
+/// datapath must never reach an executor.
+fn check_ranges(model: &QuantizedModel) -> Result<()> {
+    let report = crate::absint::analyze_ranges(model, &crate::absint::RangeConfig::default());
+    if report.has_errors() {
+        return Err(NnError::Verification {
+            diagnostics: report.errors().cloned().collect(),
+        });
+    }
+    Ok(())
+}
+
 /// One executable stage of a quantized model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QuantStage {
@@ -76,7 +89,9 @@ impl QuantizedModel {
     /// Propagates shape errors from running calibration, and returns
     /// [`NnError::UnsupportedOp`] if the model contains element-wise
     /// training layers (those never reach the int8 path; the paper keeps
-    /// them on the host in f32).
+    /// them on the host in f32). Returns [`NnError::Verification`] if the
+    /// static range analysis ([`crate::absint`]) proves some input could
+    /// overflow the i32 datapath accumulator.
     pub fn quantize(model: &Model, calibration: &Matrix) -> Result<Self> {
         Self::quantize_with(model, calibration, CalibrationMethod::MinMax)
     }
@@ -111,7 +126,11 @@ impl QuantizedModel {
                 other => other,
             });
         }
-        Ok(QuantizedModel { stages, ..base })
+        let rebuilt = QuantizedModel { stages, ..base };
+        // Per-channel scales change the accumulator magnitudes, so the
+        // range gate runs again on the rebuilt stages.
+        check_ranges(&rebuilt)?;
+        Ok(rebuilt)
     }
 
     /// Quantizes with an explicit calibration method (e.g. percentile
@@ -167,12 +186,14 @@ impl QuantizedModel {
                 }
             }
         }
-        Ok(QuantizedModel {
+        let quantized = QuantizedModel {
             input_dim: model.input_dim(),
             output_dim: model.output_dim(),
             input_params: params_at(0)?,
             stages,
-        })
+        };
+        check_ranges(&quantized)?;
+        Ok(quantized)
     }
 
     /// Builds a quantized model from raw parts (used by deserialization).

@@ -52,13 +52,13 @@ pub fn matmul_accumulate(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<(Ve
     if n > 0 {
         for (i, out_row) in acc.chunks_mut(n).enumerate() {
             for (p, &aq) in a.row(i).iter().enumerate() {
-                let av = aq as i32 - za;
+                let av = i32::from(aq) - za;
                 if av == 0 {
                     continue;
                 }
                 let b_row = b.row(p);
                 for (o, &bq) in out_row.iter_mut().zip(b_row) {
-                    *o += av * (bq as i32 - zb);
+                    *o += av * (i32::from(bq) - zb);
                 }
             }
         }

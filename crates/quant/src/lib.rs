@@ -13,7 +13,9 @@
 //! * [`gemm`] — quantized matrix multiplication with `i32` accumulators,
 //! * [`Calibrator`] — min/max and percentile-clipping range calibration,
 //! * [`lut`] — the 256-entry activation lookup table used for `tanh` on
-//!   the accelerator.
+//!   the accelerator,
+//! * [`narrow`] — saturating integer narrowing, the sanctioned way to
+//!   shrink accumulators in hot-path kernels (`no-unchecked-narrowing`).
 //!
 //! # Examples
 //!
@@ -41,6 +43,7 @@ mod params;
 
 pub mod gemm;
 pub mod lut;
+pub mod narrow;
 pub mod per_channel;
 
 pub use calibrate::{CalibrationMethod, Calibrator};

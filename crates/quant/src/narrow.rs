@@ -1,0 +1,49 @@
+//! Saturating integer narrowing for datapath code.
+//!
+//! Hot-path kernels must never narrow with a bare `as` cast: `as`
+//! truncates silently, so an out-of-range accumulator wraps instead of
+//! clipping and corrupts results without failing anything. These helpers
+//! make the saturation explicit and are the sanctioned escape hatch for
+//! the `no-unchecked-narrowing` lint rule — a narrowing conversion in a
+//! hot-path crate must go through one of these (or `clamp`/`try_from`)
+//! rather than a raw cast.
+
+/// Narrows an `i64` accumulator to `i32`, clipping at the rails.
+#[must_use]
+pub fn saturate_i64_to_i32(v: i64) -> i32 {
+    v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+}
+
+/// Narrows an `i32` value to `i8`, clipping at the rails.
+#[must_use]
+pub fn saturate_i32_to_i8(v: i32) -> i8 {
+    v.clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_to_i32_saturates_at_rails() {
+        assert_eq!(saturate_i64_to_i32(0), 0);
+        assert_eq!(saturate_i64_to_i32(-42), -42);
+        assert_eq!(saturate_i64_to_i32(i64::from(i32::MAX)), i32::MAX);
+        assert_eq!(saturate_i64_to_i32(i64::from(i32::MIN)), i32::MIN);
+        assert_eq!(saturate_i64_to_i32(i64::from(i32::MAX) + 1), i32::MAX);
+        assert_eq!(saturate_i64_to_i32(i64::from(i32::MIN) - 1), i32::MIN);
+        assert_eq!(saturate_i64_to_i32(i64::MAX), i32::MAX);
+        assert_eq!(saturate_i64_to_i32(i64::MIN), i32::MIN);
+    }
+
+    #[test]
+    fn i32_to_i8_saturates_at_rails() {
+        assert_eq!(saturate_i32_to_i8(7), 7);
+        assert_eq!(saturate_i32_to_i8(127), 127);
+        assert_eq!(saturate_i32_to_i8(-128), -128);
+        assert_eq!(saturate_i32_to_i8(128), 127);
+        assert_eq!(saturate_i32_to_i8(-129), -128);
+        assert_eq!(saturate_i32_to_i8(i32::MAX), 127);
+        assert_eq!(saturate_i32_to_i8(i32::MIN), -128);
+    }
+}

@@ -103,6 +103,15 @@ impl ChannelQuantizedMatrix {
         &self.scales
     }
 
+    /// One row of quantized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Storage bytes of the quantized values.
     pub fn byte_size(&self) -> usize {
         self.data.len()

@@ -1,4 +1,4 @@
-use hd_quant::{QuantParams, QuantizedMatrix};
+use hd_quant::{narrow, QuantParams, QuantizedMatrix};
 
 use crate::Result;
 
@@ -116,23 +116,27 @@ impl SystolicArray {
                     let in_row = input.row(row);
                     let tile_inputs = in_row.iter().enumerate().take(k_end).skip(k_start);
                     for (p, &iq) in tile_inputs {
-                        let av = iq as i32 - za;
+                        let av = i32::from(iq) - za;
                         if av == 0 {
                             continue;
                         }
                         let w_row = weights.row(p);
                         let acc_row = &mut acc[row * n + n_start..row * n + n_end];
                         for (a, &wq) in acc_row.iter_mut().zip(&w_row[n_start..n_end]) {
-                            *a += (av * (wq as i32 - zb)) as i64;
+                            *a += i64::from(av * (i32::from(wq) - zb));
                         }
                     }
                 }
             }
         }
 
+        // Saturate rather than truncate when folding the wide tile
+        // accumulator back into the i32 requantization input; the static
+        // range verifier rejects models that could reach this clamp, so
+        // for compiled models the conversion is exact.
         let data: Vec<i8> = acc
             .iter()
-            .map(|&v| out_params.requantize_accumulator(v as i32, acc_scale))
+            .map(|&v| out_params.requantize_accumulator(narrow::saturate_i64_to_i32(v), acc_scale))
             .collect();
         let cycles = self.stream_cycles(m, k, n);
         Ok((QuantizedMatrix::from_raw(m, n, data, out_params), cycles))
