@@ -25,6 +25,7 @@ pub const RULE_NAMES: &[&str] = &[
     "no-unchecked-narrowing",
     "fallible-returns-result",
     "missing-must-use",
+    "no-unseeded-rng",
 ];
 
 /// Static metadata about one lint rule, surfaced by `hd-lint
@@ -67,6 +68,12 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Warning,
         description: "builder-style `pub fn .. -> Self` must be #[must_use]",
     },
+    RuleInfo {
+        name: "no-unseeded-rng",
+        severity: Severity::Error,
+        description: "no thread_rng/rand::random/from_entropy outside tests — every random \
+                      stream must be seeded so runs (and fault traces) reproduce",
+    },
 ];
 
 /// Whether a workspace-relative path is test or bench code in its
@@ -94,6 +101,7 @@ pub fn lint_source(path: &str, source: &MaskedSource) -> Vec<Diagnostic> {
     no_float_eq(path, source, &mut out);
     fallible_returns_result(path, source, &mut out);
     missing_must_use(path, source, &mut out);
+    no_unseeded_rng(path, source, &mut out);
     out
 }
 
@@ -466,6 +474,52 @@ fn missing_must_use(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>
     }
 }
 
+/// `no-unseeded-rng`: forbids entropy-seeded random sources outside tests.
+/// Every stochastic step in the pipeline (hypervector bases, bootstrap
+/// sampling, fault schedules) flows from an explicit `DetRng` seed; a
+/// single `thread_rng()` call would make runs — and their fault traces —
+/// unreproducible.
+fn no_unseeded_rng(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>) {
+    const SOURCES: &[(&str, &str)] = &[
+        ("thread_rng", "thread_rng() seeds from OS entropy"),
+        (
+            "rand::random",
+            "rand::random() draws from the thread-local entropy RNG",
+        ),
+        ("from_entropy", "from_entropy() seeds from OS entropy"),
+    ];
+    let bytes = source.code().as_bytes();
+    for &(needle, why) in SOURCES {
+        for offset in occurrences(source, needle) {
+            // Skip hits inside longer identifiers (`my_thread_rng`).
+            if offset > 0
+                && (bytes[offset - 1].is_ascii_alphanumeric() || bytes[offset - 1] == b'_')
+            {
+                continue;
+            }
+            let end = offset + needle.len();
+            if bytes
+                .get(end)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            {
+                continue;
+            }
+            out.push(
+                at(
+                    Diagnostic::error(
+                        "lint/no-unseeded-rng",
+                        format!("{why}; results cannot be reproduced from a seed"),
+                    ),
+                    path,
+                    source,
+                    offset,
+                )
+                .with_help("derive the stream from an explicit seed (DetRng::new) instead"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,6 +669,57 @@ mod tests {
         let diags = lint("crates/core/src/lib.rs", src);
         assert!(
             !codes(&diags).contains(&"lint/missing-must-use"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unseeded_rng_flagged() {
+        let src = "fn f() -> u64 { let mut rng = rand::thread_rng(); rng.gen() }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(codes(&diags).contains(&"lint/no-unseeded-rng"), "{diags:?}");
+        let diags = lint(
+            "crates/core/src/lib.rs",
+            "fn f() -> f64 { rand::random() }\n",
+        );
+        assert!(codes(&diags).contains(&"lint/no-unseeded-rng"), "{diags:?}");
+        let diags = lint(
+            "crates/core/src/lib.rs",
+            "fn f() -> SmallRng { SmallRng::from_entropy() }\n",
+        );
+        assert!(codes(&diags).contains(&"lint/no-unseeded-rng"), "{diags:?}");
+    }
+
+    #[test]
+    fn unseeded_rng_in_tests_or_strings_not_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = rand::thread_rng(); }\n}\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/no-unseeded-rng"),
+            "{diags:?}"
+        );
+        // Needles inside string literals and comments are masked out.
+        let src = "// thread_rng is banned\nfn f() -> &'static str { \"from_entropy\" }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/no-unseeded-rng"),
+            "{diags:?}"
+        );
+        // Longer identifiers that merely contain a needle are fine.
+        let src = "fn my_thread_rng_shim() -> u64 { 4 }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/no-unseeded-rng"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_rng_not_flagged() {
+        let src = "fn f() -> u64 { let mut rng = DetRng::new(42); rng.next_u64() }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/no-unseeded-rng"),
             "{diags:?}"
         );
     }

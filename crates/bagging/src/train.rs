@@ -2,12 +2,35 @@ use serde::{Deserialize, Serialize};
 
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
-use hdc::{BaseHypervectors, Executor, HostExecutor, NonlinearEncoder, TrainConfig, TrainStats};
+use hdc::{
+    BaseHypervectors, ClassHypervectors, Executor, HostExecutor, NonlinearEncoder, TrainConfig,
+    TrainStats,
+};
 
 use crate::config::BaggingConfig;
 use crate::error::BaggingError;
 use crate::merge::{BaggedModel, SubModel};
 use crate::sample::{bootstrap_rows, feature_subset};
+
+/// What to do when an ensemble member's executor fails permanently (a
+/// backend fault that survived the backend's own retry/fallback budget,
+/// surfacing as [`hdc::HdcError::Backend`]).
+///
+/// Caller bugs — label counts, shape mismatches, empty datasets — always
+/// propagate regardless of this setting; only backend failures are
+/// recoverable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MemberRecovery {
+    /// Propagate the failure (the pre-resilience behaviour).
+    #[default]
+    Fail,
+    /// Retrain the failed member entirely on the host ([`HostExecutor`]),
+    /// keeping the full `M`-member ensemble.
+    RetrainOnHost,
+    /// Drop the failed member and merge the surviving `M-1`; fails only
+    /// if *every* member is lost.
+    Drop,
+}
 
 /// Telemetry for one trained sub-model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,8 +48,15 @@ pub struct SubModelStats {
 /// Telemetry for a full bagged training run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct BaggingStats {
-    /// One entry per sub-model, in index order.
+    /// One entry per *surviving* sub-model, in index order.
     pub sub_models: Vec<SubModelStats>,
+    /// Indices of members dropped under [`MemberRecovery::Drop`].
+    #[serde(default)]
+    pub dropped_members: Vec<usize>,
+    /// Indices of members retrained on the host under
+    /// [`MemberRecovery::RetrainOnHost`].
+    #[serde(default)]
+    pub retrained_on_host: Vec<usize>,
 }
 
 impl BaggingStats {
@@ -147,6 +177,42 @@ pub fn train_members(
     specs: Vec<MemberSpec>,
     exec: &dyn Executor,
 ) -> Result<(BaggedModel, BaggingStats), BaggingError> {
+    train_members_with_recovery(features, labels, classes, specs, exec, MemberRecovery::Fail)
+}
+
+/// Encodes and trains one member through `exec`.
+fn encode_and_train(
+    spec: &MemberSpec,
+    member_features: &Matrix,
+    member_labels: &[usize],
+    classes: usize,
+    exec: &dyn Executor,
+) -> Result<(ClassHypervectors, TrainStats), BaggingError> {
+    let encoded = exec.encode_batch(&spec.encoder, member_features)?;
+    Ok(exec.train_classes(&encoded, member_labels, classes, &spec.train)?)
+}
+
+/// [`train_members`] with a member-level fault policy: when a member's
+/// executor fails permanently (an [`hdc::HdcError::Backend`] error — the
+/// backend's own retries and host fallback are already exhausted by the
+/// time it surfaces here), the ensemble can retrain that member on the
+/// host or drop it and merge the survivors, instead of failing the whole
+/// run. [`BaggingStats`] records which members were recovered and how.
+///
+/// # Errors
+///
+/// * Same as [`train_members`] under [`MemberRecovery::Fail`].
+/// * Non-backend errors (labels, shapes) always propagate.
+/// * [`BaggingError::InvalidConfig`] — every member failed and was
+///   dropped, or the plan was empty.
+pub fn train_members_with_recovery(
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    specs: Vec<MemberSpec>,
+    exec: &dyn Executor,
+    recovery: MemberRecovery,
+) -> Result<(BaggedModel, BaggingStats), BaggingError> {
     if features.rows() == 0 || classes == 0 {
         return Err(BaggingError::Hdc(hdc::HdcError::EmptyDataset));
     }
@@ -176,9 +242,30 @@ pub fn train_members(
             None => (features, labels),
         };
 
-        let encoded = exec.encode_batch(&spec.encoder, member_features)?;
-        let (class_hvs, train_stats) =
-            exec.train_classes(&encoded, member_labels, classes, &spec.train)?;
+        let outcome = encode_and_train(&spec, member_features, member_labels, classes, exec);
+        let (class_hvs, train_stats) = match outcome {
+            Ok(trained) => trained,
+            Err(BaggingError::Hdc(hdc::HdcError::Backend(reason))) => match recovery {
+                MemberRecovery::Fail => {
+                    return Err(BaggingError::Hdc(hdc::HdcError::Backend(reason)));
+                }
+                MemberRecovery::RetrainOnHost => {
+                    stats.retrained_on_host.push(spec.index);
+                    encode_and_train(
+                        &spec,
+                        member_features,
+                        member_labels,
+                        classes,
+                        &HostExecutor,
+                    )?
+                }
+                MemberRecovery::Drop => {
+                    stats.dropped_members.push(spec.index);
+                    continue;
+                }
+            },
+            Err(e) => return Err(e),
+        };
 
         stats.sub_models.push(SubModelStats {
             index: spec.index,
@@ -192,6 +279,11 @@ pub fn train_members(
         });
     }
 
+    if sub_models.is_empty() {
+        return Err(BaggingError::InvalidConfig(
+            "every ensemble member failed and was dropped".into(),
+        ));
+    }
     Ok((BaggedModel::new(sub_models, classes)?, stats))
 }
 
@@ -340,6 +432,136 @@ mod tests {
         assert!(train_bagged(&Matrix::zeros(4, 4), &[0, 1], 2, &config).is_err());
         let bad = config.with_sub_models(0);
         assert!(train_bagged(&Matrix::zeros(4, 4), &[0; 4], 2, &bad).is_err());
+    }
+
+    /// Delegates to [`HostExecutor`] except on chosen encode calls, which
+    /// fail with a configurable error — a stand-in for a backend whose
+    /// device died mid-ensemble.
+    struct FlakyExecutor {
+        fail_on_calls: Vec<usize>,
+        error: fn() -> hdc::HdcError,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl FlakyExecutor {
+        fn backend_failure(fail_on_calls: Vec<usize>) -> Self {
+            FlakyExecutor {
+                fail_on_calls,
+                error: || hdc::HdcError::Backend("device permanently lost".into()),
+                calls: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Executor for FlakyExecutor {
+        fn encode_batch(&self, encoder: &dyn hdc::Encoder, batch: &Matrix) -> hdc::Result<Matrix> {
+            let call = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if self.fail_on_calls.contains(&call) {
+                return Err((self.error)());
+            }
+            HostExecutor.encode_batch(encoder, batch)
+        }
+
+        fn train_classes(
+            &self,
+            encoded: &Matrix,
+            labels: &[usize],
+            classes: usize,
+            config: &TrainConfig,
+        ) -> hdc::Result<(ClassHypervectors, TrainStats)> {
+            HostExecutor.train_classes(encoded, labels, classes, config)
+        }
+    }
+
+    #[test]
+    fn failed_member_propagates_under_fail_policy() {
+        let (features, labels) = clustered(10, 8, 2, 13);
+        let config = BaggingConfig::paper_defaults(256).with_seed(14);
+        let specs = bagged_member_specs(features.rows(), features.cols(), &config).unwrap();
+        let exec = FlakyExecutor::backend_failure(vec![1]);
+        let err = train_members(&features, &labels, 2, specs, &exec).unwrap_err();
+        assert!(matches!(err, BaggingError::Hdc(hdc::HdcError::Backend(_))));
+    }
+
+    #[test]
+    fn dropped_member_yields_degraded_merge() {
+        let (features, labels) = clustered(10, 8, 2, 13);
+        let config = BaggingConfig::paper_defaults(256).with_seed(14);
+        let specs = bagged_member_specs(features.rows(), features.cols(), &config).unwrap();
+        let exec = FlakyExecutor::backend_failure(vec![1]);
+        let (model, stats) =
+            train_members_with_recovery(&features, &labels, 2, specs, &exec, MemberRecovery::Drop)
+                .unwrap();
+        assert_eq!(model.sub_model_count(), 3);
+        assert_eq!(stats.dropped_members, vec![1]);
+        assert!(stats.retrained_on_host.is_empty());
+        assert_eq!(stats.sub_models.len(), 3);
+        assert!(stats.sub_models.iter().all(|s| s.index != 1));
+        // The degraded M-1 ensemble still merges and predicts.
+        let merged = model.merge().unwrap();
+        assert_eq!(merged.dim(), 3 * 64);
+        let preds = merged.predict(&features).unwrap();
+        assert!(hdc::eval::accuracy(&preds, &labels).unwrap() > 0.8);
+    }
+
+    #[test]
+    fn retrain_on_host_keeps_full_ensemble_bit_exact() {
+        let (features, labels) = clustered(10, 8, 2, 15);
+        let config = BaggingConfig::paper_defaults(256).with_seed(16);
+        let specs = bagged_member_specs(features.rows(), features.cols(), &config).unwrap();
+        let exec = FlakyExecutor::backend_failure(vec![2]);
+        let (model, stats) = train_members_with_recovery(
+            &features,
+            &labels,
+            2,
+            specs,
+            &exec,
+            MemberRecovery::RetrainOnHost,
+        )
+        .unwrap();
+        assert_eq!(model.sub_model_count(), 4);
+        assert_eq!(stats.retrained_on_host, vec![2]);
+        assert!(stats.dropped_members.is_empty());
+        // Every member ran on the host (directly or via recovery), so the
+        // result must equal the plain host-trained ensemble bit-for-bit.
+        let (reference, _) = train_bagged(&features, &labels, 2, &config).unwrap();
+        assert_eq!(
+            model.merge().unwrap().classes().as_matrix(),
+            reference.merge().unwrap().classes().as_matrix()
+        );
+    }
+
+    #[test]
+    fn all_members_dropped_is_an_error() {
+        let (features, labels) = clustered(10, 8, 2, 17);
+        let config = BaggingConfig::paper_defaults(256).with_seed(18);
+        let specs = bagged_member_specs(features.rows(), features.cols(), &config).unwrap();
+        let exec = FlakyExecutor::backend_failure(vec![0, 1, 2, 3]);
+        let err =
+            train_members_with_recovery(&features, &labels, 2, specs, &exec, MemberRecovery::Drop)
+                .unwrap_err();
+        assert!(matches!(err, BaggingError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn non_backend_errors_are_never_absorbed() {
+        let (features, labels) = clustered(10, 8, 2, 19);
+        let config = BaggingConfig::paper_defaults(256).with_seed(20);
+        let specs = bagged_member_specs(features.rows(), features.cols(), &config).unwrap();
+        let exec = FlakyExecutor {
+            fail_on_calls: vec![0],
+            error: || hdc::HdcError::EmptyDataset,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let err =
+            train_members_with_recovery(&features, &labels, 2, specs, &exec, MemberRecovery::Drop)
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            BaggingError::Hdc(hdc::HdcError::EmptyDataset)
+        ));
     }
 
     #[test]

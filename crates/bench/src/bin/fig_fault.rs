@@ -1,0 +1,5 @@
+//! Extension experiment: see `hd_bench::experiments::fig_fault`.
+
+fn main() {
+    hd_bench::experiments::fig_fault().emit("fig_fault");
+}

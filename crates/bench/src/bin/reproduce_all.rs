@@ -23,6 +23,7 @@ fn main() {
     ablations::ablation_batch().emit("ablation_batch");
     ablations::ablation_regen().emit("ablation_regen");
     ablations::robustness().emit("robustness");
+    experiments::fig_fault().emit("fig_fault");
     ablations::scaling().emit("scaling");
     ablations::energy().emit("energy");
 }

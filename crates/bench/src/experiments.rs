@@ -7,6 +7,7 @@
 
 use cpu_model::{cost, Platform};
 use hd_datasets::registry;
+use hd_tensor::rng::DetRng;
 use hdc::Encoder;
 use hyperedge::runtime::{self, UpdateProfile};
 use hyperedge::{ExecutionSetting, Pipeline};
@@ -361,6 +362,107 @@ pub fn table2() -> ResultTable {
             spec.name.to_string(),
             fmt_speedup(pi_train / our_train),
             fmt_speedup(pi_infer / our_infer),
+        ]);
+    }
+    t
+}
+
+/// `fig_fault`: accuracy of the deployed inference model under SRAM
+/// weight upsets, with the runtime's fault detection and recovery off
+/// ("silent") vs on ("resilient").
+///
+/// Both columns sweep the same per-weight-bit fault rate. The silent
+/// column corrupts the resident weights behind the runtime's back
+/// ([`tpu_sim::Device::inject_weight_faults`]) and accuracy decays with
+/// the rate. The resilient column routes the same physical rate through
+/// the detected-fault model (parity-checked weight SRAM): an invoke
+/// observes an upset with probability `1 - (1 - rate)^bits`, and the
+/// backend's retry / pristine-reload / CPU-fallback policy recovers, so
+/// accuracy holds at the fault-free level while the ledger columns count
+/// the price paid on the simulated clock.
+pub fn fig_fault() -> ResultTable {
+    let mut t = ResultTable::new(
+        "Fig. fault: weight-fault rate vs accuracy — silent vs detected + recovered (ISOLET)",
+        &[
+            "fault_rate",
+            "silent_int8",
+            "resilient",
+            "faults",
+            "retries",
+            "fallbacks",
+            "backoff_ms",
+        ],
+    );
+    let spec = registry::by_name("isolet").expect("registered");
+    let data = functional_dataset(&spec, SEED);
+
+    // Train once, fault-free, through the accelerator; every row then
+    // deploys this same model.
+    let clean = Pipeline::new(functional_config());
+    let outcome = clean
+        .train(
+            &data.train.features,
+            &data.train.labels,
+            data.classes,
+            ExecutionSetting::Tpu,
+        )
+        .expect("training succeeds");
+
+    // Deployed inference network, compiled once for the silent sweep.
+    let network = hyperedge::wide_model::inference_network(&outcome.model).expect("network");
+    let compiled = wide_nn::compile::compile(
+        &network,
+        &data.train.features,
+        &wide_nn::TargetSpec::default(),
+    )
+    .expect("compile");
+    let device = tpu_sim::Device::new(tpu_sim::DeviceConfig::default());
+
+    // Weight bits resident on the device, for the detection probability.
+    let dim = outcome.model.dim();
+    let bits = 8.0 * (data.feature_count() * dim + dim * data.classes) as f64;
+
+    for &rate in &[0.0f64, 0.0001, 0.0005, 0.001, 0.005, 0.01] {
+        // Silent: reload pristine weights, flip bits without telling the
+        // runtime, and invoke as if nothing happened.
+        device.load_model(compiled.clone()).expect("load");
+        let mut rng = DetRng::new(SEED ^ (rate * 1e7) as u64);
+        device.inject_weight_faults(rate, &mut rng).expect("inject");
+        let (scores, _) = device
+            .invoke_chunked(&data.test.features, 64)
+            .expect("invoke");
+        let preds: Vec<usize> = (0..scores.rows())
+            .map(|r| hd_tensor::ops::argmax(scores.row(r)).expect("non-empty"))
+            .collect();
+        let silent = hdc::eval::accuracy(&preds, &data.test.labels).expect("accuracy");
+
+        // Resilient: the same physical rate, but upsets are detected
+        // (parity) and the backend retries / reloads / falls back.
+        let p_detect = 1.0 - (1.0 - rate).powf(bits);
+        let mut cfg = functional_config();
+        cfg.device.fault = tpu_sim::FaultConfig::default()
+            .with_seed(SEED ^ (rate * 1e7) as u64)
+            .with_weight_upset_rate(p_detect);
+        let faulted = Pipeline::new(cfg);
+        let before = faulted.backend(ExecutionSetting::Tpu).ledger();
+        let report = faulted
+            .infer(&outcome.model, &data.test.features, ExecutionSetting::Tpu)
+            .expect("infer");
+        let ledger = faulted
+            .backend(ExecutionSetting::Tpu)
+            .ledger()
+            .delta_since(&before);
+        let resilient =
+            hdc::eval::accuracy(&report.predictions, &data.test.labels).expect("accuracy");
+
+        t.push_row(vec![
+            format!("{rate:.4}"),
+            fmt_pct(silent),
+            fmt_pct(resilient),
+            ledger.faults_observed.to_string(),
+            ledger.retries.to_string(),
+            ledger.fallbacks.to_string(),
+            format!("{:.1}", ledger.backoff_s * 1e3),
         ]);
     }
     t

@@ -14,6 +14,8 @@
 //! | `fig9`   | Fig. 9 — bagging iteration-count search (ISOLET)      |
 //! | `fig10`  | Fig. 10 — encoding speedup vs feature count           |
 //! | `table2` | Table II — speedups vs a Raspberry-Pi-3-class CPU     |
+//! | `fig_fault` | extension — weight-fault rate vs accuracy, silent |
+//! |          | SRAM upsets vs detected + recovered (resilience layer)|
 //! | `reproduce_all` | runs everything above in sequence              |
 //!
 //! The split between *functional* and *analytic* measurement is the same

@@ -153,6 +153,7 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
          test accuracy: {:.1}%\n\
          modeled training time: {:.4}s (encode {:.4} + update {:.4} + model-gen {:.4})\n\
          measured backend time: {:.4}s over {} compilation(s), {} cache hit(s), {} new device(s)\n\
+         resilience: {} fault(s) observed, {} retry(ies), {:.4}s backoff, {} fallback(s)\n\
          saved to {out_path}\n",
         setting.label(),
         data.name,
@@ -166,6 +167,10 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
         outcome.ledger.compilations,
         outcome.ledger.cache_hits,
         outcome.ledger.devices_created,
+        outcome.ledger.faults_observed,
+        outcome.ledger.retries,
+        outcome.ledger.backoff_s,
+        outcome.ledger.fallbacks,
     ))
 }
 
@@ -383,6 +388,12 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("test accuracy"), "{out}");
+        assert!(
+            out.contains(
+                "resilience: 0 fault(s) observed, 0 retry(ies), 0.0000s backoff, 0 fallback(s)"
+            ),
+            "{out}"
+        );
 
         let out = info(&parsed(&["info", "--model", model_str])).unwrap();
         assert!(out.contains("dimensionality (d):  512"), "{out}");

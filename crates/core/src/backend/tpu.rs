@@ -9,10 +9,12 @@ use parking_lot::Mutex;
 use cpu_model::{cost, PlatformSpec};
 use hd_tensor::{ops, Matrix};
 use hdc::{ClassHypervectors, Encoder, Executor, HdcError, HdcModel, TrainConfig, TrainStats};
-use tpu_sim::{Device, DeviceConfig};
+use tpu_sim::{Device, DeviceConfig, SimError};
 use wide_nn::{compile, CompiledModel, Model};
 
-use crate::backend::{fingerprint, BackendLedger, ExecutionBackend, CALIBRATION_ROWS};
+use crate::backend::{
+    fingerprint, BackendLedger, ExecutionBackend, ResiliencePolicy, CALIBRATION_ROWS,
+};
 use crate::config::PipelineConfig;
 use crate::wide_model;
 
@@ -25,6 +27,14 @@ const TAG_INFERENCE: u64 = 2;
 struct ModelCache {
     models: HashMap<u64, CompiledModel>,
     resident: Option<u64>,
+}
+
+/// Circuit-breaker state: consecutive failed device attempts, and whether
+/// the breaker has (permanently) opened.
+#[derive(Debug, Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    open: bool,
 }
 
 /// The simulated-Edge-TPU backend.
@@ -47,8 +57,10 @@ pub struct TpuBackend {
     spec: PlatformSpec,
     encode_chunk: usize,
     infer_chunk: usize,
+    policy: ResiliencePolicy,
     device: Device,
     cache: Mutex<ModelCache>,
+    breaker: Mutex<BreakerState>,
     ledger: Mutex<BackendLedger>,
 }
 
@@ -62,11 +74,13 @@ impl TpuBackend {
             spec: config.platform.spec(),
             encode_chunk: config.encode_batch,
             infer_chunk: config.infer_batch,
+            policy: config.resilience,
             device: Device::new(config.device.clone()),
             cache: Mutex::new(ModelCache {
                 models: HashMap::new(),
                 resident: None,
             }),
+            breaker: Mutex::new(BreakerState::default()),
             ledger: Mutex::new(BackendLedger {
                 devices_created: 1,
                 ..BackendLedger::default()
@@ -79,9 +93,41 @@ impl TpuBackend {
         &self.device
     }
 
+    /// The resilience policy this backend runs under.
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    /// Whether the circuit breaker has opened: the device saw
+    /// `breaker_threshold` consecutive failed attempts and every later
+    /// accelerator call degrades to the host CPU.
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.lock().open
+    }
+
     /// Number of compiled models currently cached.
     pub fn cached_models(&self) -> usize {
         self.cache.lock().models.len()
+    }
+
+    /// Injects silent weight faults into the *resident* model on the
+    /// device (see [`Device::inject_weight_faults`]) and drops the
+    /// residency marker, so the next accelerator call reloads a pristine
+    /// compiled model from the cache rather than trusting the faulted
+    /// weights to still match their fingerprint. Returns flipped bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the device's error if no model is resident.
+    pub fn inject_weight_faults(
+        &self,
+        rate: f64,
+        rng: &mut hd_tensor::rng::DetRng,
+    ) -> crate::Result<usize> {
+        let mut cache = self.cache.lock();
+        let flipped = self.device.inject_weight_faults(rate, rng)?;
+        cache.resident = None;
+        Ok(flipped)
     }
 
     fn calibration(batch: &Matrix) -> crate::Result<Matrix> {
@@ -89,16 +135,54 @@ impl TpuBackend {
         Ok(batch.slice_rows(0, rows)?)
     }
 
+    /// Records a failed device attempt on the breaker; returns whether
+    /// the breaker is (now) open.
+    fn note_failure(&self) -> bool {
+        let mut breaker = self.breaker.lock();
+        breaker.consecutive_failures += 1;
+        if breaker.consecutive_failures >= self.policy.breaker_threshold {
+            breaker.open = true;
+        }
+        breaker.open
+    }
+
+    /// Reloads the pristine compiled model for `key` from the cache onto
+    /// the device (recovery from a detected SRAM weight upset).
+    fn reload_pristine(&self, cache: &mut ModelCache, key: u64) -> crate::Result<()> {
+        let compiled = cache
+            .models
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| crate::FrameworkError::InvalidConfig("model cache desync".into()))?;
+        let report = self.device.load_model(compiled)?;
+        cache.resident = Some(key);
+        let mut ledger = self.ledger.lock();
+        ledger.model_loads += 1;
+        ledger.model_gen_s += report.total_s;
+        Ok(())
+    }
+
     /// Compiles (or fetches) the network for `key`, ensures it is
     /// resident on the device, and invokes it over `batch` in `chunk`-row
-    /// pieces. Returns the output and the device seconds spent invoking.
+    /// pieces under the resilience policy: each chunk gets up to
+    /// `max_retries` retried attempts with deterministic exponential
+    /// backoff charged to the simulated clock, detected weight corruption
+    /// reloads the pristine model from the cache, and once the circuit
+    /// breaker opens the whole batch is abandoned to the host fallback.
+    ///
+    /// Returns `(None, wasted_s)` when degraded — the caller must rerun
+    /// the batch on the host and still charge the wasted device seconds —
+    /// or `(Some(output), device_s)` on success.
     fn run_cached(
         &self,
         key: u64,
         build: impl FnOnce() -> crate::Result<(Model, Matrix)>,
         batch: &Matrix,
         chunk: usize,
-    ) -> crate::Result<(Matrix, f64)> {
+    ) -> crate::Result<(Option<Matrix>, f64)> {
+        if self.breaker_open() {
+            return Ok((None, 0.0));
+        }
         let mut cache = self.cache.lock();
         match cache.models.entry(key) {
             Entry::Occupied(_) => self.ledger.lock().cache_hits += 1,
@@ -114,26 +198,71 @@ impl TpuBackend {
             }
         }
         if cache.resident != Some(key) {
-            let compiled =
-                cache.models.get(&key).cloned().ok_or_else(|| {
-                    crate::FrameworkError::InvalidConfig("model cache desync".into())
-                })?;
-            let report = self.device.load_model(compiled)?;
-            cache.resident = Some(key);
-            let mut ledger = self.ledger.lock();
-            ledger.model_loads += 1;
-            ledger.model_gen_s += report.total_s;
+            self.reload_pristine(&mut cache, key)?;
         }
 
-        // Keep the cache lock across the invocation so residency cannot
+        // Keep the cache lock across the invocations so residency cannot
         // change underneath a concurrent caller; the device serializes
         // invocations internally anyway.
         let before = self.device.ledger();
-        let (out, _stats) = self.device.invoke_chunked(batch, chunk)?;
+        let mut backoff_total = 0.0;
+        let mut outputs: Vec<Matrix> = Vec::new();
+        let mut degraded = false;
+        let mut start = 0;
+        'chunks: while start < batch.rows() {
+            let end = (start + chunk).min(batch.rows());
+            let part = batch.slice_rows(start, end)?;
+            let mut attempt: u32 = 0;
+            loop {
+                match self
+                    .device
+                    .invoke_with_deadline(&part, self.policy.invoke_deadline_s)
+                {
+                    Ok((out, _stats)) => {
+                        self.breaker.lock().consecutive_failures = 0;
+                        outputs.push(out);
+                        break;
+                    }
+                    Err(e) if e.is_fault() => {
+                        self.ledger.lock().faults_observed += 1;
+                        if self.note_failure() {
+                            degraded = true;
+                            break 'chunks;
+                        }
+                        if e == SimError::WeightCorruption {
+                            // Detected upset: put pristine weights back
+                            // before (or without) retrying.
+                            self.reload_pristine(&mut cache, key)?;
+                        }
+                        if attempt >= self.policy.max_retries {
+                            // Retry budget exhausted with the breaker
+                            // still closed: a hard, typed failure.
+                            return Err(e.into());
+                        }
+                        attempt += 1;
+                        let backoff = self.policy.backoff_s(attempt);
+                        backoff_total += backoff;
+                        let mut ledger = self.ledger.lock();
+                        ledger.retries += 1;
+                        ledger.backoff_s += backoff;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            start = end;
+        }
         let after = self.device.ledger();
-        let mut ledger = self.ledger.lock();
-        ledger.invocations += after.invocations.saturating_sub(before.invocations);
-        Ok((out, (after.total_s - before.total_s).max(0.0)))
+        {
+            let mut ledger = self.ledger.lock();
+            ledger.invocations += after.invocations.saturating_sub(before.invocations);
+        }
+        let device_s = (after.total_s - before.total_s).max(0.0) + backoff_total;
+        if degraded {
+            return Ok((None, device_s));
+        }
+        let refs: Vec<&Matrix> = outputs.iter().collect();
+        let stitched = Matrix::vstack(&refs)?;
+        Ok((Some(stitched), device_s))
     }
 
     fn device_encode(&self, encoder: &dyn Encoder, batch: &Matrix) -> crate::Result<Matrix> {
@@ -143,18 +272,39 @@ impl TpuBackend {
                 .wrapping_add(u64::from(encoder.activation() == hdc::EncoderActivation::Tanh) << 8),
             &[encoder.base().as_matrix(), &calibration],
         );
-        let (encoded, device_s) = self.run_cached(
+        let (outcome, device_s) = self.run_cached(
             key,
             || Ok((wide_model::encoder_network(encoder)?, calibration.clone())),
             batch,
             self.encode_chunk,
         )?;
-        let mut ledger = self.ledger.lock();
-        ledger.encoded_samples += batch.rows() as u64;
-        ledger.encode_s += device_s
-            + cost::quantize_s(&self.spec, batch.rows() * encoder.feature_count())
-            + cost::quantize_s(&self.spec, batch.rows() * encoder.dim());
-        Ok(encoded)
+        match outcome {
+            Some(encoded) => {
+                let mut ledger = self.ledger.lock();
+                ledger.encoded_samples += batch.rows() as u64;
+                ledger.encode_s += device_s
+                    + cost::quantize_s(&self.spec, batch.rows() * encoder.feature_count())
+                    + cost::quantize_s(&self.spec, batch.rows() * encoder.dim());
+                Ok(encoded)
+            }
+            None => {
+                // Degraded: rerun the whole batch on the host in f32 —
+                // bit-identical to CpuBackend — charging host encode cost
+                // on top of whatever the dead device already wasted.
+                let encoded = encoder.encode(batch)?;
+                let mut ledger = self.ledger.lock();
+                ledger.fallbacks += 1;
+                ledger.encoded_samples += batch.rows() as u64;
+                ledger.encode_s += device_s
+                    + cost::encode_s(
+                        &self.spec,
+                        batch.rows(),
+                        encoder.feature_count(),
+                        encoder.dim(),
+                    );
+                Ok(encoded)
+            }
+        }
     }
 }
 
@@ -209,21 +359,47 @@ impl ExecutionBackend for TpuBackend {
                 &calibration,
             ],
         );
-        let (scores, device_s) = self.run_cached(
+        let (outcome, device_s) = self.run_cached(
             key,
             || Ok((wide_model::inference_network(model)?, calibration.clone())),
             features,
             self.infer_chunk,
         )?;
-        let mut ledger = self.ledger.lock();
-        ledger.predicted_samples += features.rows() as u64;
-        ledger.infer_s += device_s
-            + cost::quantize_s(&self.spec, features.rows() * model.feature_count())
-            + cost::quantize_s(&self.spec, features.rows() * model.class_count());
-        drop(ledger);
-        (0..scores.rows())
-            .map(|r| ops::argmax(scores.row(r)).map_err(crate::FrameworkError::from))
-            .collect()
+        match outcome {
+            Some(scores) => {
+                let mut ledger = self.ledger.lock();
+                ledger.predicted_samples += features.rows() as u64;
+                ledger.infer_s += device_s
+                    + cost::quantize_s(&self.spec, features.rows() * model.feature_count())
+                    + cost::quantize_s(&self.spec, features.rows() * model.class_count());
+                drop(ledger);
+                (0..scores.rows())
+                    .map(|r| ops::argmax(scores.row(r)).map_err(crate::FrameworkError::from))
+                    .collect()
+            }
+            None => {
+                // Degraded: host-side prediction, bit-identical to
+                // CpuBackend's path and charged at its host cost.
+                let predictions = model.predict(features)?;
+                let mut ledger = self.ledger.lock();
+                ledger.fallbacks += 1;
+                ledger.predicted_samples += features.rows() as u64;
+                ledger.infer_s += device_s
+                    + cost::encode_s(
+                        &self.spec,
+                        features.rows(),
+                        model.feature_count(),
+                        model.dim(),
+                    )
+                    + cost::similarity_s(
+                        &self.spec,
+                        features.rows(),
+                        model.dim(),
+                        model.class_count(),
+                    );
+                Ok(predictions)
+            }
+        }
     }
 
     fn ledger(&self) -> BackendLedger {
@@ -299,6 +475,161 @@ mod tests {
             }
             other => panic!("expected Backend error, got {other:?}"),
         }
+    }
+
+    fn faulty_backend(fault: tpu_sim::FaultConfig, policy: ResiliencePolicy) -> TpuBackend {
+        // Small chunks so a single encode call makes several device
+        // invocations — plenty of attempts for the fault schedule to hit.
+        let mut config = PipelineConfig::new(256)
+            .with_resilience(policy)
+            .with_batches(8, 8);
+        config.device.fault = fault;
+        TpuBackend::new(&config)
+    }
+
+    #[test]
+    fn transient_faults_retry_to_bit_exact_output() {
+        let fault = tpu_sim::FaultConfig::default()
+            .with_seed(909)
+            .with_transient_rate(0.5);
+        let policy = ResiliencePolicy::default()
+            .with_max_retries(6)
+            .with_breaker_threshold(7);
+        let b = faulty_backend(fault, policy);
+        let clean = backend();
+        let mut rng = DetRng::new(46);
+        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(10, 256, &mut rng));
+        let batch = Matrix::random_normal(40, 10, &mut rng);
+
+        let faulty_out = b.encode_batch(&encoder, &batch).unwrap();
+        let clean_out = clean.encode_batch(&encoder, &batch).unwrap();
+        assert_eq!(
+            faulty_out, clean_out,
+            "retried encode must converge to the fault-free output"
+        );
+
+        let ledger = b.ledger();
+        assert!(ledger.faults_observed > 0, "rate 0.5 never fired");
+        assert_eq!(ledger.retries, ledger.faults_observed);
+        assert!(ledger.backoff_s > 0.0);
+        assert_eq!(ledger.fallbacks, 0);
+        assert!(!b.breaker_open());
+        // Failed attempts and backoff are charged into the encode phase:
+        // the faulty run costs strictly more simulated time.
+        assert!(ledger.encode_s > clean.ledger().encode_s);
+    }
+
+    #[test]
+    fn dead_device_opens_breaker_with_pinned_ledger() {
+        // Transient rate 1.0: the device never answers. With the default
+        // policy (3 retries, 2 ms base doubling backoff, breaker at 4)
+        // the first chunk exhausts its budget exactly as the breaker
+        // opens: 4 faults, 3 retries, 2+4+8 ms of backoff, one fallback.
+        let fault = tpu_sim::FaultConfig::default().with_transient_rate(1.0);
+        let b = faulty_backend(fault, ResiliencePolicy::default());
+        let mut rng = DetRng::new(47);
+        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(10, 256, &mut rng));
+        let batch = Matrix::random_normal(24, 10, &mut rng);
+
+        let out = b.encode_batch(&encoder, &batch).unwrap();
+        assert!(b.breaker_open());
+        assert_eq!(
+            out,
+            encoder.encode(&batch).unwrap(),
+            "fallback must be the host encode"
+        );
+
+        let ledger = b.ledger();
+        assert_eq!(ledger.faults_observed, 4);
+        assert_eq!(ledger.retries, 3);
+        assert_eq!(ledger.fallbacks, 1);
+        assert!(
+            (ledger.backoff_s - 14e-3).abs() < 1e-12,
+            "{}",
+            ledger.backoff_s
+        );
+        assert_eq!(ledger.encoded_samples, 24);
+
+        // Every later call degrades immediately, without new device work.
+        let faults_before = ledger.faults_observed;
+        let second = b.encode_batch(&encoder, &batch).unwrap();
+        assert_eq!(second, encoder.encode(&batch).unwrap());
+        let ledger = b.ledger();
+        assert_eq!(ledger.faults_observed, faults_before);
+        assert_eq!(ledger.fallbacks, 2);
+    }
+
+    #[test]
+    fn breaker_fallback_predictions_match_cpu_backend() {
+        let fault = tpu_sim::FaultConfig::default().with_transient_rate(1.0);
+        let b = faulty_backend(fault, ResiliencePolicy::default());
+        let config = PipelineConfig::new(256);
+        let cpu = crate::backend::CpuBackend::new(&config);
+
+        let mut rng = DetRng::new(48);
+        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(8, 256, &mut rng));
+        let features = Matrix::random_normal(20, 8, &mut rng);
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let encoded = encoder.encode(&features).unwrap();
+        let train = TrainConfig::new(256).with_iterations(2).with_seed(49);
+        let (classes, _) = hdc::train_encoded(&encoded, &labels, 2, &train).unwrap();
+        let model = HdcModel::from_parts(encoder, classes, hdc::Similarity::Dot).unwrap();
+
+        let degraded = b.predict(&model, &features).unwrap();
+        let host = cpu.predict(&model, &features).unwrap();
+        assert_eq!(degraded, host);
+        assert!(b.breaker_open());
+        let ledger = b.ledger();
+        assert_eq!(ledger.fallbacks, 1);
+        assert_eq!(ledger.predicted_samples, 20);
+        // The degraded inference pays the wasted device attempts plus the
+        // full host inference cost.
+        assert!(ledger.infer_s > cpu.ledger().infer_s);
+    }
+
+    #[test]
+    fn weight_upset_reloads_pristine_model_and_converges() {
+        let fault = tpu_sim::FaultConfig::default()
+            .with_seed(911)
+            .with_weight_upset_rate(0.4);
+        let policy = ResiliencePolicy::default()
+            .with_max_retries(8)
+            .with_breaker_threshold(9);
+        let b = faulty_backend(fault, policy);
+        let clean = backend();
+        let mut rng = DetRng::new(50);
+        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(10, 256, &mut rng));
+        let batch = Matrix::random_normal(48, 10, &mut rng);
+
+        let faulty_out = b.encode_batch(&encoder, &batch).unwrap();
+        assert_eq!(faulty_out, clean.encode_batch(&encoder, &batch).unwrap());
+        let ledger = b.ledger();
+        assert!(ledger.faults_observed > 0, "rate 0.4 never fired");
+        assert!(
+            ledger.model_loads > 1,
+            "weight corruption must reload the pristine model"
+        );
+        assert_eq!(ledger.compilations, 1, "reloads must come from the cache");
+        assert_eq!(ledger.fallbacks, 0);
+    }
+
+    #[test]
+    fn inject_weight_faults_drops_residency() {
+        let b = backend();
+        let mut rng = DetRng::new(51);
+        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(10, 256, &mut rng));
+        let batch = Matrix::random_normal(16, 10, &mut rng);
+        b.encode_batch(&encoder, &batch).unwrap();
+        assert_eq!(b.ledger().model_loads, 1);
+
+        let flipped = b.inject_weight_faults(0.05, &mut rng).unwrap();
+        assert!(flipped > 0);
+        // The faulted resident model no longer matches its fingerprint;
+        // the next call must reload the pristine artifact, not reuse it.
+        let out = b.encode_batch(&encoder, &batch).unwrap();
+        assert_eq!(out, backend().encode_batch(&encoder, &batch).unwrap());
+        assert_eq!(b.ledger().model_loads, 2);
+        assert_eq!(b.ledger().compilations, 1);
     }
 
     #[test]

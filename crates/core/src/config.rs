@@ -1,9 +1,10 @@
 use serde::{Deserialize, Serialize};
 
 use cpu_model::Platform;
-use hd_bagging::BaggingConfig;
+use hd_bagging::{BaggingConfig, MemberRecovery};
 use tpu_sim::DeviceConfig;
 
+use crate::backend::ResiliencePolicy;
 use crate::error::FrameworkError;
 
 /// Which of the paper's three framework settings to run.
@@ -62,6 +63,11 @@ pub struct PipelineConfig {
     pub platform: Platform,
     /// Accelerator profile.
     pub device: DeviceConfig,
+    /// Retry/deadline/fallback policy for the accelerator-placed phases.
+    pub resilience: ResiliencePolicy,
+    /// What the bagged settings do with an ensemble member whose backend
+    /// failed permanently.
+    pub member_recovery: MemberRecovery,
 }
 
 impl PipelineConfig {
@@ -85,6 +91,8 @@ impl PipelineConfig {
             infer_batch: 16,
             platform: Platform::MobileI5,
             device: DeviceConfig::default(),
+            resilience: ResiliencePolicy::default(),
+            member_recovery: MemberRecovery::default(),
         }
     }
 
@@ -132,6 +140,20 @@ impl PipelineConfig {
         self
     }
 
+    /// Sets the accelerator resilience policy.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Sets the ensemble member-failure policy.
+    #[must_use]
+    pub fn with_member_recovery(mut self, member_recovery: MemberRecovery) -> Self {
+        self.member_recovery = member_recovery;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -155,6 +177,11 @@ impl PipelineConfig {
                 "learning_rate must be positive".into(),
             ));
         }
+        self.resilience.validate()?;
+        self.device
+            .fault
+            .validate()
+            .map_err(|e| FrameworkError::InvalidConfig(e.to_string()))?;
         self.bagging
             .validate()
             .map_err(|e| FrameworkError::InvalidConfig(e.to_string()))?;
@@ -194,6 +221,15 @@ mod tests {
         assert!(bad.validate().is_err());
         // Mismatched bagging width.
         let bad = ok.clone().with_bagging(BaggingConfig::paper_defaults(512));
+        assert!(bad.validate().is_err());
+        // Bad resilience policy.
+        let bad = ok
+            .clone()
+            .with_resilience(ResiliencePolicy::default().with_breaker_threshold(0));
+        assert!(bad.validate().is_err());
+        // Bad fault schedule on the device.
+        let mut bad = ok.clone();
+        bad.device.fault = tpu_sim::FaultConfig::default().with_transient_rate(2.0);
         assert!(bad.validate().is_err());
     }
 

@@ -70,7 +70,8 @@ pub mod runtime;
 pub mod wide_model;
 
 pub use backend::{
-    BackendLedger, BackendRegistry, CpuBackend, ExecutionBackend, HybridBackend, TpuBackend,
+    BackendLedger, BackendRegistry, CpuBackend, ExecutionBackend, HybridBackend, ResiliencePolicy,
+    TpuBackend,
 };
 pub use config::{ExecutionSetting, PipelineConfig};
 pub use error::FrameworkError;

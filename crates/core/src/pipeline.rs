@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use hd_bagging::{bagged_member_specs, train_members, BaggingStats, MemberSpec};
+use hd_bagging::{bagged_member_specs, train_members_with_recovery, BaggingStats, MemberSpec};
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
 use hdc::{BaseHypervectors, HdcModel, NonlinearEncoder, TrainConfig, TrainStats};
@@ -138,7 +138,14 @@ impl Pipeline {
         let backend = self.backend(setting);
         let before = backend.ledger();
         let specs = self.member_plan(features, setting)?;
-        let (bagged, stats) = train_members(features, labels, classes, specs, backend)?;
+        let (bagged, stats) = train_members_with_recovery(
+            features,
+            labels,
+            classes,
+            specs,
+            backend,
+            self.config.member_recovery,
+        )?;
         let model = bagged.merge()?;
         let ledger = backend.ledger().delta_since(&before);
 

@@ -173,11 +173,22 @@ impl CompiledModel {
     /// Injects memory faults into the compiled weights (see
     /// [`QuantizedModel::inject_weight_faults`]). Returns flipped bits.
     ///
+    /// The attached [`CompiledModel::range_report`] is recomputed from the
+    /// faulted weights, so it always describes the model as it will
+    /// execute rather than the pristine weights that were compiled.
+    ///
     /// # Panics
     ///
     /// Panics if `rate` is outside `[0, 1]`.
     pub fn inject_weight_faults(&mut self, rate: f64, rng: &mut hd_tensor::rng::DetRng) -> usize {
-        self.quantized.inject_weight_faults(rate, rng)
+        let flipped = self.quantized.inject_weight_faults(rate, rng);
+        if flipped > 0 {
+            self.range_report = crate::absint::analyze_ranges(
+                &self.quantized,
+                &crate::absint::RangeConfig::default(),
+            );
+        }
+        flipped
     }
 }
 
@@ -394,6 +405,29 @@ mod tests {
         assert_eq!(compiled.input_dim(), 16);
         assert_eq!(compiled.output_dim(), 4);
         assert_eq!(compiled.param_bytes(), direct.param_bytes());
+    }
+
+    #[test]
+    fn inject_weight_faults_refreshes_range_report() {
+        let (model, calib) = model_and_calib(16, 48, 4);
+        let mut compiled = compile(&model, &calib, &TargetSpec::default()).unwrap();
+        let pristine = compiled.range_report().clone();
+        let mut rng = DetRng::new(404);
+        let flipped = compiled.inject_weight_faults(0.2, &mut rng);
+        assert!(flipped > 0, "rate 0.2 flipped nothing");
+        let refreshed = compiled.range_report();
+        assert_eq!(
+            refreshed,
+            &crate::absint::analyze_ranges(
+                compiled.quantized(),
+                &crate::absint::RangeConfig::default()
+            ),
+            "report must describe the faulted weights"
+        );
+        assert_ne!(
+            refreshed, &pristine,
+            "a 20% bit-flip rate should move at least one interval"
+        );
     }
 
     #[test]

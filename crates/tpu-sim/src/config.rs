@@ -2,6 +2,9 @@ use serde::{Deserialize, Serialize};
 
 use wide_nn::TargetSpec;
 
+use crate::fault::FaultConfig;
+use crate::SimError;
+
 /// Host-link (USB-like) channel parameters.
 ///
 /// The defaults model an Edge TPU on USB 3.0 as the paper's setup does:
@@ -24,6 +27,65 @@ impl Default for HostLinkConfig {
     }
 }
 
+impl HostLinkConfig {
+    /// Creates a link configuration with explicit parameters, rejecting
+    /// invalid ones (the typed-error counterpart of
+    /// [`HostLinkConfig::new`], matching `TargetSpec::try_new`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the bandwidth is not
+    /// positive-finite or the latency is negative or non-finite.
+    pub fn try_new(
+        bandwidth_bytes_per_sec: f64,
+        per_invoke_latency_s: f64,
+    ) -> Result<Self, SimError> {
+        let config = HostLinkConfig {
+            bandwidth_bytes_per_sec,
+            per_invoke_latency_s,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Creates a link configuration with explicit parameters.
+    ///
+    /// Thin wrapper over [`HostLinkConfig::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive or the latency is
+    /// negative.
+    #[must_use]
+    pub fn new(bandwidth_bytes_per_sec: f64, per_invoke_latency_s: f64) -> Self {
+        match Self::try_new(bandwidth_bytes_per_sec, per_invoke_latency_s) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validates the channel parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.bandwidth_bytes_per_sec > 0.0 && self.bandwidth_bytes_per_sec.is_finite()) {
+            return Err(SimError::InvalidConfig(format!(
+                "link bandwidth must be positive (got {})",
+                self.bandwidth_bytes_per_sec
+            )));
+        }
+        if !(self.per_invoke_latency_s >= 0.0 && self.per_invoke_latency_s.is_finite()) {
+            return Err(SimError::InvalidConfig(format!(
+                "invoke latency cannot be negative (got {})",
+                self.per_invoke_latency_s
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Full device description: compute target plus clock and link.
 ///
 /// The default is the Edge-TPU-like profile used throughout the paper
@@ -41,6 +103,9 @@ pub struct DeviceConfig {
     /// Average active power draw of the accelerator while computing,
     /// watts (the USB Edge TPU is a ~2 W device).
     pub active_power_w: f64,
+    /// Seeded fault-injection schedule (default: fully disabled).
+    #[serde(default)]
+    pub fault: FaultConfig,
 }
 
 impl Default for DeviceConfig {
@@ -50,6 +115,7 @@ impl Default for DeviceConfig {
             clock_hz: 480.0e6,
             link: HostLinkConfig::default(),
             active_power_w: 2.0,
+            fault: FaultConfig::default(),
         }
     }
 }

@@ -7,6 +7,7 @@ use wide_nn::{CompiledModel, QuantStage};
 use crate::buffer::UnifiedBuffer;
 use crate::config::DeviceConfig;
 use crate::error::SimError;
+use crate::fault::{FaultKind, FaultPlan, FaultTrace, LinkDirection};
 use crate::link::HostLink;
 use crate::systolic::SystolicArray;
 use crate::timing::ModelDims;
@@ -59,7 +60,16 @@ pub struct TimingLedger {
     pub overhead_s: f64,
     /// Total model-load seconds.
     pub load_s: f64,
-    /// Grand total (loads + invocations).
+    /// Invocation attempts that failed with an injected fault (or a
+    /// watchdog-deadline overrun).
+    #[serde(default)]
+    pub faulted_invocations: u64,
+    /// Seconds consumed by failed attempts plus injected hang stalls.
+    /// Failed-attempt seconds are counted here and in `total_s`, never in
+    /// the per-phase success buckets.
+    #[serde(default)]
+    pub fault_s: f64,
+    /// Grand total (loads + invocations + failed attempts).
     pub total_s: f64,
 }
 
@@ -77,12 +87,20 @@ impl TimingLedger {
         self.load_s += report.total_s;
         self.total_s += report.total_s;
     }
+
+    fn record_failed_attempt(&mut self, charged_s: f64) {
+        self.faulted_invocations += 1;
+        self.fault_s += charged_s;
+        self.total_s += charged_s;
+    }
 }
 
 struct DeviceState {
     model: Option<CompiledModel>,
     buffer: UnifiedBuffer,
     ledger: TimingLedger,
+    faults: FaultPlan,
+    weights_corrupt: bool,
 }
 
 /// A simulated edge accelerator.
@@ -116,11 +134,21 @@ impl std::fmt::Debug for Device {
 
 impl Device {
     /// Creates a device with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link or fault configuration is invalid (see
+    /// [`crate::HostLinkConfig::validate`] and
+    /// [`crate::FaultConfig::validate`]).
     #[must_use]
     pub fn new(config: DeviceConfig) -> Self {
         let array = SystolicArray::new(config.target.array_rows, config.target.array_cols);
         let link = HostLink::new(config.link);
+        if let Err(e) = config.fault.validate() {
+            panic!("{e}");
+        }
         let buffer = UnifiedBuffer::new(config.target.param_buffer_bytes);
+        let faults = FaultPlan::new(config.fault);
         Device {
             config,
             array,
@@ -129,6 +157,8 @@ impl Device {
                 model: None,
                 buffer,
                 ledger: TimingLedger::default(),
+                faults,
+                weights_corrupt: false,
             }),
         }
     }
@@ -185,6 +215,7 @@ impl Device {
             });
         }
         state.model = Some(compiled);
+        state.weights_corrupt = false;
         state.ledger.record_load(&report);
         Ok(report)
     }
@@ -213,8 +244,43 @@ impl Device {
     ///
     /// * [`SimError::NoModelLoaded`] — no model resident.
     /// * [`SimError::BatchWidth`] — batch width mismatch.
+    /// * Any fault error of [`Device::invoke_with_deadline`] when the
+    ///   device's [`crate::FaultConfig`] is armed.
     pub fn invoke(&self, batch: &Matrix) -> Result<(Matrix, InvokeStats)> {
+        self.invoke_with_deadline(batch, None)
+    }
+
+    /// Like [`Device::invoke`], but with an optional per-invocation
+    /// watchdog deadline and the device's seeded fault schedule applied.
+    ///
+    /// When the device's [`crate::FaultConfig`] is armed, each attempt may
+    /// fail with a typed, *detected* fault; the failed attempt's simulated
+    /// seconds are charged to the ledger (`fault_s`) but never to the
+    /// success buckets, and the fault is appended to the
+    /// [`Device::fault_trace`]. A retried attempt that succeeds returns
+    /// output bit-identical to the fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NoModelLoaded`] / [`SimError::BatchWidth`] — caller
+    ///   bugs; these never consume a fault-schedule attempt.
+    /// * [`SimError::TransientInvokeFailure`] — dispatch failed before any
+    ///   payload moved; only the dispatch overhead is charged.
+    /// * [`SimError::LinkCorruption`] — a payload failed its CRC; the
+    ///   wasted transfer time is charged.
+    /// * [`SimError::WeightCorruption`] — the resident weights failed
+    ///   parity (a new or earlier SRAM upset); every invocation fails
+    ///   until a pristine model is reloaded via [`Device::load_model`].
+    /// * [`SimError::DeviceHang`] — the invocation exceeded `deadline_s`
+    ///   (an injected stall or a naturally slow invocation); exactly the
+    ///   deadline is charged, as the watchdog kills the attempt there.
+    pub fn invoke_with_deadline(
+        &self,
+        batch: &Matrix,
+        deadline_s: Option<f64>,
+    ) -> Result<(Matrix, InvokeStats)> {
         let mut state = self.state.lock();
+        let state = &mut *state;
         let model = state.model.as_ref().ok_or(SimError::NoModelLoaded)?;
         let quantized = model.quantized();
         if batch.cols() != quantized.input_dim() {
@@ -225,6 +291,50 @@ impl Device {
         }
 
         let samples = batch.rows();
+        let (attempt, faults) = state.faults.begin_attempt();
+        let overhead_s = self.link.invoke_latency_s();
+        let input_bytes = samples * quantized.input_dim();
+        let input_transfer_s = self.link.transfer_time_s(input_bytes);
+
+        if faults.transient {
+            state
+                .faults
+                .record(attempt, FaultKind::TransientInvokeFailure, overhead_s);
+            state.ledger.record_failed_attempt(overhead_s);
+            return Err(SimError::TransientInvokeFailure);
+        }
+        if faults.corrupt_input {
+            let charged = overhead_s + input_transfer_s;
+            state.faults.record(
+                attempt,
+                FaultKind::LinkCorruption {
+                    direction: LinkDirection::HostToDevice,
+                    bytes: input_bytes,
+                },
+                charged,
+            );
+            state.ledger.record_failed_attempt(charged);
+            return Err(SimError::LinkCorruption {
+                direction: LinkDirection::HostToDevice,
+                bytes: input_bytes,
+            });
+        }
+        if faults.weight_upset {
+            // Parity trips as the weights stream into the array, after the
+            // input payload already landed.
+            state.weights_corrupt = true;
+            state.faults.record(
+                attempt,
+                FaultKind::WeightUpset,
+                overhead_s + input_transfer_s,
+            );
+        }
+        if state.weights_corrupt {
+            state
+                .ledger
+                .record_failed_attempt(overhead_s + input_transfer_s);
+            return Err(SimError::WeightCorruption);
+        }
         let mut cycles: u64 = 0;
         let mut current = quantized.quantize_input(batch)?;
         for stage in quantized.stages() {
@@ -267,20 +377,78 @@ impl Device {
         }
         let output = current.dequantize();
 
-        let input_transfer_s = self.link.transfer_time_s(samples * quantized.input_dim());
-        let output_transfer_s = self.link.transfer_time_s(samples * quantized.output_dim());
-        let overhead_s = self.link.invoke_latency_s();
+        let output_bytes = samples * quantized.output_dim();
+        let output_transfer_s = self.link.transfer_time_s(output_bytes);
         let compute_s = cycles as f64 / self.config.clock_hz;
+        let stall_s = if faults.hang {
+            state.faults.config().hang_stall_s
+        } else {
+            0.0
+        };
+        let elapsed_s = overhead_s + input_transfer_s + compute_s + output_transfer_s + stall_s;
+
+        if let Some(deadline) = deadline_s {
+            if elapsed_s > deadline {
+                // The watchdog kills the attempt at the deadline, so that
+                // is all the simulated time the attempt can consume.
+                if faults.hang {
+                    state.faults.record(
+                        attempt,
+                        FaultKind::Hang {
+                            stall_s,
+                            fatal: true,
+                        },
+                        deadline,
+                    );
+                }
+                state.ledger.record_failed_attempt(deadline);
+                return Err(SimError::DeviceHang {
+                    elapsed_s,
+                    deadline_s: deadline,
+                });
+            }
+        }
+        if faults.hang {
+            // Survivable stall: the invocation completes, just late. The
+            // stall rides in the overhead bucket so `total_s` stays the
+            // sum of the parts.
+            state.faults.record(
+                attempt,
+                FaultKind::Hang {
+                    stall_s,
+                    fatal: false,
+                },
+                stall_s,
+            );
+        }
+        if faults.corrupt_output {
+            let charged = elapsed_s;
+            state.faults.record(
+                attempt,
+                FaultKind::LinkCorruption {
+                    direction: LinkDirection::DeviceToHost,
+                    bytes: output_bytes,
+                },
+                charged,
+            );
+            state.ledger.record_failed_attempt(charged);
+            return Err(SimError::LinkCorruption {
+                direction: LinkDirection::DeviceToHost,
+                bytes: output_bytes,
+            });
+        }
+
         let stats = InvokeStats {
             samples,
             compute_cycles: cycles,
             compute_s,
             input_transfer_s,
             output_transfer_s,
-            overhead_s,
-            total_s: overhead_s + input_transfer_s + compute_s + output_transfer_s,
+            overhead_s: overhead_s + stall_s,
+            total_s: elapsed_s,
         };
         state.ledger.record_invoke(&stats);
+        state.ledger.fault_s += stall_s;
         Ok((output, stats))
     }
 
@@ -338,6 +506,18 @@ impl Device {
         let mut state = self.state.lock();
         let model = state.model.as_mut().ok_or(SimError::NoModelLoaded)?;
         Ok(model.inject_weight_faults(rate, rng))
+    }
+
+    /// A snapshot of the ordered record of every injected fault since
+    /// device construction.
+    pub fn fault_trace(&self) -> FaultTrace {
+        self.state.lock().faults.trace().clone()
+    }
+
+    /// Whether the resident weights are currently parity-failed. Cleared
+    /// by reloading a pristine model via [`Device::load_model`].
+    pub fn weights_corrupt(&self) -> bool {
+        self.state.lock().weights_corrupt
     }
 
     /// A snapshot of accumulated device activity.
@@ -537,6 +717,168 @@ mod tests {
         assert!(device.load_model(big).is_err());
         // Original model still answers.
         assert!(device.invoke(&calib).is_ok());
+    }
+
+    fn fault_device(fault: crate::FaultConfig) -> (Device, Matrix) {
+        let (compiled, calib) = compiled_model(20, 96, 5, 21);
+        let device = Device::new(DeviceConfig {
+            fault,
+            ..DeviceConfig::default()
+        });
+        device.load_model(compiled).unwrap();
+        (device, calib)
+    }
+
+    #[test]
+    fn transient_fault_retry_converges_bit_exact() {
+        let fault = crate::FaultConfig::default()
+            .with_seed(77)
+            .with_transient_rate(0.5);
+        let (device, calib) = fault_device(fault);
+        let (clean, _) = fault_device(crate::FaultConfig::default());
+        let (want, _) = clean.invoke(&calib).unwrap();
+
+        let mut failures = 0;
+        let got = loop {
+            match device.invoke(&calib) {
+                Ok((out, _)) => break out,
+                Err(e) => {
+                    assert_eq!(e, SimError::TransientInvokeFailure);
+                    failures += 1;
+                    assert!(failures < 64, "transient faults never cleared");
+                }
+            }
+        };
+        assert!(failures > 0, "rate 0.5 never fired in 64 attempts");
+        assert_eq!(got, want, "retried invoke diverged from fault-free run");
+        let ledger = device.ledger();
+        assert_eq!(ledger.faulted_invocations, failures);
+        assert_eq!(device.fault_trace().len() as u64, failures);
+        // Each transient failure charges exactly the dispatch overhead.
+        let overhead = DeviceConfig::default().link.per_invoke_latency_s;
+        assert!((ledger.fault_s - failures as f64 * overhead).abs() < 1e-12);
+        // Success buckets saw exactly one invocation.
+        assert_eq!(ledger.invocations, 1);
+    }
+
+    #[test]
+    fn weight_upset_rejects_until_reload() {
+        let fault = crate::FaultConfig::default().with_weight_upset_rate(1.0);
+        let (device, calib) = fault_device(fault);
+        assert_eq!(
+            device.invoke(&calib).unwrap_err(),
+            SimError::WeightCorruption
+        );
+        assert!(device.weights_corrupt());
+        // Still corrupt on the next attempt, independent of new draws.
+        assert_eq!(
+            device.invoke(&calib).unwrap_err(),
+            SimError::WeightCorruption
+        );
+        let (pristine, _) = compiled_model(20, 96, 5, 21);
+        device.load_model(pristine).unwrap();
+        assert!(!device.weights_corrupt());
+        assert_eq!(
+            device
+                .fault_trace()
+                .count_kind(|k| matches!(k, FaultKind::WeightUpset)),
+            2
+        );
+    }
+
+    #[test]
+    fn link_corruption_charges_overhead_plus_transfer() {
+        let fault = crate::FaultConfig::default().with_link_corruption_rate(1.0);
+        let (device, calib) = fault_device(fault);
+        let err = device.invoke(&calib).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::LinkCorruption {
+                direction: LinkDirection::HostToDevice,
+                bytes: calib.rows() * calib.cols(),
+            }
+        );
+        let cfg = DeviceConfig::default();
+        let expected = cfg.link.per_invoke_latency_s
+            + calib.rows() as f64 * calib.cols() as f64 / cfg.link.bandwidth_bytes_per_sec;
+        let ledger = device.ledger();
+        assert!((ledger.fault_s - expected).abs() < 1e-12);
+        assert_eq!(device.fault_trace().records()[0].charged_s, expected);
+    }
+
+    #[test]
+    fn fatal_hang_charges_exactly_the_deadline() {
+        let fault = crate::FaultConfig::default().with_hang(1.0, 2.0);
+        let (device, calib) = fault_device(fault);
+        let deadline = 1e-3;
+        let err = device
+            .invoke_with_deadline(&calib, Some(deadline))
+            .unwrap_err();
+        match err {
+            SimError::DeviceHang {
+                elapsed_s,
+                deadline_s,
+            } => {
+                assert!(elapsed_s > 2.0, "stall not included in elapsed");
+                assert_eq!(deadline_s, deadline);
+            }
+            other => panic!("expected DeviceHang, got {other}"),
+        }
+        let ledger = device.ledger();
+        assert_eq!(ledger.faulted_invocations, 1);
+        assert!((ledger.fault_s - deadline).abs() < 1e-15);
+        assert!(
+            device
+                .fault_trace()
+                .count_kind(|k| matches!(k, FaultKind::Hang { fatal: true, .. }))
+                == 1
+        );
+    }
+
+    #[test]
+    fn survivable_hang_slows_but_succeeds() {
+        let stall = 0.25;
+        let fault = crate::FaultConfig::default().with_hang(1.0, stall);
+        let (device, calib) = fault_device(fault);
+        let (clean, _) = fault_device(crate::FaultConfig::default());
+        let (want, clean_stats) = clean.invoke(&calib).unwrap();
+        let (got, stats) = device.invoke(&calib).unwrap();
+        assert_eq!(got, want);
+        assert!((stats.total_s - (clean_stats.total_s + stall)).abs() < 1e-12);
+        assert_eq!(
+            device
+                .fault_trace()
+                .count_kind(|k| matches!(k, FaultKind::Hang { fatal: false, .. })),
+            1
+        );
+        assert!((device.ledger().fault_s - stall).abs() < 1e-15);
+    }
+
+    #[test]
+    fn natural_deadline_overrun_hangs_without_trace() {
+        let (device, calib) = fault_device(crate::FaultConfig::default());
+        let err = device.invoke_with_deadline(&calib, Some(0.0)).unwrap_err();
+        assert!(matches!(err, SimError::DeviceHang { .. }));
+        assert!(device.fault_trace().is_empty());
+        assert_eq!(device.ledger().faulted_invocations, 1);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_fault_trace() {
+        let fault = crate::FaultConfig::default()
+            .with_seed(5150)
+            .with_transient_rate(0.2)
+            .with_link_corruption_rate(0.1)
+            .with_hang(0.1, 0.01);
+        let (a, calib) = fault_device(fault);
+        let (b, _) = fault_device(fault);
+        for _ in 0..32 {
+            let ra = a.invoke(&calib);
+            let rb = b.invoke(&calib);
+            assert_eq!(ra.is_ok(), rb.is_ok());
+        }
+        assert_eq!(a.fault_trace(), b.fault_trace());
+        assert!(!a.fault_trace().is_empty(), "rates too low to exercise");
     }
 
     #[test]

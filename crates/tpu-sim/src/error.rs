@@ -3,6 +3,8 @@ use std::fmt;
 
 use wide_nn::NnError;
 
+use crate::fault::LinkDirection;
+
 /// Error type for simulated-device operations.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -25,6 +27,44 @@ pub enum SimError {
     },
     /// A model-layer error surfaced during execution.
     Nn(NnError),
+    /// An injected transient dispatch failure: the invocation never
+    /// started. Retrying is safe and converges to the fault-free output.
+    TransientInvokeFailure,
+    /// A host-link payload failed its CRC; the transfer must be redone.
+    LinkCorruption {
+        /// Transfer direction.
+        direction: LinkDirection,
+        /// Payload bytes in flight.
+        bytes: usize,
+    },
+    /// The resident weights failed their parity check (SRAM upset). The
+    /// device rejects every invocation until a pristine model is
+    /// reloaded via [`crate::Device::load_model`].
+    WeightCorruption,
+    /// The device hung and the invocation blew its watchdog deadline.
+    DeviceHang {
+        /// Simulated seconds the invocation would have taken.
+        elapsed_s: f64,
+        /// The deadline that fired.
+        deadline_s: f64,
+    },
+    /// A link or fault configuration value was out of range.
+    InvalidConfig(String),
+}
+
+impl SimError {
+    /// Whether this error is a (detected) device fault that a driver may
+    /// recover from — by retrying, reloading the model, or both — as
+    /// opposed to a caller bug like a shape mismatch.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            SimError::TransientInvokeFailure
+                | SimError::LinkCorruption { .. }
+                | SimError::WeightCorruption
+                | SimError::DeviceHang { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +85,24 @@ impl fmt::Display for SimError {
                 "model needs {required} bytes of on-chip buffer, device has {available}"
             ),
             SimError::Nn(e) => write!(f, "model error: {e}"),
+            SimError::TransientInvokeFailure => {
+                write!(f, "transient dispatch failure, invocation never started")
+            }
+            SimError::LinkCorruption { direction, bytes } => {
+                write!(f, "{direction} payload of {bytes} bytes failed link CRC")
+            }
+            SimError::WeightCorruption => write!(
+                f,
+                "resident weights failed parity (SRAM upset); reload the model"
+            ),
+            SimError::DeviceHang {
+                elapsed_s,
+                deadline_s,
+            } => write!(
+                f,
+                "device hang: invocation needed {elapsed_s:.6}s, watchdog fired at {deadline_s:.6}s"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulator config: {msg}"),
         }
     }
 }
@@ -86,6 +144,37 @@ mod tests {
         }
         .to_string()
         .contains("10 bytes"));
+    }
+
+    #[test]
+    fn fault_variants_display_and_classify() {
+        let faults = [
+            SimError::TransientInvokeFailure,
+            SimError::LinkCorruption {
+                direction: LinkDirection::HostToDevice,
+                bytes: 128,
+            },
+            SimError::WeightCorruption,
+            SimError::DeviceHang {
+                elapsed_s: 0.2,
+                deadline_s: 0.1,
+            },
+        ];
+        for e in &faults {
+            assert!(e.is_fault(), "{e}");
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(!SimError::NoModelLoaded.is_fault());
+        assert!(!SimError::InvalidConfig("x".into()).is_fault());
+        assert!(SimError::LinkCorruption {
+            direction: LinkDirection::DeviceToHost,
+            bytes: 5
+        }
+        .to_string()
+        .contains("device-to-host"));
+        assert!(SimError::InvalidConfig("bad rate".into())
+            .to_string()
+            .contains("bad rate"));
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod buffer;
 mod config;
 mod device;
 mod error;
+mod fault;
 mod link;
 mod systolic;
 
@@ -78,6 +79,7 @@ pub use buffer::UnifiedBuffer;
 pub use config::{DeviceConfig, HostLinkConfig};
 pub use device::{Device, InvokeStats, LoadReport, TimingLedger};
 pub use error::SimError;
+pub use fault::{FaultConfig, FaultKind, FaultRecord, FaultTrace, LinkDirection};
 pub use link::HostLink;
 pub use systolic::SystolicArray;
 

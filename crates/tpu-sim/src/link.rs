@@ -21,22 +21,32 @@ pub struct HostLink {
 }
 
 impl HostLink {
+    /// Creates a link with the given parameters, rejecting invalid ones
+    /// with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] if the bandwidth is not
+    /// positive or the latency is negative (see
+    /// [`HostLinkConfig::validate`]).
+    pub fn try_new(config: HostLinkConfig) -> crate::Result<Self> {
+        config.validate()?;
+        Ok(HostLink { config })
+    }
+
     /// Creates a link with the given parameters.
+    ///
+    /// Thin panicking wrapper over [`HostLink::try_new`].
     ///
     /// # Panics
     ///
     /// Panics if the bandwidth is not positive or the latency is negative.
     #[must_use]
     pub fn new(config: HostLinkConfig) -> Self {
-        assert!(
-            config.bandwidth_bytes_per_sec > 0.0,
-            "link bandwidth must be positive"
-        );
-        assert!(
-            config.per_invoke_latency_s >= 0.0,
-            "invoke latency cannot be negative"
-        );
-        HostLink { config }
+        match Self::try_new(config) {
+            Ok(link) => link,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Seconds to move `bytes` across the link (payload only).
@@ -86,6 +96,18 @@ mod tests {
             bandwidth_bytes_per_sec: 1.0,
             per_invoke_latency_s: -1.0,
         });
+    }
+
+    #[test]
+    fn try_new_returns_typed_error() {
+        let err = HostLink::try_new(HostLinkConfig {
+            bandwidth_bytes_per_sec: -3.0,
+            per_invoke_latency_s: 0.0,
+        })
+        .unwrap_err();
+        assert!(matches!(err, crate::SimError::InvalidConfig(_)));
+        assert!(err.to_string().contains("bandwidth must be positive"));
+        assert!(HostLink::try_new(HostLinkConfig::default()).is_ok());
     }
 
     #[test]
