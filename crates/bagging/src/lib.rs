@@ -50,7 +50,7 @@ pub use error::BaggingError;
 pub use merge::{BaggedModel, SubModel};
 pub use sample::{bootstrap_rows, feature_subset};
 pub use train::{
-    bagged_member_specs, train_bagged, train_bagged_with, train_members,
+    bagged_member_specs, train_bagged, train_bagged_with, train_members, train_members_parallel,
     train_members_with_recovery, BaggingStats, MemberRecovery, MemberSpec, SubModelStats,
 };
 

@@ -180,7 +180,8 @@ pub fn train_members(
     train_members_with_recovery(features, labels, classes, specs, exec, MemberRecovery::Fail)
 }
 
-/// Encodes and trains one member through `exec`.
+/// Encodes and trains one member through `exec`'s encode→update chain
+/// (which a pipelined executor may stream chunk-by-chunk).
 fn encode_and_train(
     spec: &MemberSpec,
     member_features: &Matrix,
@@ -188,8 +189,48 @@ fn encode_and_train(
     classes: usize,
     exec: &dyn Executor,
 ) -> Result<(ClassHypervectors, TrainStats), BaggingError> {
-    let encoded = exec.encode_batch(&spec.encoder, member_features)?;
-    Ok(exec.train_classes(&encoded, member_labels, classes, &spec.train)?)
+    Ok(exec.encode_train(
+        &spec.encoder,
+        member_features,
+        member_labels,
+        classes,
+        &spec.train,
+    )?)
+}
+
+/// One member's training outcome paired with its sampled-row count.
+type MemberOutcome = (
+    Result<(ClassHypervectors, TrainStats), BaggingError>,
+    usize,
+);
+
+/// Resolves one member's training rows and runs its encode→update chain;
+/// returns the outcome plus the member's sampled-row count.
+fn train_one_member(
+    spec: &MemberSpec,
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    exec: &dyn Executor,
+) -> (Result<(ClassHypervectors, TrainStats), BaggingError>, usize) {
+    let selected;
+    let selected_labels;
+    let (member_features, member_labels): (&Matrix, &[usize]) = match &spec.rows {
+        Some(rows) => {
+            match features.select_rows(rows) {
+                Ok(m) => selected = m,
+                Err(e) => return (Err(BaggingError::from(e)), 0),
+            }
+            selected_labels = rows.iter().map(|&r| labels[r]).collect::<Vec<usize>>();
+            (&selected, &selected_labels)
+        }
+        None => (features, labels),
+    };
+    let sampled_rows = member_features.rows();
+    (
+        encode_and_train(spec, member_features, member_labels, classes, exec),
+        sampled_rows,
+    )
 }
 
 /// [`train_members`] with a member-level fault policy: when a member's
@@ -270,6 +311,111 @@ pub fn train_members_with_recovery(
         stats.sub_models.push(SubModelStats {
             index: spec.index,
             sampled_rows: member_features.rows(),
+            sampled_features: spec.sampled_features,
+            train: train_stats,
+        });
+        sub_models.push(SubModel {
+            encoder: spec.encoder,
+            classes: class_hvs,
+        });
+    }
+
+    if sub_models.is_empty() {
+        return Err(BaggingError::InvalidConfig(
+            "every ensemble member failed and was dropped".into(),
+        ));
+    }
+    Ok((BaggedModel::new(sub_models, classes)?, stats))
+}
+
+/// [`train_members_with_recovery`] with member-level parallelism: up to
+/// `threads` ensemble members train concurrently on scoped host threads.
+/// Members are independent (each has its own encoder, bootstrap sample,
+/// and class hypervectors), so per-member results are bit-exact with the
+/// sequential loop; recovery and assembly still run in index order, and
+/// `threads <= 1` (or a single-member plan) delegates to the exact
+/// sequential path.
+///
+/// Intended for host-executed members. Device-resident backends should
+/// keep `threads == 1`: the simulated accelerator holds one model at a
+/// time, so concurrent members would thrash residency.
+///
+/// # Errors
+///
+/// Same as [`train_members_with_recovery`].
+pub fn train_members_parallel(
+    features: &Matrix,
+    labels: &[usize],
+    classes: usize,
+    specs: Vec<MemberSpec>,
+    exec: &dyn Executor,
+    recovery: MemberRecovery,
+    threads: usize,
+) -> Result<(BaggedModel, BaggingStats), BaggingError> {
+    if threads <= 1 || specs.len() <= 1 {
+        return train_members_with_recovery(features, labels, classes, specs, exec, recovery);
+    }
+    if features.rows() == 0 || classes == 0 {
+        return Err(BaggingError::Hdc(hdc::HdcError::EmptyDataset));
+    }
+    if labels.len() != features.rows() {
+        return Err(BaggingError::Hdc(hdc::HdcError::LabelCount {
+            samples: features.rows(),
+            labels: labels.len(),
+        }));
+    }
+
+    // Phase 1: every member trains concurrently, writing into its own
+    // index-ordered slot (contiguous groups per worker, no locks).
+    let mut outcomes: Vec<Option<MemberOutcome>> = (0..specs.len()).map(|_| None).collect();
+    let workers = threads.min(specs.len());
+    let per_worker = specs.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut slots = outcomes.as_mut_slice();
+        let mut remaining = specs.as_slice();
+        while !remaining.is_empty() {
+            let take = per_worker.min(remaining.len());
+            let (group, rest_specs) = remaining.split_at(take);
+            remaining = rest_specs;
+            let (group_slots, rest_slots) = slots.split_at_mut(take);
+            slots = rest_slots;
+            scope.spawn(move || {
+                for (slot, spec) in group_slots.iter_mut().zip(group) {
+                    *slot = Some(train_one_member(spec, features, labels, classes, exec));
+                }
+            });
+        }
+    });
+
+    // Phase 2: sequential recovery and assembly in index order, matching
+    // the sequential loop's semantics (first failing member wins).
+    let mut sub_models = Vec::with_capacity(specs.len());
+    let mut stats = BaggingStats::default();
+    for (spec, slot) in specs.into_iter().zip(outcomes) {
+        let (outcome, sampled_rows) = slot.expect("every member slot filled by its worker");
+        let (class_hvs, train_stats, sampled_rows) = match outcome {
+            Ok((hvs, ts)) => (hvs, ts, sampled_rows),
+            Err(BaggingError::Hdc(hdc::HdcError::Backend(reason))) => match recovery {
+                MemberRecovery::Fail => {
+                    return Err(BaggingError::Hdc(hdc::HdcError::Backend(reason)));
+                }
+                MemberRecovery::RetrainOnHost => {
+                    stats.retrained_on_host.push(spec.index);
+                    let (retrained, rows) =
+                        train_one_member(&spec, features, labels, classes, &HostExecutor);
+                    let (hvs, ts) = retrained?;
+                    (hvs, ts, rows)
+                }
+                MemberRecovery::Drop => {
+                    stats.dropped_members.push(spec.index);
+                    continue;
+                }
+            },
+            Err(e) => return Err(e),
+        };
+        stats.sub_models.push(SubModelStats {
+            index: spec.index,
+            sampled_rows,
             sampled_features: spec.sampled_features,
             train: train_stats,
         });
@@ -562,6 +708,105 @@ mod tests {
             err,
             BaggingError::Hdc(hdc::HdcError::EmptyDataset)
         ));
+    }
+
+    #[test]
+    fn parallel_members_match_sequential_bit_exact() {
+        let (features, labels) = clustered(12, 10, 3, 23);
+        let config = BaggingConfig::paper_defaults(512).with_seed(24);
+        let (reference, ref_stats) = train_bagged(&features, &labels, 3, &config).unwrap();
+        for threads in [2, 3, 8] {
+            let specs = bagged_member_specs(features.rows(), features.cols(), &config).unwrap();
+            let (model, stats) = train_members_parallel(
+                &features,
+                &labels,
+                3,
+                specs,
+                &HostExecutor,
+                MemberRecovery::Fail,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                model.merge().unwrap().classes().as_matrix(),
+                reference.merge().unwrap().classes().as_matrix(),
+                "threads {threads}"
+            );
+            assert_eq!(stats, ref_stats, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_with_one_thread_is_the_sequential_path() {
+        let (features, labels) = clustered(10, 8, 2, 25);
+        let config = BaggingConfig::paper_defaults(256).with_seed(26);
+        let specs = bagged_member_specs(features.rows(), features.cols(), &config).unwrap();
+        let (model, _) = train_members_parallel(
+            &features,
+            &labels,
+            2,
+            specs,
+            &HostExecutor,
+            MemberRecovery::Fail,
+            1,
+        )
+        .unwrap();
+        let (reference, _) = train_bagged(&features, &labels, 2, &config).unwrap();
+        assert_eq!(
+            model.merge().unwrap().classes().as_matrix(),
+            reference.merge().unwrap().classes().as_matrix()
+        );
+    }
+
+    /// Fails every encode with a backend error — deterministic under
+    /// parallel member scheduling, unlike a call-counting executor.
+    struct DeadExecutor;
+
+    impl Executor for DeadExecutor {
+        fn encode_batch(&self, _: &dyn hdc::Encoder, _: &Matrix) -> hdc::Result<Matrix> {
+            Err(hdc::HdcError::Backend("device permanently lost".into()))
+        }
+    }
+
+    #[test]
+    fn parallel_retrain_on_host_recovers_every_member() {
+        let (features, labels) = clustered(10, 8, 2, 27);
+        let config = BaggingConfig::paper_defaults(256).with_seed(28);
+        let specs = bagged_member_specs(features.rows(), features.cols(), &config).unwrap();
+        let (model, stats) = train_members_parallel(
+            &features,
+            &labels,
+            2,
+            specs,
+            &DeadExecutor,
+            MemberRecovery::RetrainOnHost,
+            4,
+        )
+        .unwrap();
+        assert_eq!(stats.retrained_on_host, vec![0, 1, 2, 3]);
+        let (reference, _) = train_bagged(&features, &labels, 2, &config).unwrap();
+        assert_eq!(
+            model.merge().unwrap().classes().as_matrix(),
+            reference.merge().unwrap().classes().as_matrix()
+        );
+    }
+
+    #[test]
+    fn parallel_drop_of_every_member_is_an_error() {
+        let (features, labels) = clustered(10, 8, 2, 29);
+        let config = BaggingConfig::paper_defaults(256).with_seed(30);
+        let specs = bagged_member_specs(features.rows(), features.cols(), &config).unwrap();
+        let err = train_members_parallel(
+            &features,
+            &labels,
+            2,
+            specs,
+            &DeadExecutor,
+            MemberRecovery::Drop,
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BaggingError::InvalidConfig(_)));
     }
 
     #[test]

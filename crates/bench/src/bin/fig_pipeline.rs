@@ -1,0 +1,16 @@
+//! Measures the pipelined execution schedules (overlapped DMA/compute on
+//! the simulated device, parallel bagged member training on the host) and
+//! writes the machine-readable `BENCH_pipeline.json` baseline at the
+//! repository root. See `hd_bench::experiments::fig_pipeline_report`.
+
+fn main() {
+    let (table, report) = hd_bench::experiments::fig_pipeline_report();
+    table.emit("fig_pipeline");
+    match hd_bench::report::write_bench_report("pipeline", &report.to_json()) {
+        Ok(path) => println!("(report written to {})", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_pipeline.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

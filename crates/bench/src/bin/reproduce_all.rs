@@ -24,6 +24,7 @@ fn main() {
     ablations::ablation_regen().emit("ablation_regen");
     ablations::robustness().emit("robustness");
     experiments::fig_fault().emit("fig_fault");
+    experiments::fig_pipeline().emit("fig_pipeline");
     ablations::scaling().emit("scaling");
     ablations::energy().emit("energy");
 }

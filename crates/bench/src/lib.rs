@@ -16,6 +16,9 @@
 //! | `table2` | Table II — speedups vs a Raspberry-Pi-3-class CPU     |
 //! | `fig_fault` | extension — weight-fault rate vs accuracy, silent |
 //! |          | SRAM upsets vs detected + recovered (resilience layer)|
+//! | `fig_pipeline` | extension — pipelined execution: overlapped     |
+//! |          | DMA/compute invoke + parallel bagged member training  |
+//! |          | (also writes the `BENCH_pipeline.json` CI baseline)   |
 //! | `reproduce_all` | runs everything above in sequence              |
 //!
 //! The split between *functional* and *analytic* measurement is the same
@@ -36,6 +39,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod report;
 
 use std::fmt::Write as _;
 use std::path::Path;

@@ -1,0 +1,119 @@
+//! Machine-readable benchmark reports for CI perf-regression gating.
+//!
+//! CSV tables under `results/` are for humans and plots; the
+//! `BENCH_<name>.json` artifacts written at the repository root are for
+//! machines — CI reruns a benchmark binary and compares the fresh numbers
+//! against the committed baseline, failing only on clear regressions.
+//! The workspace's `serde` facade is a derive-only shim, so the JSON is
+//! rendered by hand with a fixed, flat key set that line-oriented tools
+//! (`grep`/`awk` in CI) can parse without a JSON library.
+
+use std::path::{Path, PathBuf};
+
+/// Measurements of one `fig_pipeline` run: the simulated-clock gain of
+/// the overlapped DMA/compute invoke schedule on a transfer-bound encode
+/// workload, and the wall-clock gain of training bagged members on
+/// parallel host threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineBenchReport {
+    /// Simulated seconds for the serial chunked invoke schedule.
+    pub simulated_serial_s: f64,
+    /// Simulated seconds for the double-buffered pipelined schedule.
+    pub simulated_pipelined_s: f64,
+    /// `simulated_serial_s / simulated_pipelined_s`.
+    pub simulated_speedup: f64,
+    /// Wall-clock seconds training the bagged members sequentially.
+    pub wall_sequential_s: f64,
+    /// Wall-clock seconds training the same members on worker threads.
+    pub wall_parallel_s: f64,
+    /// `wall_sequential_s / wall_parallel_s`.
+    pub wall_speedup: f64,
+    /// Worker threads used by the parallel run.
+    pub threads: usize,
+    /// Whether the run was at `HD_BENCH_SMOKE` scale.
+    pub smoke: bool,
+}
+
+impl PipelineBenchReport {
+    /// Renders the flat JSON form. `git_describe` is always `null`: the
+    /// artifact is committed alongside the code it measured, so the
+    /// revision is the commit itself and the harness never shells out.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"pipeline\",\n  \"git_describe\": null,\n  \"smoke\": {},\n  \"threads\": {},\n  \"simulated_serial_s\": {:.9},\n  \"simulated_pipelined_s\": {:.9},\n  \"simulated_speedup\": {:.4},\n  \"wall_sequential_s\": {:.6},\n  \"wall_parallel_s\": {:.6},\n  \"wall_speedup\": {:.4}\n}}\n",
+            self.smoke,
+            self.threads,
+            self.simulated_serial_s,
+            self.simulated_pipelined_s,
+            self.simulated_speedup,
+            self.wall_sequential_s,
+            self.wall_parallel_s,
+            self.wall_speedup,
+        )
+    }
+}
+
+/// Repository-root path of the `BENCH_<name>.json` artifact.
+#[must_use]
+pub fn bench_report_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join(format!("BENCH_{name}.json"))
+}
+
+/// Writes `json` to the repository-root `BENCH_<name>.json` artifact and
+/// returns the path written.
+///
+/// # Errors
+///
+/// Propagates the filesystem error if the root is not writable.
+pub fn write_bench_report(name: &str, json: &str) -> std::io::Result<PathBuf> {
+    let path = bench_report_path(name);
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineBenchReport {
+        PipelineBenchReport {
+            simulated_serial_s: 0.012,
+            simulated_pipelined_s: 0.008,
+            simulated_speedup: 1.5,
+            wall_sequential_s: 0.2,
+            wall_parallel_s: 0.1,
+            wall_speedup: 2.0,
+            threads: 2,
+            smoke: true,
+        }
+    }
+
+    #[test]
+    fn json_is_flat_and_line_parsable() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        for key in [
+            "\"bench\": \"pipeline\"",
+            "\"git_describe\": null",
+            "\"smoke\": true",
+            "\"threads\": 2",
+            "\"simulated_speedup\": 1.5000",
+            "\"wall_speedup\": 2.0000",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in\n{json}");
+        }
+        // One key per line so CI can grep values without a JSON parser.
+        assert_eq!(json.lines().count(), 12);
+    }
+
+    #[test]
+    fn report_path_lands_at_repo_root() {
+        let path = bench_report_path("pipeline");
+        assert!(path.ends_with("../../BENCH_pipeline.json"));
+    }
+}

@@ -23,9 +23,11 @@ COMMANDS:
     train      --dataset <name> | --csv <file.csv> [--header true]
                --out <model.hdm>
                [--setting cpu|tpu|tpu-bagging] [--dim N] [--iterations N]
-               [--train N] [--test N] [--seed N]
+               [--train N] [--test N] [--seed N] [--threads N]
                                       train a model and save it (CSV: label
-                                      in the last column, 20% tail held out)
+                                      in the last column, 20% tail held out;
+                                      --threads 1, or HD_THREADS, forces the
+                                      exact sequential path)
     evaluate   --model <model.hdm> --dataset <name>
                [--test N] [--seed N]  evaluate a saved model
     info       --model <model.hdm>    describe a saved model
@@ -70,6 +72,26 @@ fn parse_setting(raw: &str) -> Result<ExecutionSetting, String> {
             "unknown setting `{other}` (cpu | tpu | tpu-bagging)"
         )),
     }
+}
+
+/// Resolves the worker-thread budget for `train`: the `--threads` flag
+/// wins, then the `HD_THREADS` environment variable, then 1 — the exact
+/// sequential path.
+fn resolve_threads(args: &ParsedArgs) -> Result<usize, Box<dyn Error>> {
+    let (source, raw) = match args.get("threads") {
+        Some(raw) => ("--threads", raw.to_string()),
+        None => match std::env::var("HD_THREADS") {
+            Ok(raw) => ("HD_THREADS", raw),
+            Err(_) => return Ok(1),
+        },
+    };
+    let threads: usize = raw
+        .parse()
+        .map_err(|_| format!("{source} expects a positive integer, got `{raw}`"))?;
+    if threads == 0 {
+        return Err(format!("{source} must be at least 1").into());
+    }
+    Ok(threads)
 }
 
 fn load_dataset(
@@ -125,6 +147,7 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
             "train",
             "test",
             "seed",
+            "threads",
         ],
     )?;
     let out_path = args.required("out")?.to_string();
@@ -132,11 +155,14 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
     let dim = args.get_or("dim", 2048usize)?;
     let iterations = args.get_or("iterations", 10usize)?;
     let seed = args.get_or("seed", 42u64)?;
+    let threads = resolve_threads(args)?;
     let data = load_dataset(args, 600, 200)?;
 
+    hd_tensor::gemm::set_thread_cap(threads);
     let config = PipelineConfig::new(dim)
         .with_iterations(iterations)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_threads(threads);
     let pipeline = Pipeline::new(config);
     let outcome = pipeline.train(
         &data.train.features,
@@ -352,6 +378,62 @@ mod tests {
 
     fn parsed(args: &[&str]) -> ParsedArgs {
         ParsedArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        assert_eq!(resolve_threads(&parsed(&["train"])).unwrap(), 1);
+        assert_eq!(
+            resolve_threads(&parsed(&["train", "--threads", "4"])).unwrap(),
+            4
+        );
+        let err = resolve_threads(&parsed(&["train", "--threads", "0"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--threads must be at least 1"), "{err}");
+        let err = resolve_threads(&parsed(&["train", "--threads", "two"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("positive integer"), "{err}");
+    }
+
+    #[test]
+    fn threaded_cpu_training_matches_sequential_output() {
+        let dir = std::env::temp_dir().join("hyperedge-cli-threads-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |threads: &str, file: &str| {
+            let path = dir.join(file);
+            let out = train(&parsed(&[
+                "train",
+                "--dataset",
+                "pamap2",
+                "--out",
+                path.to_str().unwrap(),
+                "--dim",
+                "256",
+                "--iterations",
+                "3",
+                "--train",
+                "120",
+                "--test",
+                "40",
+                "--setting",
+                "cpu",
+                "--threads",
+                threads,
+            ]))
+            .unwrap();
+            (out, std::fs::read(path).unwrap())
+        };
+        let (out1, model1) = run("1", "seq.hdm");
+        let (out2, model2) = run("2", "par.hdm");
+        assert!(out1.contains("test accuracy"), "{out1}");
+        assert_eq!(
+            model1, model2,
+            "threaded training must serialize bit-identically"
+        );
+        assert!(out2.contains("test accuracy"), "{out2}");
+        hd_tensor::gemm::set_thread_cap(0);
     }
 
     #[test]

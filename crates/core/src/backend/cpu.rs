@@ -30,6 +30,25 @@ impl CpuBackend {
             ledger: Mutex::new(BackendLedger::default()),
         }
     }
+
+    /// Charges the host update-phase cost for a finished training run:
+    /// one similarity pass over `rows` samples plus the executed class
+    /// updates, per iteration. Shared by [`CpuBackend::train_classes`]
+    /// and the hybrid backend's streamed encode→update path, so both
+    /// charge identically for identical work.
+    pub(crate) fn charge_update(
+        &self,
+        rows: usize,
+        classes: usize,
+        stats: &TrainStats,
+        config: &TrainConfig,
+    ) {
+        let mut ledger = self.ledger.lock();
+        for iteration in &stats.iterations {
+            ledger.update_s += cost::similarity_s(&self.spec, rows, config.dim, classes)
+                + cost::class_update_s(&self.spec, iteration.updates, config.dim);
+        }
+    }
 }
 
 impl Executor for CpuBackend {
@@ -54,11 +73,7 @@ impl Executor for CpuBackend {
         config: &TrainConfig,
     ) -> hdc::Result<(ClassHypervectors, TrainStats)> {
         let (class_hvs, stats) = train_encoded(encoded, labels, classes, config)?;
-        let mut ledger = self.ledger.lock();
-        for iteration in &stats.iterations {
-            ledger.update_s += cost::similarity_s(&self.spec, encoded.rows(), config.dim, classes)
-                + cost::class_update_s(&self.spec, iteration.updates, config.dim);
-        }
+        self.charge_update(encoded.rows(), classes, &stats, config);
         Ok((class_hvs, stats))
     }
 }

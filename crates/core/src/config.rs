@@ -68,6 +68,10 @@ pub struct PipelineConfig {
     /// What the bagged settings do with an ensemble member whose backend
     /// failed permanently.
     pub member_recovery: MemberRecovery,
+    /// Worker-thread budget for the pipelined host paths (streamed
+    /// encode→update overlap and parallel bagged-member training). `1`
+    /// forces the exact sequential execution order.
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -93,6 +97,7 @@ impl PipelineConfig {
             device: DeviceConfig::default(),
             resilience: ResiliencePolicy::default(),
             member_recovery: MemberRecovery::default(),
+            threads: 1,
         }
     }
 
@@ -154,6 +159,14 @@ impl PipelineConfig {
         self
     }
 
+    /// Sets the worker-thread budget for the pipelined host paths; `1`
+    /// (the default) forces the exact sequential execution order.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -175,6 +188,11 @@ impl PipelineConfig {
         if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
             return Err(FrameworkError::InvalidConfig(
                 "learning_rate must be positive".into(),
+            ));
+        }
+        if self.threads == 0 {
+            return Err(FrameworkError::InvalidConfig(
+                "threads must be at least 1".into(),
             ));
         }
         self.resilience.validate()?;
@@ -231,6 +249,10 @@ mod tests {
         let mut bad = ok.clone();
         bad.device.fault = tpu_sim::FaultConfig::default().with_transient_rate(2.0);
         assert!(bad.validate().is_err());
+        // Zero worker threads.
+        let bad = ok.clone().with_threads(0);
+        assert!(bad.validate().is_err());
+        assert!(ok.with_threads(4).validate().is_ok());
     }
 
     #[test]

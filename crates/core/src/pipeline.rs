@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use hd_bagging::{bagged_member_specs, train_members_with_recovery, BaggingStats, MemberSpec};
+use hd_bagging::{bagged_member_specs, train_members_parallel, BaggingStats, MemberSpec};
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
 use hdc::{BaseHypervectors, HdcModel, NonlinearEncoder, TrainConfig, TrainStats};
@@ -138,13 +138,14 @@ impl Pipeline {
         let backend = self.backend(setting);
         let before = backend.ledger();
         let specs = self.member_plan(features, setting)?;
-        let (bagged, stats) = train_members_with_recovery(
+        let (bagged, stats) = train_members_parallel(
             features,
             labels,
             classes,
             specs,
             backend,
             self.config.member_recovery,
+            self.member_threads(setting),
         )?;
         let model = bagged.merge()?;
         let ledger = backend.ledger().delta_since(&before);
@@ -186,6 +187,18 @@ impl Pipeline {
             runtime,
             ledger,
         })
+    }
+
+    /// How many worker threads train members concurrently under
+    /// `setting`. Host-only members fan out to the configured budget;
+    /// device-backed members stay sequential so the accelerator keeps its
+    /// one-model-resident discipline (the device serializes invocations
+    /// anyway, and interleaved members would thrash residency reloads).
+    fn member_threads(&self, setting: ExecutionSetting) -> usize {
+        match setting {
+            ExecutionSetting::CpuBaseline => self.config.threads,
+            ExecutionSetting::Tpu | ExecutionSetting::TpuBagging => 1,
+        }
     }
 
     /// Builds the training plan for a setting: one full-width member over

@@ -10,12 +10,18 @@
 //! figures; this kernel's real speed is never reported as an experiment
 //! result.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::error::TensorError;
 use crate::matrix::Matrix;
 use crate::Result;
 
 /// Cache-block edge length used by the inner kernel.
 const BLOCK: usize = 64;
+
+/// Process-wide worker-thread cap set via [`set_thread_cap`]; `0` means
+/// uncapped (use every hardware thread).
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
 
 /// Minimum per-thread work (in output elements) before threads are spawned.
 const PARALLEL_THRESHOLD: usize = 64 * 1024;
@@ -118,10 +124,33 @@ pub fn matvec(x: &[f32], b: &Matrix) -> Result<Vec<f32>> {
     Ok(out)
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
+/// Caps the number of worker threads the parallel kernels may use; `0`
+/// clears the cap. `1` forces the exact sequential kernel, which callers
+/// use to pin bit-exact reproductions and to keep wall-clock measurements
+/// of *other* parallelism (e.g. per-member training threads) honest.
+pub fn set_thread_cap(threads: usize) {
+    THREAD_CAP.store(threads, Ordering::Relaxed);
+}
+
+/// The worker-thread budget currently in effect: hardware parallelism,
+/// clamped by [`set_thread_cap`] and by the `HD_THREADS` environment
+/// variable (when set to a positive integer).
+pub fn available_threads() -> usize {
+    let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    let cap = THREAD_CAP.load(Ordering::Relaxed);
+    if cap > 0 {
+        threads = threads.min(cap);
+    }
+    if let Some(env_cap) = std::env::var("HD_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        threads = threads.min(env_cap);
+    }
+    threads.max(1)
 }
 
 fn parallel_rows(a: &Matrix, b: &Matrix, out: &mut Matrix, threads: usize) {
@@ -317,6 +346,22 @@ mod tests {
         let a = Matrix::from_vec(1, 1, vec![3.0]).unwrap();
         let b = Matrix::from_vec(1, 1, vec![4.0]).unwrap();
         assert_eq!(matmul(&a, &b).unwrap()[(0, 0)], 12.0);
+    }
+
+    #[test]
+    fn thread_cap_clamps_and_clears() {
+        set_thread_cap(1);
+        assert_eq!(available_threads(), 1);
+        // A parallel-sized product must stay correct on the forced
+        // sequential path.
+        let mut rng = DetRng::new(7);
+        let a = Matrix::random_normal(192, 80, &mut rng);
+        let b = Matrix::random_normal(80, 512, &mut rng);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_reference(&a, &b).unwrap();
+        assert_close(&fast, &slow, 1e-3);
+        set_thread_cap(0);
+        assert!(available_threads() >= 1);
     }
 
     #[test]

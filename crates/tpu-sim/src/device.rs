@@ -69,17 +69,30 @@ pub struct TimingLedger {
     /// the per-phase success buckets.
     #[serde(default)]
     pub fault_s: f64,
+    /// Transfer seconds hidden behind compute by a double-buffered
+    /// (pipelined) invocation. Serial invocations contribute zero.
+    #[serde(default)]
+    pub overlapped_s: f64,
+    /// Transfer seconds left on the critical path: `transfer_s` minus
+    /// `overlapped_s`. For pipelined invocations `total_s` decomposes as
+    /// `overhead_s + compute_s + exposed_transfer_s` (plus fault stalls);
+    /// serial invocations expose their full transfer time.
+    #[serde(default)]
+    pub exposed_transfer_s: f64,
     /// Grand total (loads + invocations + failed attempts).
     pub total_s: f64,
 }
 
 impl TimingLedger {
-    fn record_invoke(&mut self, stats: &InvokeStats) {
+    fn record_invoke(&mut self, stats: &InvokeStats, overlapped_s: f64) {
         self.invocations += 1;
         self.samples += stats.samples as u64;
         self.compute_s += stats.compute_s;
-        self.transfer_s += stats.input_transfer_s + stats.output_transfer_s;
+        let transfer_s = stats.input_transfer_s + stats.output_transfer_s;
+        self.transfer_s += transfer_s;
         self.overhead_s += stats.overhead_s;
+        self.overlapped_s += overlapped_s;
+        self.exposed_transfer_s += transfer_s - overlapped_s;
         self.total_s += stats.total_s;
     }
 
@@ -279,6 +292,51 @@ impl Device {
         batch: &Matrix,
         deadline_s: Option<f64>,
     ) -> Result<(Matrix, InvokeStats)> {
+        self.invoke_inner(batch, deadline_s, false)
+    }
+
+    /// Like [`Device::invoke`], but timed under the double-buffered DMA
+    /// schedule: the input DMA of the next tile and the output DMA of the
+    /// previous tile both run while the MXU computes, so the invocation's
+    /// elapsed time is the critical-path max of the transfer and compute
+    /// legs (plus the once-per-invocation dispatch overhead).
+    ///
+    /// Outputs are bit-identical to [`Device::invoke`] — only the clock
+    /// model changes. The returned [`InvokeStats`] keeps the raw per-stage
+    /// times; `total_s` is the pipelined elapsed time, so the stages no
+    /// longer sum to it. The hidden transfer seconds land in the ledger's
+    /// `overlapped_s` bucket.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Device::invoke`].
+    pub fn invoke_overlapped(&self, batch: &Matrix) -> Result<(Matrix, InvokeStats)> {
+        self.invoke_overlapped_with_deadline(batch, None)
+    }
+
+    /// [`Device::invoke_overlapped`] with an optional watchdog deadline;
+    /// fault semantics match [`Device::invoke_with_deadline`] draw for
+    /// draw — one fault-schedule attempt per call, identical charge rules
+    /// (a fatal hang still charges exactly the deadline; a corrupted
+    /// output charges the pipelined elapsed time).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Device::invoke_with_deadline`].
+    pub fn invoke_overlapped_with_deadline(
+        &self,
+        batch: &Matrix,
+        deadline_s: Option<f64>,
+    ) -> Result<(Matrix, InvokeStats)> {
+        self.invoke_inner(batch, deadline_s, true)
+    }
+
+    fn invoke_inner(
+        &self,
+        batch: &Matrix,
+        deadline_s: Option<f64>,
+        overlapped: bool,
+    ) -> Result<(Matrix, InvokeStats)> {
         let mut state = self.state.lock();
         let state = &mut *state;
         let model = state.model.as_ref().ok_or(SimError::NoModelLoaded)?;
@@ -385,7 +443,15 @@ impl Device {
         } else {
             0.0
         };
-        let elapsed_s = overhead_s + input_transfer_s + compute_s + output_transfer_s + stall_s;
+        let transfer_s = input_transfer_s + output_transfer_s;
+        let staged_s = if overlapped {
+            // Double-buffered DMA: transfers ride under compute, so only
+            // the longer leg is on the critical path.
+            transfer_s.max(compute_s)
+        } else {
+            transfer_s + compute_s
+        };
+        let elapsed_s = overhead_s + staged_s + stall_s;
 
         if let Some(deadline) = deadline_s {
             if elapsed_s > deadline {
@@ -447,7 +513,12 @@ impl Device {
             overhead_s: overhead_s + stall_s,
             total_s: elapsed_s,
         };
-        state.ledger.record_invoke(&stats);
+        let overlapped_s = if overlapped {
+            transfer_s.min(compute_s)
+        } else {
+            0.0
+        };
+        state.ledger.record_invoke(&stats, overlapped_s);
         state.ledger.fault_s += stall_s;
         Ok((output, stats))
     }
@@ -467,22 +538,61 @@ impl Device {
         batch: &Matrix,
         chunk: usize,
     ) -> Result<(Matrix, Vec<InvokeStats>)> {
+        self.run_chunked(batch, chunk, false)
+    }
+
+    /// Runs a batch in chunks of at most `chunk` rows under the
+    /// double-buffered DMA schedule: while the MXU computes chunk *i*, the
+    /// link streams chunk *i+1* in and chunk *i-1* out. Each chunk's
+    /// simulated elapsed time is therefore the critical-path max of its
+    /// transfer and compute legs (dispatch overhead still paid once per
+    /// chunk), and the outputs are bit-identical to
+    /// [`Device::invoke_chunked`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Device::invoke`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn invoke_pipelined(
+        &self,
+        batch: &Matrix,
+        chunk: usize,
+    ) -> Result<(Matrix, Vec<InvokeStats>)> {
+        self.run_chunked(batch, chunk, true)
+    }
+
+    fn run_chunked(
+        &self,
+        batch: &Matrix,
+        chunk: usize,
+        overlapped: bool,
+    ) -> Result<(Matrix, Vec<InvokeStats>)> {
         assert!(chunk > 0, "chunk must be positive");
-        let mut outputs = Vec::new();
-        let mut all_stats = Vec::new();
+        if batch.rows() == 0 {
+            let empty = Matrix::vstack(&[]).map_err(wide_nn::NnError::from)?;
+            return Ok((empty, Vec::new()));
+        }
+        // Stitch into one preallocated buffer instead of vstack-reallocating
+        // the collected chunks; output width is known after the first chunk.
+        let mut stitched: Option<Matrix> = None;
+        let mut all_stats = Vec::with_capacity(batch.rows().div_ceil(chunk));
         let mut start = 0;
         while start < batch.rows() {
             let end = (start + chunk).min(batch.rows());
             let part = batch
                 .slice_rows(start, end)
                 .map_err(wide_nn::NnError::from)?;
-            let (out, stats) = self.invoke(&part)?;
-            outputs.push(out);
+            let (out, stats) = self.invoke_inner(&part, None, overlapped)?;
+            let cols = out.cols();
+            let dest = stitched.get_or_insert_with(|| Matrix::zeros(batch.rows(), cols));
+            dest.as_mut_slice()[start * cols..end * cols].copy_from_slice(out.as_slice());
             all_stats.push(stats);
             start = end;
         }
-        let refs: Vec<&Matrix> = outputs.iter().collect();
-        let stitched = Matrix::vstack(&refs).map_err(wide_nn::NnError::from)?;
+        let stitched = stitched.expect("non-empty batch produced at least one chunk");
         Ok((stitched, all_stats))
     }
 
@@ -879,6 +989,78 @@ mod tests {
         }
         assert_eq!(a.fault_trace(), b.fault_trace());
         assert!(!a.fault_trace().is_empty(), "rates too low to exercise");
+    }
+
+    #[test]
+    fn pipelined_outputs_bit_exact_with_chunked() {
+        let (compiled, calib) = compiled_model(20, 96, 5, 15);
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(compiled).unwrap();
+        let (serial, _) = device.invoke_chunked(&calib, 7).unwrap();
+        let (pipelined, stats) = device.invoke_pipelined(&calib, 7).unwrap();
+        assert_eq!(serial, pipelined, "pipelining changed the datapath");
+        assert_eq!(stats.len(), calib.rows().div_ceil(7));
+    }
+
+    #[test]
+    fn overlapped_stats_match_analytic_pipelined_estimate() {
+        let (compiled, calib) = compiled_model(20, 96, 5, 16);
+        let dims = ModelDims::from_compiled(&compiled);
+        let cfg = DeviceConfig::default();
+        let device = Device::new(cfg.clone());
+        device.load_model(compiled).unwrap();
+        let (_, stats) = device.invoke_overlapped(&calib).unwrap();
+        let est = timing::invoke_estimate_pipelined(&cfg, &dims, calib.rows());
+        assert_eq!(stats.compute_cycles, est.compute_cycles);
+        assert!((stats.total_s - est.total_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_ledger_matches_batched_pipelined_formula() {
+        let (compiled, calib) = compiled_model(20, 96, 5, 17);
+        let dims = ModelDims::from_compiled(&compiled);
+        let cfg = DeviceConfig::default();
+        let device = Device::new(cfg.clone());
+        device.load_model(compiled).unwrap();
+        device.reset_ledger();
+        let (_, stats) = device.invoke_pipelined(&calib, 7).unwrap();
+        let total: f64 = stats.iter().map(|s| s.total_s).sum();
+        let expected = timing::batched_time_pipelined_s(&cfg, &dims, calib.rows(), 7);
+        assert!((total - expected).abs() < 1e-12);
+        let ledger = device.ledger();
+        assert!((ledger.total_s - expected).abs() < 1e-12);
+        // The overlap buckets partition the transfer time ...
+        let parts = ledger.overlapped_s + ledger.exposed_transfer_s;
+        assert!((parts - ledger.transfer_s).abs() < 1e-15);
+        assert!(ledger.overlapped_s > 0.0, "nothing overlapped");
+        // ... and the pipelined total decomposes along the critical path.
+        let critical = ledger.overhead_s + ledger.compute_s + ledger.exposed_transfer_s;
+        assert!((ledger.total_s - critical).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_invocations_expose_their_full_transfer() {
+        let (compiled, calib) = compiled_model(20, 96, 5, 18);
+        let device = Device::new(DeviceConfig::default());
+        device.load_model(compiled).unwrap();
+        device.reset_ledger();
+        device.invoke_chunked(&calib, 7).unwrap();
+        let ledger = device.ledger();
+        assert_eq!(ledger.overlapped_s, 0.0);
+        assert!((ledger.exposed_transfer_s - ledger.transfer_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pipelined_survivable_hang_charges_stall() {
+        let stall = 0.25;
+        let fault = crate::FaultConfig::default().with_hang(1.0, stall);
+        let (device, calib) = fault_device(fault);
+        let (clean, _) = fault_device(crate::FaultConfig::default());
+        let (want, clean_stats) = clean.invoke_overlapped(&calib).unwrap();
+        let (got, stats) = device.invoke_overlapped(&calib).unwrap();
+        assert_eq!(got, want);
+        assert!((stats.total_s - (clean_stats.total_s + stall)).abs() < 1e-12);
+        assert!((device.ledger().fault_s - stall).abs() < 1e-15);
     }
 
     #[test]

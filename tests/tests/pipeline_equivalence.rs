@@ -1,0 +1,242 @@
+//! Equivalence suite for the pipelined execution schedules.
+//!
+//! Pipelining is a pure *scheduling* optimisation, so every overlapped
+//! path must be bit-exact with its sequential counterpart — the only
+//! thing allowed to change is time:
+//!
+//! * [`tpu_sim::Device::invoke_pipelined`] reproduces
+//!   [`tpu_sim::Device::invoke_chunked`]'s outputs exactly while its
+//!   timing ledger obeys the critical-path invariants (property-tested
+//!   over batch rows, chunk size, and data seed),
+//! * [`hdc::train_encoded_streamed`] reproduces [`hdc::train_encoded`]
+//!   exactly for any chunking of the encoded stream,
+//! * the GEMM-batched scorer ([`hdc::predict_batch`]) agrees with the
+//!   per-sample scalar argmax,
+//! * the hybrid backend's streamed encode→update training reproduces the
+//!   phase-serial chain, including under injected transient faults.
+
+use proptest::prelude::*;
+
+use hd_tensor::rng::DetRng;
+use hd_tensor::{ops, Matrix};
+use hdc::{BaseHypervectors, Encoder, Executor, NonlinearEncoder, TrainConfig};
+use hyperedge::{ExecutionBackend, ExecutionSetting, Pipeline, PipelineConfig, ResiliencePolicy};
+use integration_tests::clustered_dataset;
+use tpu_sim::{Device, DeviceConfig, FaultConfig};
+use wide_nn::{compile, Activation, ModelBuilder, TargetSpec};
+
+const CLASSES: usize = 3;
+
+/// A compiled encoder network plus a batch to drive it with.
+fn loaded_device(features: usize, dim: usize, rows: usize, seed: u64) -> (Device, Device, Matrix) {
+    let mut rng = DetRng::new(seed);
+    let network = ModelBuilder::new(features)
+        .fully_connected(Matrix::random_normal(features, dim, &mut rng))
+        .unwrap()
+        .activation(Activation::Tanh)
+        .build()
+        .unwrap();
+    let batch = Matrix::random_normal(rows, features, &mut rng);
+    let compiled = compile::compile(&network, &batch, &TargetSpec::default()).unwrap();
+    let serial = Device::new(DeviceConfig::default());
+    serial.load_model(compiled.clone()).unwrap();
+    let piped = Device::new(DeviceConfig::default());
+    piped.load_model(compiled).unwrap();
+    (serial, piped, batch)
+}
+
+proptest! {
+    // Each case runs two functional int8 sweeps; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Over arbitrary (rows, chunk, seed): the pipelined schedule is
+    /// bit-exact with the serial one and its ledger obeys the
+    /// critical-path timing invariants.
+    #[test]
+    fn prop_pipelined_invoke_is_bit_exact_and_faster(
+        rows in 1usize..40,
+        chunk in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let (serial_dev, piped_dev, batch) = loaded_device(12, 64, rows, seed);
+        let (serial_out, _) = serial_dev.invoke_chunked(&batch, chunk).unwrap();
+        let (piped_out, _) = piped_dev.invoke_pipelined(&batch, chunk).unwrap();
+        prop_assert_eq!(serial_out, piped_out);
+
+        let serial = serial_dev.ledger();
+        let piped = piped_dev.ledger();
+        // Same work...
+        prop_assert_eq!(piped.invocations, serial.invocations);
+        prop_assert_eq!(piped.samples, serial.samples);
+        prop_assert!((piped.compute_s - serial.compute_s).abs() < 1e-15);
+        prop_assert!((piped.transfer_s - serial.transfer_s).abs() < 1e-15);
+        prop_assert!((piped.overhead_s - serial.overhead_s).abs() < 1e-15);
+        // ...less elapsed time, bounded below by the critical path.
+        prop_assert!(piped.total_s <= serial.total_s + 1e-15);
+        let floor = piped.load_s
+            + piped.overhead_s
+            + piped.compute_s.max(piped.transfer_s);
+        prop_assert!(piped.total_s + 1e-15 >= floor);
+        // Overlap bookkeeping partitions the transfer time exactly.
+        prop_assert!(
+            (piped.overlapped_s + piped.exposed_transfer_s - piped.transfer_s).abs() < 1e-12
+        );
+        prop_assert!(
+            (piped.total_s - piped.load_s - piped.overhead_s - piped.compute_s
+                - piped.exposed_transfer_s)
+                .abs()
+                < 1e-12
+        );
+        // The serial schedule hides nothing.
+        prop_assert_eq!(serial.overlapped_s, 0.0);
+        prop_assert!((serial.exposed_transfer_s - serial.transfer_s).abs() < 1e-15);
+    }
+
+    /// Over arbitrary chunkings: streaming encoded chunks into the
+    /// training loop reproduces the monolithic reference bit-for-bit.
+    #[test]
+    fn prop_streamed_training_matches_monolithic(
+        chunk in 1usize..30,
+        seed in 0u64..500,
+        iterations in 1usize..5,
+    ) {
+        let (features, labels) = clustered_dataset(8, 10, CLASSES, 0.5, seed);
+        let mut rng = DetRng::new(seed ^ 0xE11C0DE);
+        let encoder = NonlinearEncoder::new(BaseHypervectors::generate(10, 96, &mut rng));
+        let encoded = encoder.encode(&features).unwrap();
+        let config = TrainConfig::new(96)
+            .with_iterations(iterations)
+            .with_seed(seed);
+
+        let (reference, ref_stats) =
+            hdc::train_encoded(&encoded, &labels, CLASSES, &config).unwrap();
+        let chunks = (0..encoded.rows()).step_by(chunk).map(|start| {
+            encoded
+                .slice_rows(start, (start + chunk).min(encoded.rows()))
+                .map_err(hdc::HdcError::from)
+        });
+        let (streamed, stats) =
+            hdc::train_encoded_streamed(chunks, &labels, CLASSES, &config).unwrap();
+
+        prop_assert_eq!(streamed.as_matrix(), reference.as_matrix());
+        prop_assert_eq!(stats, ref_stats);
+    }
+
+    /// The batched GEMM scorer agrees with the scalar per-sample argmax.
+    #[test]
+    fn prop_gemm_scoring_matches_scalar_argmax(seed in 0u64..500, rows in 1usize..40) {
+        let mut rng = DetRng::new(seed);
+        let encoded = Matrix::random_normal(rows, 64, &mut rng);
+        // `ClassHypervectors` stores the transposed `d x k` layout.
+        let classes = Matrix::random_normal(64, CLASSES, &mut rng);
+        let class_hvs = hdc::ClassHypervectors::from_matrix(classes.clone());
+
+        let batched = hdc::predict_batch(&class_hvs, &encoded).unwrap();
+        for (r, &predicted) in batched.iter().enumerate() {
+            let scores: Vec<f32> = (0..CLASSES)
+                .map(|c| ops::dot(encoded.row(r), &classes.col(c).unwrap()).unwrap())
+                .collect();
+            prop_assert_eq!(predicted, ops::argmax(&scores).unwrap());
+        }
+    }
+}
+
+/// The hybrid backend's streamed encode→update schedule (worker thread +
+/// bounded channel) reproduces the phase-serial chain bit-for-bit.
+#[test]
+fn streamed_hybrid_training_matches_phase_serial() {
+    let (features, labels) = clustered_dataset(20, 10, CLASSES, 0.4, 23);
+    let mut rng = DetRng::new(24);
+    let encoder = NonlinearEncoder::new(BaseHypervectors::generate(10, 128, &mut rng));
+    let train = TrainConfig::new(128).with_iterations(3).with_seed(25);
+    let base_cfg = PipelineConfig::new(128).with_batches(8, 8);
+
+    let serial = Pipeline::new(base_cfg.clone());
+    let encoded = serial
+        .backends()
+        .hybrid()
+        .encode_batch(&encoder, &features)
+        .unwrap();
+    let (expected, expected_stats) = serial
+        .backends()
+        .hybrid()
+        .train_classes(&encoded, &labels, CLASSES, &train)
+        .unwrap();
+
+    let streamed = Pipeline::new(base_cfg.with_threads(3));
+    let (classes, stats) = streamed
+        .backends()
+        .hybrid()
+        .encode_train(&encoder, &features, &labels, CLASSES, &train)
+        .unwrap();
+
+    assert_eq!(classes.as_matrix(), expected.as_matrix());
+    assert_eq!(stats, expected_stats);
+}
+
+/// Injected transient faults retry to bit-exactness under the pipelined
+/// streaming schedule too: the chaos guarantees survive the overlap.
+#[test]
+fn streamed_training_with_transient_faults_stays_bit_exact() {
+    let (features, labels) = clustered_dataset(16, 10, CLASSES, 0.4, 31);
+    let mut rng = DetRng::new(32);
+    let encoder = NonlinearEncoder::new(BaseHypervectors::generate(10, 128, &mut rng));
+    let train = TrainConfig::new(128).with_iterations(3).with_seed(33);
+
+    let clean = Pipeline::new(PipelineConfig::new(128).with_batches(8, 8).with_threads(2));
+    let (expected, expected_stats) = clean
+        .backends()
+        .hybrid()
+        .encode_train(&encoder, &features, &labels, CLASSES, &train)
+        .unwrap();
+
+    let mut cfg = PipelineConfig::new(128)
+        .with_batches(8, 8)
+        .with_threads(2)
+        .with_resilience(
+            ResiliencePolicy::default()
+                .with_max_retries(8)
+                .with_breaker_threshold(9),
+        );
+    cfg.device.fault = FaultConfig::default()
+        .with_seed(0xFA17)
+        .with_transient_rate(0.35);
+    let faulted = Pipeline::new(cfg);
+    let (classes, stats) = faulted
+        .backends()
+        .hybrid()
+        .encode_train(&encoder, &features, &labels, CLASSES, &train)
+        .unwrap();
+
+    assert_eq!(
+        classes.as_matrix(),
+        expected.as_matrix(),
+        "retried faults must not leak into the streamed numerics"
+    );
+    assert_eq!(stats, expected_stats);
+    let ledger = faulted.backends().hybrid().ledger();
+    assert!(ledger.faults_observed > 0, "the chaos schedule never fired");
+    assert_eq!(ledger.retries, ledger.faults_observed);
+    assert_eq!(ledger.fallbacks, 0);
+}
+
+/// End-to-end: a full `Pipeline::train` on the CPU setting with a thread
+/// budget produces the identical model to the sequential budget.
+#[test]
+fn threaded_pipeline_training_is_bit_exact() {
+    let (features, labels) = clustered_dataset(14, 8, CLASSES, 0.5, 41);
+    let outcome = |threads: usize| {
+        let p = Pipeline::new(
+            PipelineConfig::new(256)
+                .with_iterations(3)
+                .with_seed(42)
+                .with_threads(threads),
+        );
+        p.train(&features, &labels, CLASSES, ExecutionSetting::CpuBaseline)
+            .unwrap()
+    };
+    let sequential = outcome(1);
+    let threaded = outcome(3);
+    assert_eq!(sequential.model, threaded.model);
+    assert_eq!(sequential.telemetry, threaded.telemetry);
+}
