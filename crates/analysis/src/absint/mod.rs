@@ -14,3 +14,32 @@
 pub(crate) mod narrowing;
 
 pub use wide_nn::absint::{analyze_ranges, Interval, RangeConfig, RangeReport, StageRange};
+
+use crate::rules::RuleInfo;
+use wide_nn::diag::Severity;
+
+/// Metadata for every `range/*` diagnostic the interval analysis can
+/// emit (see [`wide_nn::absint`]), mirroring
+/// [`RULES`](crate::rules::RULES) so SARIF output can describe range
+/// findings with the same fidelity as lint findings. Names are bare;
+/// diagnostics carry the code `range/<name>`.
+pub const RANGE_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "accumulator-overflow",
+        severity: Severity::Error,
+        description: "a stage's worst-case accumulator range exceeds the int8 datapath's \
+                      accumulator width",
+    },
+    RuleInfo {
+        name: "output-saturation",
+        severity: Severity::Warning,
+        description: "too many output columns can saturate int8 requantization under the \
+                      calibrated ranges",
+    },
+    RuleInfo {
+        name: "dead-range",
+        severity: Severity::Warning,
+        description: "a stage's output is provably constant over the whole input range; its \
+                      quantization range is dead",
+    },
+];

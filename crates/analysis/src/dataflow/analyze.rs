@@ -1,0 +1,688 @@
+//! The static schedule analyzer.
+//!
+//! [`analyze`] takes a declared [`SdfGraph`] and produces a
+//! [`ScheduleReport`]: typed `schedule/*` diagnostics plus, whenever the
+//! rates balance, a [`ScheduleAnalysis`] with the repetition vector, the
+//! minimal safe capacity of every channel, and the analytic critical
+//! path of one steady-state iteration.
+
+use std::fmt;
+
+use super::graph::{Resource, SdfGraph};
+use wide_nn::diag::Diagnostic;
+
+/// Fixed resource order used for busy-time reporting.
+const RESOURCES: [Resource; 3] = [Resource::Device, Resource::Host, Resource::Link];
+
+/// Quantitative results of a successful rate analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleAnalysis {
+    /// Stage names, in [`SdfGraph::stages`] order (for reporting).
+    pub stage_names: Vec<String>,
+    /// Firings of each stage per steady-state iteration, in
+    /// [`SdfGraph::stages`] order — the smallest positive solution of
+    /// the balance equations.
+    pub repetition: Vec<u64>,
+    /// Minimal safe capacity of each channel, in
+    /// [`SdfGraph::channels`] order: `produce + consume - gcd`, and
+    /// never below the initial token count.
+    pub min_capacities: Vec<usize>,
+    /// Busy seconds per resource over one iteration:
+    /// `Σ repetition × cost` of the stages pinned to it, ordered
+    /// device, host, link.
+    pub resource_busy_s: Vec<(Resource, f64)>,
+    /// Elapsed seconds one iteration cannot beat:
+    /// `overhead + max(resource busy times)`. Resources serialize
+    /// internally and overlap with each other.
+    pub critical_path_s: f64,
+}
+
+/// Outcome of analyzing one declared schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Name of the analyzed graph.
+    pub graph: String,
+    /// All `schedule/*` findings, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Quantitative analysis; `None` when the rates are inconsistent
+    /// (no repetition vector exists to analyze further).
+    pub analysis: Option<ScheduleAnalysis>,
+}
+
+impl ScheduleReport {
+    /// Whether any diagnostic is an error (the schedule is unsafe).
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == wide_nn::diag::Severity::Error)
+    }
+}
+
+impl fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.has_errors() {
+            "REJECTED"
+        } else if self.diagnostics.is_empty() {
+            "ok"
+        } else {
+            "ok (with warnings)"
+        };
+        writeln!(f, "schedule `{}`: {verdict}", self.graph)?;
+        if let Some(analysis) = &self.analysis {
+            write!(f, "  repetition:")?;
+            for (name, reps) in analysis.stage_names.iter().zip(&analysis.repetition) {
+                write!(f, " {name}x{reps}")?;
+            }
+            writeln!(f)?;
+            for (resource, busy) in &analysis.resource_busy_s {
+                writeln!(f, "  busy {resource}: {busy:.3e} s/iter")?;
+            }
+            writeln!(
+                f,
+                "  critical path: {:.3e} s/iter (incl. overhead)",
+                analysis.critical_path_s
+            )?;
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Greatest common divisor (u64, gcd(0, n) = n).
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// A non-negative rational, kept reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    fn new(num: u64, den: u64) -> Ratio {
+        let g = gcd(num, den).max(1);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// `self * num / den`, reduced.
+    fn scaled(self, num: u64, den: u64) -> Ratio {
+        let scale = Ratio::new(num, den);
+        // Cross-reduce before multiplying so u64 stays comfortable for
+        // any realistic rate declaration.
+        let g1 = gcd(self.num, scale.den).max(1);
+        let g2 = gcd(scale.num, self.den).max(1);
+        Ratio {
+            num: (self.num / g1) * (scale.num / g2),
+            den: (self.den / g2) * (scale.den / g1),
+        }
+    }
+}
+
+/// Solves the balance equations `rate[from] * produce = rate[to] *
+/// consume` for the smallest positive integer repetition vector, or
+/// reports the first inconsistent channel.
+fn repetition_vector(graph: &SdfGraph) -> Result<Vec<u64>, Diagnostic> {
+    let n = graph.stages().len();
+    let mut rates: Vec<Option<Ratio>> = vec![None; n];
+
+    // Adjacency over channel indices, both directions.
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (c, channel) in graph.channels().iter().enumerate() {
+        adjacency[channel.from.index()].push(c);
+        adjacency[channel.to.index()].push(c);
+    }
+
+    for start in 0..n {
+        if rates[start].is_some() {
+            continue;
+        }
+        rates[start] = Some(Ratio::new(1, 1));
+        let mut queue = vec![start];
+        while let Some(s) = queue.pop() {
+            let rate = match rates[s] {
+                Some(r) => r,
+                None => continue,
+            };
+            for &c in &adjacency[s] {
+                let channel = &graph.channels()[c];
+                let (other, expected) = if channel.from.index() == s {
+                    // rate[to] = rate[from] * produce / consume
+                    (
+                        channel.to.index(),
+                        rate.scaled(channel.produce as u64, channel.consume as u64),
+                    )
+                } else {
+                    (
+                        channel.from.index(),
+                        rate.scaled(channel.consume as u64, channel.produce as u64),
+                    )
+                };
+                match rates[other] {
+                    None => {
+                        rates[other] = Some(expected);
+                        queue.push(other);
+                    }
+                    Some(found) if found != expected => {
+                        return Err(Diagnostic::error(
+                            "schedule/rate-inconsistent",
+                            format!(
+                                "channel `{}` (produce {}, consume {}) contradicts the rates \
+                                 implied by the rest of the graph: no balanced repetition \
+                                 vector exists",
+                                graph.channel_label(channel),
+                                channel.produce,
+                                channel.consume
+                            ),
+                        )
+                        .with_help(
+                            "every cycle of rate ratios must multiply to 1; fix the \
+                             production/consumption declaration of this channel",
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    // Scale to the smallest positive integer vector: multiply by the
+    // lcm of denominators, then divide by the gcd of the results.
+    let mut lcm: u64 = 1;
+    for rate in rates.iter().flatten() {
+        lcm = lcm / gcd(lcm, rate.den) * rate.den;
+    }
+    let mut reps: Vec<u64> = rates
+        .into_iter()
+        .map(|r| r.map_or(1, |r| r.num * (lcm / r.den)))
+        .collect();
+    let common = reps.iter().copied().fold(0, gcd).max(1);
+    for r in &mut reps {
+        *r /= common;
+    }
+    Ok(reps)
+}
+
+/// Symbolically executes one steady-state iteration under the declared
+/// capacities. Returns `Ok(())` when every stage completes its
+/// repetition count, or the deadlock diagnostic of the stalled state.
+fn simulate_steady_state(graph: &SdfGraph, repetition: &[u64]) -> Result<(), Diagnostic> {
+    let channels = graph.channels();
+    let mut tokens: Vec<usize> = channels.iter().map(|c| c.initial_tokens).collect();
+    let mut remaining: Vec<u64> = repetition.to_vec();
+
+    let can_fire = |stage: usize, tokens: &[usize]| -> bool {
+        for (c, channel) in channels.iter().enumerate() {
+            let consumes = channel.to.index() == stage;
+            let produces = channel.from.index() == stage;
+            let mut level = tokens[c];
+            if consumes {
+                if level < channel.consume {
+                    return false;
+                }
+                level -= channel.consume;
+            }
+            if produces {
+                if let Some(cap) = channel.capacity {
+                    if level + channel.produce > cap {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    };
+
+    loop {
+        let mut progressed = false;
+        for (stage, rem) in remaining.iter_mut().enumerate() {
+            while *rem > 0 && can_fire(stage, &tokens) {
+                for (c, channel) in channels.iter().enumerate() {
+                    if channel.to.index() == stage {
+                        tokens[c] -= channel.consume;
+                    }
+                    if channel.from.index() == stage {
+                        tokens[c] += channel.produce;
+                    }
+                }
+                *rem -= 1;
+                progressed = true;
+            }
+        }
+        if remaining.iter().all(|&r| r == 0) {
+            return Ok(());
+        }
+        if !progressed {
+            return Err(deadlock_diag(graph, &tokens, &remaining));
+        }
+    }
+}
+
+/// Builds the `schedule/deadlock` diagnostic for a stalled state.
+fn deadlock_diag(graph: &SdfGraph, tokens: &[usize], remaining: &[u64]) -> Diagnostic {
+    let mut stuck = Vec::new();
+    let mut reason = String::new();
+    for (s, stage) in graph.stages().iter().enumerate() {
+        if remaining[s] == 0 {
+            continue;
+        }
+        stuck.push(stage.name.clone());
+        if !reason.is_empty() {
+            continue;
+        }
+        for (c, channel) in graph.channels().iter().enumerate() {
+            if channel.to.index() == s && tokens[c] < channel.consume {
+                reason = format!(
+                    "`{}` waits for {} token(s) on `{}` which holds {}",
+                    stage.name,
+                    channel.consume,
+                    graph.channel_label(channel),
+                    tokens[c]
+                );
+                break;
+            }
+            if channel.from.index() == s {
+                if let Some(cap) = channel.capacity {
+                    if tokens[c] + channel.produce > cap {
+                        reason = format!(
+                            "`{}` has no space on `{}` (capacity {cap}, holding {})",
+                            stage.name,
+                            graph.channel_label(channel),
+                            tokens[c]
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    Diagnostic::error(
+        "schedule/deadlock",
+        format!(
+            "steady-state execution stalls with unfired stages [{}]: {reason}",
+            stuck.join(", ")
+        ),
+    )
+    .with_help(
+        "break the zero-token dependency cycle with initial tokens (a pipeline delay) \
+         or raise the blocking channel's capacity",
+    )
+}
+
+/// Analyzes a declared schedule: rate consistency, repetition vector,
+/// buffer bounds, deadlock freedom, and the analytic critical path.
+#[must_use]
+pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
+    let mut diagnostics = Vec::new();
+    let stage_count = graph.stages().len();
+
+    // Structural validity: every channel must name real stages and
+    // positive rates, otherwise no balance equation is meaningful.
+    for channel in graph.channels() {
+        if channel.from.index() >= stage_count || channel.to.index() >= stage_count {
+            diagnostics.push(Diagnostic::error(
+                "schedule/rate-inconsistent",
+                "a channel references a stage that is not part of this graph".to_string(),
+            ));
+        } else if channel.produce == 0 || channel.consume == 0 {
+            diagnostics.push(
+                Diagnostic::error(
+                    "schedule/rate-inconsistent",
+                    format!(
+                        "channel `{}` declares a zero token rate (produce {}, consume {})",
+                        graph.channel_label(channel),
+                        channel.produce,
+                        channel.consume
+                    ),
+                )
+                .with_help("every firing must move at least one token"),
+            );
+        }
+    }
+    if !diagnostics.is_empty() {
+        return ScheduleReport {
+            graph: graph.name().to_string(),
+            diagnostics,
+            analysis: None,
+        };
+    }
+
+    let repetition = match repetition_vector(graph) {
+        Ok(reps) => reps,
+        Err(diag) => {
+            return ScheduleReport {
+                graph: graph.name().to_string(),
+                diagnostics: vec![diag],
+                analysis: None,
+            };
+        }
+    };
+
+    // Self-loops that can never gather their own first tokens.
+    for channel in graph.channels() {
+        if channel.from == channel.to && channel.initial_tokens < channel.consume {
+            diagnostics.push(
+                Diagnostic::error(
+                    "schedule/resource-self-cycle",
+                    format!(
+                        "stage `{}` feeds itself through `{}` holding {} initial token(s) \
+                         but consuming {} per firing: it can never fire",
+                        graph.stages()[channel.from.index()].name,
+                        graph.channel_label(channel),
+                        channel.initial_tokens,
+                        channel.consume
+                    ),
+                )
+                .with_help("seed the self-loop with at least `consume` initial tokens"),
+            );
+        }
+    }
+
+    // Minimal safe bounds and overlap depth per channel.
+    let mut min_capacities = Vec::with_capacity(graph.channels().len());
+    for channel in graph.channels() {
+        let g = gcd(channel.produce as u64, channel.consume as u64) as usize;
+        let min_bound = (channel.produce + channel.consume - g).max(channel.initial_tokens);
+        min_capacities.push(min_bound);
+        let Some(declared) = channel.capacity else {
+            continue;
+        };
+        if declared < min_bound {
+            diagnostics.push(
+                Diagnostic::error(
+                    "schedule/buffer-undersized",
+                    format!(
+                        "channel `{}` declares capacity {declared}, below the minimal safe \
+                         bound {min_bound}",
+                        graph.channel_label(channel)
+                    ),
+                )
+                .with_help(format!(
+                    "raise the declared bound to at least {min_bound} \
+                     (produce + consume - gcd)"
+                )),
+            );
+        } else if declared < channel.produce + channel.consume
+            && graph.stages()[channel.from.index()].resource
+                != graph.stages()[channel.to.index()].resource
+        {
+            let overlap = channel.produce + channel.consume;
+            diagnostics.push(
+                Diagnostic::warning(
+                    "schedule/no-overlap",
+                    format!(
+                        "channel `{}` crosses resources but its capacity {declared} cannot \
+                         hold one producer and one consumer firing in flight together",
+                        graph.channel_label(channel)
+                    ),
+                )
+                .with_help(format!(
+                    "declare capacity >= {overlap} (produce + consume) to let the two \
+                     resources overlap"
+                )),
+            );
+        }
+    }
+
+    // Deadlock freedom, only meaningful once the structure is sound.
+    let structurally_sound = !diagnostics
+        .iter()
+        .any(|d| d.severity == wide_nn::diag::Severity::Error);
+    if structurally_sound {
+        if let Err(diag) = simulate_steady_state(graph, &repetition) {
+            diagnostics.push(diag);
+        }
+    }
+
+    // Critical path: resources serialize internally, overlap mutually.
+    let mut resource_busy_s = Vec::with_capacity(RESOURCES.len());
+    let mut longest = 0.0f64;
+    for resource in RESOURCES {
+        let busy: f64 = graph
+            .stages()
+            .iter()
+            .zip(&repetition)
+            .filter(|(stage, _)| stage.resource == resource)
+            .map(|(stage, &reps)| reps as f64 * stage.cost_s)
+            .fold(0.0, |acc, s| acc + s);
+        longest = longest.max(busy);
+        resource_busy_s.push((resource, busy));
+    }
+
+    ScheduleReport {
+        graph: graph.name().to_string(),
+        diagnostics,
+        analysis: Some(ScheduleAnalysis {
+            stage_names: graph.stages().iter().map(|s| s.name.clone()).collect(),
+            repetition,
+            min_capacities,
+            resource_busy_s,
+            critical_path_s: graph.overhead_s() + longest,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::Resource;
+
+    fn codes(report: &ScheduleReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    /// The double-buffered invoke shape: link -> device -> link.
+    fn overlapped_invoke() -> SdfGraph {
+        let mut g = SdfGraph::new("overlapped-invoke").with_overhead_s(1e-3);
+        let dma_in = g.add_stage("dma_in", Resource::Link, 2e-3);
+        let compute = g.add_stage("compute", Resource::Device, 5e-3);
+        let dma_out = g.add_stage("dma_out", Resource::Link, 1e-3);
+        g.add_channel(dma_in, compute, 1, 1, Some(2));
+        g.add_channel(compute, dma_out, 1, 1, Some(2));
+        g
+    }
+
+    #[test]
+    fn balanced_unit_rate_chain_is_accepted() {
+        let report = analyze(&overlapped_invoke());
+        assert!(report.diagnostics.is_empty(), "{report}");
+        let analysis = report.analysis.expect("analysis");
+        assert_eq!(analysis.repetition, vec![1, 1, 1]);
+        assert_eq!(analysis.min_capacities, vec![1, 1]);
+        // Critical path: overhead + max(link busy 3e-3, device busy 5e-3).
+        assert!((analysis.critical_path_s - 6e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn non_unit_rates_get_a_scaled_repetition_vector() {
+        let mut g = SdfGraph::new("fan");
+        let plan = g.add_stage("plan", Resource::Host, 1e-6);
+        let member = g.add_stage("member", Resource::Host, 1e-3);
+        let merge = g.add_stage("merge", Resource::Host, 5e-6);
+        g.add_channel(plan, member, 4, 1, Some(4));
+        g.add_channel(member, merge, 1, 4, Some(4));
+        let report = analyze(&g);
+        assert!(!report.has_errors(), "{report}");
+        let analysis = report.analysis.expect("analysis");
+        assert_eq!(analysis.repetition, vec![1, 4, 1]);
+        // (4, 1): 4 + 1 - gcd(4,1) = 4.
+        assert_eq!(analysis.min_capacities, vec![4, 4]);
+    }
+
+    #[test]
+    fn inconsistent_rates_are_rejected_without_analysis() {
+        let mut g = SdfGraph::new("bad-rates");
+        let a = g.add_stage("a", Resource::Host, 1.0);
+        let b = g.add_stage("b", Resource::Host, 1.0);
+        g.add_channel(a, b, 2, 1, None);
+        g.add_channel(a, b, 1, 1, None); // contradicts 2:1
+        let report = analyze(&g);
+        assert_eq!(codes(&report), vec!["schedule/rate-inconsistent"]);
+        assert!(report.analysis.is_none());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn zero_rate_is_rejected() {
+        let mut g = SdfGraph::new("zero-rate");
+        let a = g.add_stage("a", Resource::Host, 1.0);
+        let b = g.add_stage("b", Resource::Host, 1.0);
+        g.add_channel(a, b, 0, 1, None);
+        let report = analyze(&g);
+        assert_eq!(codes(&report), vec!["schedule/rate-inconsistent"]);
+    }
+
+    #[test]
+    fn undersized_buffer_is_rejected_with_computed_minimum() {
+        let mut g = SdfGraph::new("undersized");
+        let a = g.add_stage("a", Resource::Device, 1.0);
+        let b = g.add_stage("b", Resource::Host, 1.0);
+        g.add_channel(a, b, 3, 2, Some(2));
+        let report = analyze(&g);
+        assert_eq!(codes(&report), vec!["schedule/buffer-undersized"]);
+        // 3 + 2 - gcd(3, 2) = 4.
+        assert!(
+            report.diagnostics[0]
+                .message
+                .contains("minimal safe bound 4"),
+            "{}",
+            report.diagnostics[0].message
+        );
+        // The analysis still reports the minimum for the caller.
+        assert_eq!(report.analysis.expect("analysis").min_capacities, vec![4]);
+    }
+
+    #[test]
+    fn zero_capacity_channel_is_undersized() {
+        let mut g = SdfGraph::new("rendezvous");
+        let a = g.add_stage("a", Resource::Device, 1.0);
+        let b = g.add_stage("b", Resource::Host, 1.0);
+        g.add_channel(a, b, 1, 1, Some(0));
+        let report = analyze(&g);
+        assert_eq!(codes(&report), vec!["schedule/buffer-undersized"]);
+        assert!(report.diagnostics[0]
+            .message
+            .contains("minimal safe bound 1"));
+    }
+
+    #[test]
+    fn zero_token_cycle_deadlocks() {
+        let mut g = SdfGraph::new("cycle");
+        let a = g.add_stage("a", Resource::Host, 1.0);
+        let b = g.add_stage("b", Resource::Host, 1.0);
+        g.add_channel(a, b, 1, 1, None);
+        g.add_channel(b, a, 1, 1, None);
+        let report = analyze(&g);
+        assert_eq!(codes(&report), vec!["schedule/deadlock"]);
+        assert!(report.diagnostics[0].message.contains("waits for"));
+    }
+
+    #[test]
+    fn initial_tokens_break_the_cycle() {
+        let mut g = SdfGraph::new("pipelined-cycle");
+        let a = g.add_stage("a", Resource::Host, 1.0);
+        let b = g.add_stage("b", Resource::Host, 1.0);
+        g.add_channel(a, b, 1, 1, None);
+        g.add_channel_with_delay(b, a, 1, 1, None, 1);
+        let report = analyze(&g);
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn unfireable_self_loop_is_rejected() {
+        let mut g = SdfGraph::new("self-loop");
+        let a = g.add_stage("a", Resource::Device, 1.0);
+        g.add_channel(a, a, 1, 1, Some(1));
+        let report = analyze(&g);
+        assert!(codes(&report).contains(&"schedule/resource-self-cycle"));
+    }
+
+    #[test]
+    fn seeded_self_loop_is_fine() {
+        let mut g = SdfGraph::new("seeded-self-loop");
+        let a = g.add_stage("a", Resource::Device, 1.0);
+        g.add_channel_with_delay(a, a, 1, 1, Some(1), 1);
+        let report = analyze(&g);
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn shallow_cross_resource_channel_warns_about_overlap() {
+        let mut g = SdfGraph::new("serialized");
+        let a = g.add_stage("a", Resource::Device, 1.0);
+        let b = g.add_stage("b", Resource::Host, 1.0);
+        g.add_channel(a, b, 1, 1, Some(1));
+        let report = analyze(&g);
+        assert_eq!(codes(&report), vec!["schedule/no-overlap"]);
+        assert!(!report.has_errors(), "warnings only: {report}");
+    }
+
+    #[test]
+    fn same_resource_shallow_channel_does_not_warn() {
+        let mut g = SdfGraph::new("host-chain");
+        let a = g.add_stage("a", Resource::Host, 1.0);
+        let b = g.add_stage("b", Resource::Host, 1.0);
+        g.add_channel(a, b, 1, 1, Some(1));
+        let report = analyze(&g);
+        assert!(report.diagnostics.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn capacity_induced_deadlock_is_detected() {
+        // `a` exhausts its two firings, then `b` and `c` are jointly
+        // stuck on their mutual zero-token cycle even though every
+        // individual capacity meets its per-channel minimum.
+        let mut g = SdfGraph::new("capacity-deadlock");
+        let a = g.add_stage("a", Resource::Host, 1.0);
+        let b = g.add_stage("b", Resource::Host, 1.0);
+        let c = g.add_stage("c", Resource::Host, 1.0);
+        g.add_channel(a, c, 1, 2, Some(2));
+        g.add_channel(b, c, 1, 1, Some(1));
+        g.add_channel(c, b, 1, 1, Some(1));
+        let report = analyze(&g);
+        assert!(codes(&report).contains(&"schedule/deadlock"), "{report}");
+    }
+
+    #[test]
+    fn report_displays_verdict_and_critical_path() {
+        let report = analyze(&overlapped_invoke());
+        let text = format!("{report}");
+        assert!(text.contains("overlapped-invoke"), "{text}");
+        assert!(text.contains("critical path"), "{text}");
+        let mut bad = SdfGraph::new("bad");
+        let a = bad.add_stage("a", Resource::Host, 1.0);
+        let b = bad.add_stage("b", Resource::Host, 1.0);
+        bad.add_channel(a, b, 2, 1, None);
+        bad.add_channel(a, b, 1, 1, None);
+        assert!(format!("{}", analyze(&bad)).contains("REJECTED"));
+    }
+
+    #[test]
+    fn schedule_rule_table_covers_all_emitted_codes() {
+        let names: Vec<&str> = crate::dataflow::SCHEDULE_RULES
+            .iter()
+            .map(|r| r.name)
+            .collect();
+        for code in [
+            "rate-inconsistent",
+            "buffer-undersized",
+            "deadlock",
+            "resource-self-cycle",
+            "no-overlap",
+        ] {
+            assert!(names.contains(&code), "{code} missing from SCHEDULE_RULES");
+        }
+    }
+}

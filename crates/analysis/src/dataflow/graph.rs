@@ -1,0 +1,208 @@
+//! The SDF stage-graph IR.
+//!
+//! A [`SdfGraph`] is a set of [`Stage`]s connected by token [`Channel`]s.
+//! Each stage is pinned to one [`Resource`]; each channel declares how
+//! many tokens one producer firing appends and one consumer firing
+//! removes, an optional declared capacity (the `sync_channel` bound or
+//! slot count of the real implementation), and the tokens present before
+//! the first firing (pipeline delays). Costs are plain seconds supplied
+//! by the caller — the analysis layer never computes hardware costs
+//! itself, keeping this crate free of any simulator dependency.
+
+use std::fmt;
+
+/// Where a stage executes. Firings on the same resource serialize; the
+/// critical-path model lets distinct resources overlap freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The accelerator (MXU + activation units).
+    Device,
+    /// The host CPU.
+    Host,
+    /// The host↔device DMA link.
+    Link,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Device => write!(f, "device"),
+            Resource::Host => write!(f, "host"),
+            Resource::Link => write!(f, "link"),
+        }
+    }
+}
+
+/// Opaque handle to a stage within one [`SdfGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageId(pub(crate) usize);
+
+impl StageId {
+    /// Position of the stage in [`SdfGraph::stages`] order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One schedulable actor: a name, the resource it occupies while firing,
+/// and the cost of a single firing in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Human-readable stage name, used in diagnostics.
+    pub name: String,
+    /// Resource the stage occupies while firing.
+    pub resource: Resource,
+    /// Seconds one firing takes on its resource.
+    pub cost_s: f64,
+}
+
+/// A bounded token channel between two stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    /// Producing stage.
+    pub from: StageId,
+    /// Consuming stage.
+    pub to: StageId,
+    /// Tokens appended per producer firing.
+    pub produce: usize,
+    /// Tokens removed per consumer firing.
+    pub consume: usize,
+    /// Declared capacity (e.g. a `sync_channel` depth or slot count);
+    /// `None` models an unbounded buffer.
+    pub capacity: Option<usize>,
+    /// Tokens present before the first firing (pipeline delay).
+    pub initial_tokens: usize,
+}
+
+/// A declared dataflow schedule: stages, channels, and the per-iteration
+/// dispatch overhead that no overlap can hide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdfGraph {
+    name: String,
+    overhead_s: f64,
+    stages: Vec<Stage>,
+    channels: Vec<Channel>,
+}
+
+impl SdfGraph {
+    /// Creates an empty graph named `name` (the name prefixes every
+    /// diagnostic the analyzer emits for it).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        SdfGraph {
+            name: name.into(),
+            overhead_s: 0.0,
+            stages: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// Sets the fixed per-iteration overhead (dispatch latency etc.)
+    /// added to the critical path outside any resource overlap.
+    #[must_use]
+    pub fn with_overhead_s(mut self, overhead_s: f64) -> Self {
+        self.overhead_s = overhead_s;
+        self
+    }
+
+    /// Adds a stage and returns its handle.
+    pub fn add_stage(
+        &mut self,
+        name: impl Into<String>,
+        resource: Resource,
+        cost_s: f64,
+    ) -> StageId {
+        self.stages.push(Stage {
+            name: name.into(),
+            resource,
+            cost_s,
+        });
+        StageId(self.stages.len() - 1)
+    }
+
+    /// Connects `from` to `to` with the given rates and declared
+    /// capacity and no initial tokens.
+    pub fn add_channel(
+        &mut self,
+        from: StageId,
+        to: StageId,
+        produce: usize,
+        consume: usize,
+        capacity: Option<usize>,
+    ) {
+        self.add_channel_with_delay(from, to, produce, consume, capacity, 0);
+    }
+
+    /// [`SdfGraph::add_channel`] with `initial_tokens` already present
+    /// on the channel before the first firing.
+    pub fn add_channel_with_delay(
+        &mut self,
+        from: StageId,
+        to: StageId,
+        produce: usize,
+        consume: usize,
+        capacity: Option<usize>,
+        initial_tokens: usize,
+    ) {
+        self.channels.push(Channel {
+            from,
+            to,
+            produce,
+            consume,
+            capacity,
+            initial_tokens,
+        });
+    }
+
+    /// The graph's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-iteration overhead in seconds.
+    #[must_use]
+    pub fn overhead_s(&self) -> f64 {
+        self.overhead_s
+    }
+
+    /// All stages, in insertion order (a [`StageId`] indexes this).
+    #[must_use]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// All channels, in insertion order.
+    #[must_use]
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// `"<producer> -> <consumer>"`, for diagnostics.
+    pub(crate) fn channel_label(&self, channel: &Channel) -> String {
+        format!(
+            "{} -> {}",
+            self.stages[channel.from.0].name, self.stages[channel.to.0].name
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut g = SdfGraph::new("g").with_overhead_s(0.5);
+        let a = g.add_stage("a", Resource::Link, 1.0);
+        let b = g.add_stage("b", Resource::Device, 2.0);
+        g.add_channel(a, b, 1, 1, Some(2));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(g.stages().len(), 2);
+        assert_eq!(g.channels().len(), 1);
+        assert_eq!(g.overhead_s(), 0.5);
+        assert_eq!(g.channel_label(&g.channels()[0]), "a -> b");
+    }
+}

@@ -1,0 +1,83 @@
+//! Static verification of declared dataflow schedules.
+//!
+//! PR 5 introduced three hand-built overlapped schedules (the device's
+//! double-buffered DMA/compute invoke, the streamed encode→update
+//! training chain, and parallel bagged member training). Their
+//! correctness rested entirely on runtime `TimingLedger` invariants.
+//! This module is the static half of that contract: a small
+//! [synchronous-dataflow](https://en.wikipedia.org/wiki/Synchronous_Data_Flow)
+//! (SDF) stage-graph IR plus an analyzer that *proves* a declared
+//! schedule safe before any thread spawns or any simulated DMA fires.
+//!
+//! The IR ([`graph`]) models a schedule as stages with token
+//! production/consumption rates on bounded channels, a resource tag
+//! ([`Resource`]: device, host, or link) and a per-firing cost in
+//! seconds. The analyzer ([`analyze`]) computes:
+//!
+//! * the **repetition vector** — the smallest positive integer firing
+//!   counts balancing every channel (`schedule/rate-inconsistent` when
+//!   no such vector exists),
+//! * **minimal safe channel bounds** — `produce + consume - gcd` per
+//!   channel; a declared capacity below it is
+//!   `schedule/buffer-undersized` (the message names the computed
+//!   minimum), and a cross-resource channel too shallow to overlap its
+//!   endpoints earns a `schedule/no-overlap` warning,
+//! * **deadlock-freedom** — symbolic execution of one steady-state
+//!   iteration under the declared capacities; a stalled state is
+//!   `schedule/deadlock`, and a structurally unfireable self-loop is
+//!   `schedule/resource-self-cycle`,
+//! * the **analytic critical path** — per steady-state iteration,
+//!   `overhead + max over resources of Σ(firings × cost)`: resources
+//!   serialize internally and overlap with each other, exactly the
+//!   `elapsed = overhead + max(transfer, compute)` law the simulated
+//!   device's ledger obeys. The prediction is a checkable lower bound
+//!   that the integration suite pins against measured ledgers to 1e-12.
+//!
+//! Diagnostics reuse the shared [`Diagnostic`](wide_nn::diag::Diagnostic)
+//! currency under the `schedule/` code namespace; [`SCHEDULE_RULES`]
+//! carries their metadata for SARIF output.
+
+mod analyze;
+mod graph;
+
+pub use analyze::{analyze, ScheduleAnalysis, ScheduleReport};
+pub use graph::{Channel, Resource, SdfGraph, Stage, StageId};
+
+use crate::rules::RuleInfo;
+use wide_nn::diag::Severity;
+
+/// Metadata for every `schedule/*` diagnostic the analyzer can emit,
+/// mirroring [`RULES`](crate::rules::RULES) for the lint rules. Names
+/// are bare; diagnostics carry the code `schedule/<name>`.
+pub const SCHEDULE_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "rate-inconsistent",
+        severity: Severity::Error,
+        description: "the declared token rates admit no balanced repetition vector; the \
+                      schedule would accumulate or starve tokens every iteration",
+    },
+    RuleInfo {
+        name: "buffer-undersized",
+        severity: Severity::Error,
+        description: "a declared channel capacity is below the analyzer's minimal safe bound \
+                      (produce + consume - gcd)",
+    },
+    RuleInfo {
+        name: "deadlock",
+        severity: Severity::Error,
+        description: "symbolic execution of the steady state stalls: some stage can never \
+                      gather its input tokens and output space",
+    },
+    RuleInfo {
+        name: "resource-self-cycle",
+        severity: Severity::Error,
+        description: "a stage feeds itself through a channel holding fewer initial tokens \
+                      than one firing consumes, so it can never fire",
+    },
+    RuleInfo {
+        name: "no-overlap",
+        severity: Severity::Warning,
+        description: "a cross-resource channel is too shallow to let producer and consumer \
+                      fire concurrently; the declared overlap cannot happen",
+    },
+];

@@ -23,16 +23,25 @@
 //!   `Result` or document `# Panics`.
 //! * `missing-must-use` (warning) — `pub fn … -> Self` builders need
 //!   `#[must_use]`.
+//! * `no-unseeded-rng` (error) — every random stream must flow from an
+//!   explicit seed.
+//! * `no-adhoc-concurrency` (error) — no bare `thread::spawn`/
+//!   `thread::scope` or unbounded `mpsc::channel()` outside the declared
+//!   schedule layer.
 //!
 //! The [`absint`] module re-exports the value-range abstract
 //! interpretation from `wide_nn::absint` and hosts the narrowing rule;
-//! [`sarif`] renders reports for GitHub code scanning.
+//! [`dataflow`] holds the SDF stage-graph IR and the static schedule
+//! analyzer behind `hyperedge verify --schedule`; [`sarif`] renders
+//! reports for GitHub code scanning with rule metadata for every
+//! registered rule (`lint/*`, `range/*`, and `schedule/*`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod absint;
 pub mod allowlist;
+pub mod dataflow;
 pub mod engine;
 pub mod json;
 pub mod lexer;

@@ -26,6 +26,7 @@ pub const RULE_NAMES: &[&str] = &[
     "fallible-returns-result",
     "missing-must-use",
     "no-unseeded-rng",
+    "no-adhoc-concurrency",
 ];
 
 /// Static metadata about one lint rule, surfaced by `hd-lint
@@ -74,6 +75,13 @@ pub const RULES: &[RuleInfo] = &[
         description: "no thread_rng/rand::random/from_entropy outside tests — every random \
                       stream must be seeded so runs (and fault traces) reproduce",
     },
+    RuleInfo {
+        name: "no-adhoc-concurrency",
+        severity: Severity::Error,
+        description: "no bare thread::spawn/thread::scope or unbounded mpsc::channel() outside \
+                      the declared schedule layer — overlap must be expressed as a verified \
+                      SDF schedule (allowlisted sites carry the declaration)",
+    },
 ];
 
 /// Whether a workspace-relative path is test or bench code in its
@@ -102,6 +110,7 @@ pub fn lint_source(path: &str, source: &MaskedSource) -> Vec<Diagnostic> {
     fallible_returns_result(path, source, &mut out);
     missing_must_use(path, source, &mut out);
     no_unseeded_rng(path, source, &mut out);
+    no_adhoc_concurrency(path, source, &mut out);
     out
 }
 
@@ -520,6 +529,62 @@ fn no_unseeded_rng(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>)
     }
 }
 
+/// `no-adhoc-concurrency`: forbids bare `thread::spawn`/`thread::scope`
+/// and unbounded `mpsc::channel()` outside tests. Overlapped execution
+/// in this repository must flow through the declared-schedule layer
+/// (`core::schedule`), where the SDF analyzer proves rate consistency,
+/// deadlock-freedom and buffer bounds; the handful of sanctioned
+/// scoped-thread sites carry `lint.toml` allowlist entries whose reasons
+/// name the declared graph that covers them.
+fn no_adhoc_concurrency(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>) {
+    const SITES: &[(&str, &str)] = &[
+        (
+            "thread::spawn",
+            "thread::spawn starts a free-running thread outside any declared schedule",
+        ),
+        (
+            "thread::scope",
+            "thread::scope introduces ad-hoc structured concurrency outside any declared schedule",
+        ),
+        (
+            "mpsc::channel(",
+            "mpsc::channel() is unbounded; backpressure cannot be verified statically",
+        ),
+    ];
+    let bytes = source.code().as_bytes();
+    for &(needle, why) in SITES {
+        for offset in occurrences(source, needle) {
+            // Skip hits inside longer identifiers. A preceding `:` is fine
+            // (`std::thread::spawn` is still the needle).
+            if offset > 0
+                && (bytes[offset - 1].is_ascii_alphanumeric() || bytes[offset - 1] == b'_')
+            {
+                continue;
+            }
+            let end = offset + needle.len();
+            if bytes
+                .get(end)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            {
+                continue;
+            }
+            out.push(
+                at(
+                    Diagnostic::error("lint/no-adhoc-concurrency", why.to_string()),
+                    path,
+                    source,
+                    offset,
+                )
+                .with_help(
+                    "declare the overlap as an SDF graph in core::schedule (verified by \
+                     `hyperedge verify --schedule`), use a bounded mpsc::sync_channel, or \
+                     allowlist the site with the declaration that covers it",
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,6 +785,61 @@ mod tests {
         let diags = lint("crates/core/src/lib.rs", src);
         assert!(
             !codes(&diags).contains(&"lint/no-unseeded-rng"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn adhoc_concurrency_flagged() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            codes(&diags).contains(&"lint/no-adhoc-concurrency"),
+            "{diags:?}"
+        );
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            codes(&diags).contains(&"lint/no-adhoc-concurrency"),
+            "{diags:?}"
+        );
+        let src =
+            "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); let _ = (tx, rx); }\n";
+        // `channel::<u32>()` does not match `channel(` — turbofish form below.
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/no-adhoc-concurrency"),
+            "{diags:?}"
+        );
+        let src = "fn f() { let (tx, rx) = std::sync::mpsc::channel(); let _ = (tx, rx); }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            codes(&diags).contains(&"lint/no-adhoc-concurrency"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_channels_and_tests_not_flagged() {
+        // sync_channel is bounded: the whole point of the rule.
+        let src = "fn f() { let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(2); let _ = (tx, rx); }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/no-adhoc-concurrency"),
+            "{diags:?}"
+        );
+        // Tests may thread at will.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/no-adhoc-concurrency"),
+            "{diags:?}"
+        );
+        // Longer identifiers that merely contain a needle are fine.
+        let src = "fn f() { my_thread::spawner(); }\n";
+        let diags = lint("crates/core/src/lib.rs", src);
+        assert!(
+            !codes(&diags).contains(&"lint/no-adhoc-concurrency"),
             "{diags:?}"
         );
     }

@@ -1,13 +1,20 @@
-//! SARIF 2.1.0 output for `hd-lint`.
+//! SARIF 2.1.0 output for the static checks.
 //!
 //! GitHub code scanning ingests findings as SARIF (Static Analysis
-//! Results Interchange Format). This module renders a lint report as a
-//! minimal but schema-valid SARIF log: one run, the `hd-lint` driver
-//! with its [`RULES`](crate::rules::RULES) table, and one result per
-//! [`Diagnostic`]. There is no serde in this build, so the encoder is
-//! hand-rolled over the same string-escaping core as `--format json`,
-//! and the validity tests re-parse the output with the strict JSON
-//! parser in [`json`](crate::json).
+//! Results Interchange Format). This module renders a report as a
+//! minimal but schema-valid SARIF log: one run, a driver carrying the
+//! metadata of **every registered rule** — the lint rules
+//! ([`RULES`](crate::rules::RULES)), the value-range rules
+//! ([`RANGE_RULES`](crate::absint::RANGE_RULES)), and the schedule
+//! rules ([`SCHEDULE_RULES`](crate::dataflow::SCHEDULE_RULES)) — and
+//! one result per [`Diagnostic`]. Emitting the full rules table even
+//! when a rule has no findings means a clean run still documents what
+//! was checked, and every result's `ruleId` resolves to driver
+//! metadata via `ruleIndex` regardless of which analysis produced it.
+//! There is no serde in this build, so the encoder is hand-rolled over
+//! the same string-escaping core as `--format json`, and the validity
+//! tests re-parse the output with the strict JSON parser in
+//! [`json`](crate::json).
 //!
 //! Source sites become `physicalLocation`s with a repository-relative
 //! URI under the `%SRCROOT%` base, which is what the `upload-sarif`
@@ -15,7 +22,7 @@
 //! file) are emitted without a location, which SARIF permits.
 
 use crate::json::escape_into;
-use crate::rules::RULES;
+use crate::rules::RuleInfo;
 use wide_nn::diag::{Diagnostic, Severity, Site};
 
 /// SARIF `level` for a diagnostic severity.
@@ -33,19 +40,50 @@ fn push_kv(out: &mut String, key: &str, value: &str) {
     escape_into(out, value);
 }
 
-/// Encodes diagnostics as a SARIF 2.1.0 log.
+/// Every registered rule across the analyses, as `(full id, metadata)`
+/// pairs in a stable order: `lint/*`, then `range/*`, then
+/// `schedule/*`. Diagnostic codes are namespaced the same way, so a
+/// code equals its rule's full id.
+#[must_use]
+pub fn registered_rules() -> Vec<(String, &'static RuleInfo)> {
+    let namespaces: [(&str, &[RuleInfo]); 3] = [
+        ("lint", crate::rules::RULES),
+        ("range", crate::absint::RANGE_RULES),
+        ("schedule", crate::dataflow::SCHEDULE_RULES),
+    ];
+    namespaces
+        .iter()
+        .flat_map(|(prefix, rules)| {
+            rules
+                .iter()
+                .map(move |rule| (format!("{prefix}/{}", rule.name), rule))
+        })
+        .collect()
+}
+
+/// Encodes diagnostics as a SARIF 2.1.0 log under the `hd-lint` driver.
 #[must_use]
 pub fn encode(diags: &[Diagnostic]) -> String {
+    encode_as("hd-lint", diags)
+}
+
+/// Encodes diagnostics as a SARIF 2.1.0 log under the named driver
+/// (e.g. `hyperedge-verify` for `hyperedge verify --schedule`).
+#[must_use]
+pub fn encode_as(driver: &str, diags: &[Diagnostic]) -> String {
+    let rules = registered_rules();
     let mut out = String::with_capacity(2048 + diags.len() * 256);
     out.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
     out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
     out.push_str("      \"tool\": {\n        \"driver\": {\n");
-    out.push_str("          \"name\": \"hd-lint\",\n");
+    out.push_str("          ");
+    push_kv(&mut out, "name", driver);
+    out.push_str(",\n");
     out.push_str("          \"informationUri\": \"https://github.com/hyperedge/hyperedge\",\n");
     out.push_str("          \"rules\": [\n");
-    for (i, rule) in RULES.iter().enumerate() {
+    for (i, (id, rule)) in rules.iter().enumerate() {
         out.push_str("            {");
-        push_kv(&mut out, "id", &format!("lint/{}", rule.name));
+        push_kv(&mut out, "id", id);
         out.push_str(", ");
         push_kv(&mut out, "name", rule.name);
         out.push_str(", \"shortDescription\": {");
@@ -53,7 +91,7 @@ pub fn encode(diags: &[Diagnostic]) -> String {
         out.push_str("}, \"defaultConfiguration\": {");
         push_kv(&mut out, "level", level(rule.severity));
         out.push_str("}}");
-        if i + 1 < RULES.len() {
+        if i + 1 < rules.len() {
             out.push(',');
         }
         out.push('\n');
@@ -62,10 +100,7 @@ pub fn encode(diags: &[Diagnostic]) -> String {
     for (i, d) in diags.iter().enumerate() {
         out.push_str("        {");
         push_kv(&mut out, "ruleId", &d.code);
-        if let Some(index) = RULES
-            .iter()
-            .position(|r| format!("lint/{}", r.name) == d.code)
-        {
+        if let Some(index) = rules.iter().position(|(id, _)| *id == d.code) {
             out.push_str(&format!(", \"ruleIndex\": {index}"));
         }
         out.push_str(", ");
@@ -102,6 +137,7 @@ pub fn encode(diags: &[Diagnostic]) -> String {
 mod tests {
     use super::*;
     use crate::json::{parse_value, Value};
+    use crate::rules::RULES;
 
     fn sample() -> Vec<Diagnostic> {
         vec![
@@ -115,6 +151,10 @@ mod tests {
             ),
             Diagnostic::error("range/accumulator-overflow", "acc exceeds i32")
                 .at_layer(0, "fully-connected"),
+            Diagnostic::error(
+                "schedule/buffer-undersized",
+                "channel `encode -> update` declares capacity 0, below the minimal safe bound 1",
+            ),
         ]
     }
 
@@ -136,17 +176,16 @@ mod tests {
     }
 
     #[test]
-    fn driver_lists_every_rule() {
+    fn driver_lists_every_registered_rule_even_on_an_empty_run() {
         let log = parse_value(&encode(&[])).unwrap();
         let driver = run(&log).get("tool").unwrap().get("driver").unwrap();
         assert_eq!(driver.get("name").unwrap().as_str(), Some("hd-lint"));
         let rules = driver.get("rules").unwrap().as_arr().unwrap();
-        assert_eq!(rules.len(), RULES.len());
-        for (rule, meta) in rules.iter().zip(RULES) {
-            assert_eq!(
-                rule.get("id").unwrap().as_str().unwrap(),
-                format!("lint/{}", meta.name)
-            );
+        let expected = registered_rules();
+        assert_eq!(rules.len(), expected.len());
+        assert!(rules.len() > RULES.len(), "range/schedule rules missing");
+        for (rule, (id, meta)) in rules.iter().zip(&expected) {
+            assert_eq!(rule.get("id").unwrap().as_str().unwrap(), id);
             assert_eq!(
                 rule.get("defaultConfiguration")
                     .unwrap()
@@ -160,10 +199,35 @@ mod tests {
     }
 
     #[test]
+    fn registered_rule_ids_are_unique_and_namespaced() {
+        let rules = registered_rules();
+        for (i, (id, _)) in rules.iter().enumerate() {
+            assert!(
+                id.starts_with("lint/") || id.starts_with("range/") || id.starts_with("schedule/"),
+                "{id}"
+            );
+            assert!(
+                !rules.iter().skip(i + 1).any(|(other, _)| other == id),
+                "duplicate rule id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_driver_name_is_used() {
+        let log = parse_value(&encode_as("hyperedge-verify", &[])).unwrap();
+        let driver = run(&log).get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(
+            driver.get("name").unwrap().as_str(),
+            Some("hyperedge-verify")
+        );
+    }
+
+    #[test]
     fn source_results_carry_physical_locations() {
         let log = parse_value(&encode(&sample())).unwrap();
         let results = run(&log).get("results").unwrap().as_arr().unwrap();
-        assert_eq!(results.len(), 3);
+        assert_eq!(results.len(), 4);
         let first = &results[0];
         assert_eq!(
             first.get("ruleId").unwrap().as_str(),
@@ -203,16 +267,41 @@ mod tests {
     }
 
     #[test]
-    fn non_source_results_omit_locations_and_rule_index() {
+    fn range_and_schedule_results_resolve_to_rule_metadata() {
         let log = parse_value(&encode(&sample())).unwrap();
         let results = run(&log).get("results").unwrap().as_arr().unwrap();
-        let overflow = &results[2];
-        assert_eq!(
-            overflow.get("ruleId").unwrap().as_str(),
-            Some("range/accumulator-overflow")
-        );
-        assert!(overflow.get("locations").is_none());
-        assert!(overflow.get("ruleIndex").is_none());
+        let driver_rules = run(&log)
+            .get("tool")
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .get("rules")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        for result in &results[2..] {
+            let id = result.get("ruleId").unwrap().as_str().unwrap();
+            let index = result
+                .get("ruleIndex")
+                .unwrap_or_else(|| panic!("{id} has no ruleIndex"))
+                .as_usize()
+                .unwrap();
+            assert_eq!(
+                driver_rules[index].get("id").unwrap().as_str().unwrap(),
+                id,
+                "ruleIndex must point at the matching driver rule"
+            );
+        }
+        // Layer-level sites still (correctly) carry no location.
+        assert!(results[2].get("locations").is_none());
+    }
+
+    #[test]
+    fn unknown_codes_omit_rule_index() {
+        let diags = vec![Diagnostic::error("custom/unregistered", "one-off")];
+        let log = parse_value(&encode(&diags)).unwrap();
+        let results = run(&log).get("results").unwrap().as_arr().unwrap();
+        assert!(results[0].get("ruleIndex").is_none());
     }
 
     #[test]

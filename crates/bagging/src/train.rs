@@ -199,10 +199,7 @@ fn encode_and_train(
 }
 
 /// One member's training outcome paired with its sampled-row count.
-type MemberOutcome = (
-    Result<(ClassHypervectors, TrainStats), BaggingError>,
-    usize,
-);
+type MemberOutcome = (Result<(ClassHypervectors, TrainStats), BaggingError>, usize);
 
 /// Resolves one member's training rows and runs its encode→update chain;
 /// returns the outcome plus the member's sampled-row count.

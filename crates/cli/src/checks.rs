@@ -1,9 +1,11 @@
 //! The `lint` and `verify` static-check subcommands.
 //!
 //! ```text
-//! hyperedge lint   [--format text|json] [--deny-warnings]
+//! hyperedge lint   [--format text|json|sarif] [--deny-warnings]
 //! hyperedge verify [--features N] [--dim D] [--classes K]
-//!                  [--buffer BYTES] [--ranges] [--format text|json]
+//!                  [--buffer BYTES] [--ranges] [--format text|json|sarif]
+//! hyperedge verify --schedule [--stream-depth N] [--members M]
+//!                  [--format text|json|sarif]
 //! ```
 //!
 //! `lint` runs the `hd-analysis` workspace lint engine (the same pass as
@@ -17,6 +19,15 @@
 //! per-stage accumulator and output bounds; a model whose worst-case
 //! accumulator exceeds the i32 datapath fails the check (exit 1).
 //!
+//! `verify --schedule` runs the static dataflow-schedule analyzer over
+//! the framework's three declared SDF execution schedules (the
+//! double-buffered device invoke, the streamed encode→train loop, and
+//! parallel bagged-member training): repetition vectors, buffer bounds,
+//! deadlock-freedom, and the analytic critical path.  `--stream-depth`
+//! and `--members` re-declare the streamed channel bound and the bagging
+//! fan-out, so a deliberately undersized bound (e.g. `--stream-depth 0`)
+//! demonstrates the analyzer's rejection with the computed minimum.
+//!
 //! These flags include bare booleans (`--deny-warnings`), so the two
 //! subcommands parse their own arguments instead of going through
 //! [`crate::args::ParsedArgs`], and they follow the check exit-status
@@ -25,8 +36,10 @@
 
 use std::process::ExitCode;
 
-use hd_analysis::{engine, json, Allowlist};
+use hd_analysis::dataflow::analyze;
+use hd_analysis::{engine, json, sarif, Allowlist};
 use hd_tensor::Matrix;
+use hyperedge::schedule;
 use wide_nn::{
     verify_model, verify_ranges, Activation, ModelBuilder, NnError, QuantizedModel, RangeConfig,
     TargetSpec,
@@ -34,9 +47,14 @@ use wide_nn::{
 
 const CHECKS_USAGE: &str = "usage: hyperedge <lint|verify> [options]\n\
     \n\
-    hyperedge lint   [--format text|json] [--deny-warnings]\n\
+    hyperedge lint   [--format text|json|sarif] [--deny-warnings]\n\
     hyperedge verify [--features N] [--dim D] [--classes K] \
-[--buffer BYTES] [--ranges] [--format text|json]";
+[--buffer BYTES] [--ranges] [--format text|json|sarif]\n\
+    hyperedge verify --schedule [--stream-depth N] [--members M] \
+[--format text|json|sarif]";
+
+/// Driver name stamped into SARIF output from the verify subcommand.
+const VERIFY_DRIVER: &str = "hyperedge-verify";
 
 /// Dispatches `hyperedge lint` / `hyperedge verify`.
 #[must_use]
@@ -58,22 +76,31 @@ pub fn run(command: &str, args: &[String]) -> ExitCode {
     }
 }
 
-fn parse_format(value: Option<&String>) -> Result<bool, String> {
+/// Output format of the check subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+fn parse_format(value: Option<&String>) -> Result<Format, String> {
     match value.map(String::as_str) {
-        Some("text") => Ok(false),
-        Some("json") => Ok(true),
-        _ => Err("--format must be text or json".to_owned()),
+        Some("text") => Ok(Format::Text),
+        Some("json") => Ok(Format::Json),
+        Some("sarif") => Ok(Format::Sarif),
+        _ => Err("--format must be text, json or sarif".to_owned()),
     }
 }
 
 /// Runs the workspace lint pass; returns `Ok(true)` when clean.
 fn run_lint(args: &[String]) -> Result<bool, String> {
-    let mut as_json = false;
+    let mut format = Format::Text;
     let mut deny_warnings = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--format" => as_json = parse_format(it.next())?,
+            "--format" => format = parse_format(it.next())?,
             "--deny-warnings" => deny_warnings = true,
             other => return Err(format!("unknown lint option {other:?}\n{CHECKS_USAGE}")),
         }
@@ -87,12 +114,48 @@ fn run_lint(args: &[String]) -> Result<bool, String> {
         Err(_) => Allowlist::default(),
     };
     let report = engine::lint_workspace(&root, &allowlist)?;
-    if as_json {
-        println!("{}", json::encode(&report.diagnostics));
-    } else {
-        print!("{}", report.to_text());
+    match format {
+        Format::Json => println!("{}", json::encode(&report.diagnostics)),
+        Format::Sarif => println!("{}", sarif::encode(&report.diagnostics)),
+        Format::Text => print!("{}", report.to_text()),
     }
     Ok(!report.fails(deny_warnings))
+}
+
+/// Runs the static dataflow-schedule analyzer over the three declared
+/// execution schedules; returns `Ok(true)` when none has an error.
+fn run_verify_schedule(
+    stream_depth: usize,
+    members: usize,
+    format: Format,
+) -> Result<bool, String> {
+    let reports: Vec<_> = schedule::standard_schedules(stream_depth, members)
+        .iter()
+        .map(analyze)
+        .collect();
+    let any_errors = reports.iter().any(|r| r.has_errors());
+    match format {
+        Format::Text => {
+            for report in &reports {
+                print!("{report}");
+            }
+        }
+        Format::Json => {
+            let diagnostics: Vec<_> = reports
+                .iter()
+                .flat_map(|r| r.diagnostics.iter().cloned())
+                .collect();
+            println!("{}", json::encode(&diagnostics));
+        }
+        Format::Sarif => {
+            let diagnostics: Vec<_> = reports
+                .iter()
+                .flat_map(|r| r.diagnostics.iter().cloned())
+                .collect();
+            println!("{}", sarif::encode_as(VERIFY_DRIVER, &diagnostics));
+        }
+    }
+    Ok(!any_errors)
 }
 
 /// Builds the paper's `features -> dim -> classes` wide inference network
@@ -103,7 +166,10 @@ fn run_verify(args: &[String]) -> Result<bool, String> {
     let mut classes = 10usize;
     let mut buffer = TargetSpec::default().param_buffer_bytes;
     let mut ranges = false;
-    let mut as_json = false;
+    let mut format = Format::Text;
+    let mut schedule_mode = false;
+    let mut stream_depth = schedule::STREAM_DEPTH;
+    let mut members = 8usize;
     let mut it = args.iter();
     let parse_usize = |value: Option<&String>, flag: &str| -> Result<usize, String> {
         value
@@ -118,9 +184,15 @@ fn run_verify(args: &[String]) -> Result<bool, String> {
             "--classes" => classes = parse_usize(it.next(), "--classes")?,
             "--buffer" => buffer = parse_usize(it.next(), "--buffer")?,
             "--ranges" => ranges = true,
-            "--format" => as_json = parse_format(it.next())?,
+            "--schedule" => schedule_mode = true,
+            "--stream-depth" => stream_depth = parse_usize(it.next(), "--stream-depth")?,
+            "--members" => members = parse_usize(it.next(), "--members")?,
+            "--format" => format = parse_format(it.next())?,
             other => return Err(format!("unknown verify option {other:?}\n{CHECKS_USAGE}")),
         }
+    }
+    if schedule_mode {
+        return run_verify_schedule(stream_depth, members, format);
     }
 
     let defaults = TargetSpec::default();
@@ -168,18 +240,25 @@ fn run_verify(args: &[String]) -> Result<bool, String> {
         }
     }
 
-    if as_json {
-        let mut diagnostics: Vec<_> = report.diagnostics().to_vec();
-        diagnostics.extend(range_diags);
-        println!("{}", json::encode(&diagnostics));
-    } else {
-        print!("{report}");
-        println!(
-            "model {features}x{dim}x{classes}: {} parameter bytes against a {} byte buffer",
-            report.param_bytes_required(),
-            target.param_buffer_bytes
-        );
-        print!("{range_text}");
+    match format {
+        Format::Json | Format::Sarif => {
+            let mut diagnostics: Vec<_> = report.diagnostics().to_vec();
+            diagnostics.extend(range_diags);
+            if format == Format::Json {
+                println!("{}", json::encode(&diagnostics));
+            } else {
+                println!("{}", sarif::encode_as(VERIFY_DRIVER, &diagnostics));
+            }
+        }
+        Format::Text => {
+            print!("{report}");
+            println!(
+                "model {features}x{dim}x{classes}: {} parameter bytes against a {} byte buffer",
+                report.param_bytes_required(),
+                target.param_buffer_bytes
+            );
+            print!("{range_text}");
+        }
     }
     Ok(!report.has_errors() && !range_failed)
 }

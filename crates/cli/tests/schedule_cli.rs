@@ -1,0 +1,64 @@
+//! End-to-end contract of `hyperedge verify --schedule`.
+//!
+//! Exercises the built binary: a clean run over the three declared
+//! production schedules exits 0, and a deliberately undersized stream
+//! channel (`--stream-depth 0`) exits 1 with a SARIF diagnostic that
+//! names the analyzer's minimal safe bound.
+
+use std::process::{Command, Output};
+
+fn run_verify(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hyperedge"))
+        .arg("verify")
+        .args(args)
+        .output()
+        .expect("hyperedge binary runs")
+}
+
+#[test]
+fn clean_schedules_exit_zero_with_per_graph_reports() {
+    let out = run_verify(&["--schedule"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for graph in ["overlapped-invoke", "streamed-encode", "parallel-members"] {
+        assert!(stdout.contains(graph), "missing {graph} in:\n{stdout}");
+    }
+    assert!(stdout.contains("critical path"), "{stdout}");
+}
+
+#[test]
+fn undersized_stream_depth_exits_one_with_sarif_minimum() {
+    let out = run_verify(&["--schedule", "--stream-depth", "0", "--format", "sarif"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("\"schedule/buffer-undersized\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("minimal safe bound 1"), "{stdout}");
+    assert!(stdout.contains("\"hyperedge-verify\""), "{stdout}");
+}
+
+#[test]
+fn sarif_catalog_registers_schedule_rules() {
+    // Even a clean run must carry the full rule catalog so SARIF viewers
+    // can resolve any result's ruleIndex.
+    let out = run_verify(&["--schedule", "--format", "sarif"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for rule in [
+        "schedule/rate-inconsistent",
+        "schedule/buffer-undersized",
+        "schedule/deadlock",
+        "schedule/resource-self-cycle",
+        "schedule/no-overlap",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_schedule_option_exits_two() {
+    let out = run_verify(&["--schedule", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

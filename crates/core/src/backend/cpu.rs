@@ -31,6 +31,11 @@ impl CpuBackend {
         }
     }
 
+    /// The host platform profile this backend charges costs against.
+    pub(crate) fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
     /// Charges the host update-phase cost for a finished training run:
     /// one similarity pass over `rows` samples plus the executed class
     /// updates, per iteration. Shared by [`CpuBackend::train_classes`]

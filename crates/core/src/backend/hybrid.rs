@@ -3,17 +3,14 @@
 
 use std::sync::mpsc;
 
+use cpu_model::cost;
 use hd_tensor::Matrix;
 use hdc::{ClassHypervectors, Encoder, Executor, HdcError, HdcModel, TrainConfig, TrainStats};
+use tpu_sim::timing::ModelDims;
 
 use crate::backend::{BackendLedger, CpuBackend, ExecutionBackend, TpuBackend};
 use crate::config::PipelineConfig;
-
-/// Depth of the bounded chunk channel between the device-encode producer
-/// and the host-update consumer: two in-flight chunks give the classic
-/// double-buffer overlap without letting the producer run arbitrarily
-/// ahead of the update loop.
-const STREAM_DEPTH: usize = 2;
+use crate::schedule::{self, STREAM_DEPTH};
 
 /// The co-design backend from the paper: the data-parallel, quantizable
 /// phases (encoding and inference) run on the simulated Edge TPU via
@@ -89,6 +86,20 @@ impl Executor for HybridBackend {
             let encoded = self.encode_batch(encoder, batch)?;
             return self.train_classes(&encoded, labels, classes, config);
         }
+        // Verify the declared streamed schedule (bounded channel of
+        // STREAM_DEPTH chunks between the device producer and the host
+        // consumer) before the producer thread spawns.
+        let dims = ModelDims::encoder(encoder.feature_count(), encoder.dim());
+        let update_cost_s =
+            cost::class_update_s(self.host.spec(), self.encode_chunk, encoder.dim());
+        schedule::SchedulePlan::declare(schedule::streamed_encode_graph(
+            self.tpu.device_config(),
+            &dims,
+            self.encode_chunk,
+            STREAM_DEPTH,
+            update_cost_s,
+        ))
+        .map_err(|e| HdcError::Backend(format!("streamed schedule rejected: {e}")))?;
         let (tx, rx) = mpsc::sync_channel::<hdc::Result<Matrix>>(STREAM_DEPTH);
         let result = std::thread::scope(|scope| {
             let producer = scope.spawn(move || {

@@ -93,6 +93,12 @@ impl TpuBackend {
         &self.device
     }
 
+    /// The device configuration this backend simulates under (used to
+    /// parameterize declared schedule graphs with its cost model).
+    pub(crate) fn device_config(&self) -> &DeviceConfig {
+        &self.device_config
+    }
+
     /// The resilience policy this backend runs under.
     pub fn policy(&self) -> &ResiliencePolicy {
         &self.policy
@@ -242,6 +248,23 @@ impl TpuBackend {
         }
         if cache.resident != Some(key) {
             self.reload_pristine(&mut cache, key)?;
+        }
+
+        // The chunk loop below executes the double-buffered overlapped
+        // invoke; verify its declared SDF graph (rates, buffer bounds,
+        // deadlock-freedom) before running it.
+        {
+            let compiled = cache
+                .models
+                .get(&key)
+                .ok_or_else(|| crate::FrameworkError::InvalidConfig("model cache desync".into()))?;
+            let dims = tpu_sim::timing::ModelDims::from_compiled(compiled);
+            let samples = chunk.min(batch.rows()).max(1);
+            crate::schedule::SchedulePlan::declare(crate::schedule::overlapped_invoke_graph(
+                &self.device_config,
+                &dims,
+                samples,
+            ))?;
         }
 
         // Keep the cache lock across the invocations so residency cannot

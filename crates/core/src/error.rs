@@ -5,6 +5,7 @@ use hd_bagging::BaggingError;
 use hd_tensor::TensorError;
 use hdc::HdcError;
 use tpu_sim::SimError;
+use wide_nn::diag::Diagnostic;
 use wide_nn::NnError;
 
 /// Error type unifying every failure the framework can surface.
@@ -23,6 +24,9 @@ pub enum FrameworkError {
     Sim(SimError),
     /// A tensor error.
     Tensor(TensorError),
+    /// A declared execution schedule failed static verification; the
+    /// diagnostics carry the analyzer's `schedule/*` findings.
+    Schedule(Vec<Diagnostic>),
 }
 
 impl fmt::Display for FrameworkError {
@@ -34,6 +38,13 @@ impl fmt::Display for FrameworkError {
             FrameworkError::Nn(e) => write!(f, "model error: {e}"),
             FrameworkError::Sim(e) => write!(f, "device error: {e}"),
             FrameworkError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FrameworkError::Schedule(diags) => {
+                write!(f, "schedule rejected by static verification:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -46,7 +57,7 @@ impl Error for FrameworkError {
             FrameworkError::Nn(e) => Some(e),
             FrameworkError::Sim(e) => Some(e),
             FrameworkError::Tensor(e) => Some(e),
-            FrameworkError::InvalidConfig(_) => None,
+            FrameworkError::InvalidConfig(_) | FrameworkError::Schedule(_) => None,
         }
     }
 }

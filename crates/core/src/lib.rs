@@ -29,7 +29,10 @@
 //!   setting,
 //! * [`wide_model`] — the HDC-to-wide-NN interpretation (Fig. 2),
 //! * [`runtime`] — closed-form runtime models usable at paper scale
-//!   without functional execution.
+//!   without functional execution,
+//! * [`schedule`] — the overlapped execution paths declared as SDF
+//!   stage graphs and statically verified (rates, buffer bounds,
+//!   deadlock-freedom, critical path) before any thread spawns.
 //!
 //! # Examples
 //!
@@ -67,6 +70,7 @@ mod pipeline;
 pub mod backend;
 pub mod federated;
 pub mod runtime;
+pub mod schedule;
 pub mod wide_model;
 
 pub use backend::{
@@ -78,6 +82,7 @@ pub use error::FrameworkError;
 pub use inference::{InferenceEngine, InferenceReport};
 pub use pipeline::{EvaluationReport, Pipeline, TrainingOutcome, TrainingTelemetry};
 pub use runtime::{EnergyBreakdown, RuntimeBreakdown, UpdateProfile, WorkloadSpec};
+pub use schedule::SchedulePlan;
 
 /// Convenience result alias for fallible framework operations.
 pub type Result<T> = std::result::Result<T, FrameworkError>;

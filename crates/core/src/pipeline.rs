@@ -138,6 +138,22 @@ impl Pipeline {
         let backend = self.backend(setting);
         let before = backend.ledger();
         let specs = self.member_plan(features, setting)?;
+        let threads = self.member_threads(setting);
+        if threads > 1 && specs.len() > 1 {
+            // Members will train on scoped worker threads: verify the
+            // declared parallel-members SDF schedule (fan-out rates and
+            // index-ordered result slots) before any thread spawns.
+            let member_cost_s = cpu_model::cost::encode_s(
+                &self.config.platform.spec(),
+                features.rows(),
+                features.cols(),
+                self.config.dim,
+            );
+            crate::schedule::SchedulePlan::declare(crate::schedule::parallel_members_graph(
+                specs.len(),
+                member_cost_s,
+            ))?;
+        }
         let (bagged, stats) = train_members_parallel(
             features,
             labels,
@@ -145,7 +161,7 @@ impl Pipeline {
             specs,
             backend,
             self.config.member_recovery,
-            self.member_threads(setting),
+            threads,
         )?;
         let model = bagged.merge()?;
         let ledger = backend.ledger().delta_since(&before);

@@ -1,0 +1,317 @@
+//! Declared SDF schedules for the framework's overlapped execution
+//! paths, verified statically before any thread spawns.
+//!
+//! Every place this crate overlaps work — the double-buffered device
+//! invoke ([`TpuBackend`](crate::backend::TpuBackend)), the streamed
+//! encode→update training loop
+//! ([`HybridBackend`](crate::backend::HybridBackend)), and parallel
+//! bagged-member training ([`Pipeline::train`](crate::Pipeline::train))
+//! — is described here as an explicit
+//! [`SdfGraph`](hd_analysis::dataflow::SdfGraph): stages with token
+//! rates, resource pins, and per-firing costs taken from the
+//! [`tpu_sim::timing`] model. [`SchedulePlan::declare`] runs the static
+//! analyzer from `hd-analysis` over the declaration and turns any
+//! `schedule/*` error (rate inconsistency, undersized channel bound,
+//! deadlocking cycle) into a typed
+//! [`FrameworkError::Schedule`](crate::FrameworkError::Schedule) before
+//! the corresponding runtime schedule is allowed to execute. The same
+//! declarations back `hyperedge verify --schedule`.
+//!
+//! The analyzer's critical-path output is not just documentation: for
+//! the overlapped-invoke schedule,
+//! [`predicted_pipelined_elapsed_s`] must match the device
+//! [`TimingLedger`](tpu_sim::TimingLedger)'s measured elapsed time to
+//! 1e-12 (a property test pins this), making the dynamic ledger the
+//! oracle for the static model.
+
+use cpu_model::{cost, Platform};
+use hd_analysis::dataflow::{analyze, Resource, ScheduleReport, SdfGraph};
+use tpu_sim::timing::{self, ModelDims};
+use tpu_sim::DeviceConfig;
+
+use crate::FrameworkError;
+
+/// Depth of the bounded chunk channel between the device-encode
+/// producer and the host-update consumer in the streamed training
+/// schedule: two in-flight chunks give the classic double-buffer
+/// overlap without letting the producer run arbitrarily ahead.
+pub const STREAM_DEPTH: usize = 2;
+
+/// Double-buffer slot count of the overlapped device invoke: one chunk
+/// in flight on the link while the previous one computes.
+pub const INVOKE_BUFFERS: usize = 2;
+
+/// The double-buffered device-invoke schedule
+/// (`Device::invoke_overlapped`): input DMA and output DMA occupy the
+/// link while the MXU computes the previous chunk, so one steady-state
+/// chunk costs `overhead + max(transfer, compute)`.
+#[must_use]
+pub fn overlapped_invoke_graph(cfg: &DeviceConfig, dims: &ModelDims, samples: usize) -> SdfGraph {
+    let costs = timing::stage_costs(cfg, dims, samples);
+    let mut g = SdfGraph::new("overlapped-invoke").with_overhead_s(costs.overhead_s);
+    let dma_in = g.add_stage("dma_in", Resource::Link, costs.input_transfer_s);
+    let compute = g.add_stage("compute", Resource::Device, costs.compute_s);
+    let dma_out = g.add_stage("dma_out", Resource::Link, costs.output_transfer_s);
+    g.add_channel(dma_in, compute, 1, 1, Some(INVOKE_BUFFERS));
+    g.add_channel(compute, dma_out, 1, 1, Some(INVOKE_BUFFERS));
+    g
+}
+
+/// The streamed encode→train schedule
+/// (`HybridBackend::encode_train`): a device-encode producer feeds
+/// host-update firings through a bounded channel of `depth` chunks.
+/// `depth` is a parameter (rather than pinned to [`STREAM_DEPTH`]) so
+/// `hyperedge verify --schedule --stream-depth N` can probe what the
+/// analyzer says about shallower declarations.
+#[must_use]
+pub fn streamed_encode_graph(
+    cfg: &DeviceConfig,
+    dims: &ModelDims,
+    chunk: usize,
+    depth: usize,
+    update_cost_s: f64,
+) -> SdfGraph {
+    let encode_cost_s = timing::invoke_estimate_pipelined(cfg, dims, chunk.max(1)).total_s;
+    let mut g = SdfGraph::new("streamed-encode-train");
+    let encode = g.add_stage("encode", Resource::Device, encode_cost_s);
+    let update = g.add_stage("update", Resource::Host, update_cost_s);
+    g.add_channel(encode, update, 1, 1, Some(depth));
+    g
+}
+
+/// The parallel bagged-member training schedule
+/// (`train_members_parallel`): a plan stage fans `members` work tokens
+/// out to member firings whose results merge back index-ordered into
+/// one full-width model. The slot vector the implementation writes
+/// into is the declared capacity.
+#[must_use]
+pub fn parallel_members_graph(members: usize, member_cost_s: f64) -> SdfGraph {
+    let members = members.max(1);
+    let mut g = SdfGraph::new("parallel-members");
+    let plan = g.add_stage("plan", Resource::Host, 0.0);
+    let member = g.add_stage("member", Resource::Host, member_cost_s);
+    let merge = g.add_stage("merge", Resource::Host, 0.0);
+    g.add_channel(plan, member, members, 1, Some(members));
+    g.add_channel(member, merge, 1, members, Some(members));
+    g
+}
+
+/// A statically verified schedule: the declared graph plus the
+/// analyzer's report. Construction *is* verification — a plan with a
+/// `schedule/*` error cannot exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulePlan {
+    graph: SdfGraph,
+    report: ScheduleReport,
+}
+
+impl SchedulePlan {
+    /// Analyzes `graph` and accepts it only if the analyzer finds no
+    /// errors (warnings — e.g. a declared bound too shallow to overlap
+    /// — are carried in the report but do not reject).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::Schedule`] carrying the analyzer's
+    /// diagnostics when the declaration is rate-inconsistent, declares
+    /// a channel bound below the analyzer's minimum, or deadlocks.
+    pub fn declare(graph: SdfGraph) -> crate::Result<SchedulePlan> {
+        let report = analyze(&graph);
+        if report.has_errors() {
+            return Err(FrameworkError::Schedule(report.diagnostics));
+        }
+        Ok(SchedulePlan { graph, report })
+    }
+
+    /// The declared graph.
+    #[must_use]
+    pub fn graph(&self) -> &SdfGraph {
+        &self.graph
+    }
+
+    /// The analyzer's full report (including any warnings).
+    #[must_use]
+    pub fn report(&self) -> &ScheduleReport {
+        &self.report
+    }
+
+    /// The analytic critical path of one steady-state iteration in
+    /// seconds — the lower bound no execution of this schedule can
+    /// beat.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::InvalidConfig`] if the analyzer produced no
+    /// quantitative analysis (cannot happen for a declared plan, whose
+    /// rates were proven consistent).
+    pub fn critical_path_s(&self) -> crate::Result<f64> {
+        self.report
+            .analysis
+            .as_ref()
+            .map(|a| a.critical_path_s)
+            .ok_or_else(|| {
+                FrameworkError::InvalidConfig("declared schedule has no rate analysis".into())
+            })
+    }
+}
+
+/// Predicted elapsed seconds for streaming `total_samples` rows through
+/// the declared overlapped-invoke schedule in chunks of `batch` rows
+/// (the last chunk may be partial): the sum of each chunk's analytic
+/// critical path. This is the static lower bound the device
+/// [`TimingLedger`](tpu_sim::TimingLedger) must reproduce exactly,
+/// because `Device::invoke_overlapped` charges precisely the
+/// `overhead + max(transfer, compute)` model the analyzer derives.
+///
+/// # Errors
+///
+/// [`FrameworkError::InvalidConfig`] when `batch == 0`, or
+/// [`FrameworkError::Schedule`] if the declared graph fails
+/// verification (it cannot, by construction).
+pub fn predicted_pipelined_elapsed_s(
+    cfg: &DeviceConfig,
+    dims: &ModelDims,
+    total_samples: usize,
+    batch: usize,
+) -> crate::Result<f64> {
+    if batch == 0 {
+        return Err(FrameworkError::InvalidConfig(
+            "batch must be positive".into(),
+        ));
+    }
+    let full_chunks = total_samples / batch;
+    let remainder = total_samples % batch;
+    let mut elapsed = 0.0;
+    if full_chunks > 0 {
+        let plan = SchedulePlan::declare(overlapped_invoke_graph(cfg, dims, batch))?;
+        elapsed += full_chunks as f64 * plan.critical_path_s()?;
+    }
+    if remainder > 0 {
+        let plan = SchedulePlan::declare(overlapped_invoke_graph(cfg, dims, remainder))?;
+        elapsed += plan.critical_path_s()?;
+    }
+    Ok(elapsed)
+}
+
+/// The three production schedules at paper-scale defaults (MNIST-like
+/// 784→10000 encoder, 256-row chunks, the default device), as declared
+/// graphs for `hyperedge verify --schedule`. `stream_depth` and
+/// `members` parameterize the streamed-encode channel bound and the
+/// bagging fan-out so the CLI can probe deliberately broken
+/// declarations.
+#[must_use]
+pub fn standard_schedules(stream_depth: usize, members: usize) -> Vec<SdfGraph> {
+    let cfg = DeviceConfig::default();
+    let dims = ModelDims::encoder(784, 10_000);
+    let chunk = 256;
+    let spec = Platform::MobileI5.spec();
+    let update_cost_s = cost::class_update_s(&spec, chunk, 10_000);
+    let member_cost_s = cost::encode_s(&spec, chunk, 784, 10_000);
+    vec![
+        overlapped_invoke_graph(&cfg, &dims, chunk),
+        streamed_encode_graph(&cfg, &dims, chunk, stream_depth, update_cost_s),
+        parallel_members_graph(members, member_cost_s),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_production_schedules_are_accepted() {
+        for graph in standard_schedules(STREAM_DEPTH, 8) {
+            let name = graph.name().to_string();
+            let plan = SchedulePlan::declare(graph)
+                .unwrap_or_else(|e| panic!("schedule `{name}` rejected: {e}"));
+            assert!(plan.critical_path_s().unwrap() > 0.0);
+            assert!(
+                !plan.report().has_errors(),
+                "{name}: {:?}",
+                plan.report().diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn default_stream_depth_overlaps_without_warnings() {
+        let report = &standard_schedules(STREAM_DEPTH, 8)
+            .into_iter()
+            .map(|g| analyze(&g))
+            .collect::<Vec<_>>()[1];
+        assert!(
+            report.diagnostics.is_empty(),
+            "depth {STREAM_DEPTH} should be warning-free: {:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn zero_stream_depth_is_rejected_naming_the_minimum() {
+        let graphs = standard_schedules(0, 8);
+        let err = SchedulePlan::declare(graphs[1].clone()).unwrap_err();
+        let FrameworkError::Schedule(diags) = err else {
+            panic!("expected Schedule error");
+        };
+        let undersized = diags
+            .iter()
+            .find(|d| d.code == "schedule/buffer-undersized")
+            .expect("buffer-undersized diagnostic");
+        assert!(
+            undersized.message.contains("minimal safe bound 1"),
+            "{}",
+            undersized.message
+        );
+    }
+
+    #[test]
+    fn depth_one_warns_about_lost_overlap_but_is_accepted() {
+        let graphs = standard_schedules(1, 8);
+        let plan = SchedulePlan::declare(graphs[1].clone()).expect("depth 1 is safe");
+        assert!(plan
+            .report()
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "schedule/no-overlap"));
+    }
+
+    #[test]
+    fn overlapped_invoke_critical_path_matches_pipelined_estimate() {
+        let cfg = DeviceConfig::default();
+        let dims = ModelDims::encoder(64, 512);
+        for samples in [1usize, 7, 32] {
+            let plan =
+                SchedulePlan::declare(overlapped_invoke_graph(&cfg, &dims, samples)).unwrap();
+            let expected = timing::invoke_estimate_pipelined(&cfg, &dims, samples).total_s;
+            let got = plan.critical_path_s().unwrap();
+            assert!((got - expected).abs() < 1e-15, "{got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn predicted_elapsed_matches_batched_formula() {
+        let cfg = DeviceConfig::default();
+        let dims = ModelDims::encoder(64, 512);
+        let got = predicted_pipelined_elapsed_s(&cfg, &dims, 70, 32).unwrap();
+        let expected = timing::batched_time_pipelined_s(&cfg, &dims, 70, 32);
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+        assert!(predicted_pipelined_elapsed_s(&cfg, &dims, 70, 0).is_err());
+    }
+
+    #[test]
+    fn parallel_members_repetition_reflects_fanout() {
+        let plan = SchedulePlan::declare(parallel_members_graph(4, 1.0)).unwrap();
+        let analysis = plan.report().analysis.as_ref().unwrap();
+        assert_eq!(analysis.repetition, vec![1, 4, 1]);
+        assert_eq!(analysis.min_capacities, vec![4, 4]);
+    }
+
+    #[test]
+    fn schedule_error_display_carries_diagnostics() {
+        let graphs = standard_schedules(0, 8);
+        let err = SchedulePlan::declare(graphs[1].clone()).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("schedule rejected"), "{text}");
+        assert!(text.contains("buffer-undersized"), "{text}");
+    }
+}

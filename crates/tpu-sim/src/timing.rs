@@ -152,6 +152,50 @@ pub struct InvokeEstimate {
     pub total_s: f64,
 }
 
+/// Per-firing cost of each pipeline stage of one invocation, in seconds
+/// — the raw inputs a dataflow scheduler (or the static schedule
+/// analyzer in `hd-analysis`) needs, without committing to any
+/// serial/overlapped composition. [`invoke_estimate`] composes these
+/// serially; a double-buffered driver overlaps the link stages with
+/// compute ([`invoke_estimate_pipelined`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageCosts {
+    /// Fixed per-invocation dispatch overhead (cannot be hidden).
+    pub overhead_s: f64,
+    /// Host-to-device input DMA time on the link.
+    pub input_transfer_s: f64,
+    /// MXU + activation-unit time on the device.
+    pub compute_s: f64,
+    /// Device-to-host output DMA time on the link.
+    pub output_transfer_s: f64,
+    /// Total MXU/activation cycles behind `compute_s`.
+    pub compute_cycles: u64,
+}
+
+/// Per-stage costs of invoking a model with the given dimensions on
+/// `samples` rows. This is the cost model that parameterizes declared
+/// SDF schedule graphs; [`invoke_estimate`] is its serial composition.
+pub fn stage_costs(cfg: &DeviceConfig, dims: &ModelDims, samples: usize) -> StageCosts {
+    let array = SystolicArray::new(cfg.target.array_rows, cfg.target.array_cols);
+    let bw = cfg.link.bandwidth_bytes_per_sec;
+
+    let mut cycles: u64 = 0;
+    for &(k, n) in &dims.fc_layers {
+        cycles += array.stream_cycles(samples, k, n);
+    }
+    for &w in &dims.lut_widths {
+        cycles += array.activation_cycles(samples * w);
+    }
+
+    StageCosts {
+        overhead_s: cfg.link.per_invoke_latency_s,
+        input_transfer_s: (samples * dims.input_dim) as f64 / bw,
+        compute_s: cycles as f64 / cfg.clock_hz,
+        output_transfer_s: (samples * dims.output_dim) as f64 / bw,
+        compute_cycles: cycles,
+    }
+}
+
 /// Estimates one invocation of a model with the given dimensions on
 /// `samples` rows.
 ///
@@ -168,29 +212,18 @@ pub struct InvokeEstimate {
 /// assert!(est.output_transfer_s > est.input_transfer_s);
 /// ```
 pub fn invoke_estimate(cfg: &DeviceConfig, dims: &ModelDims, samples: usize) -> InvokeEstimate {
-    let array = SystolicArray::new(cfg.target.array_rows, cfg.target.array_cols);
-    let bw = cfg.link.bandwidth_bytes_per_sec;
-
-    let mut cycles: u64 = 0;
-    for &(k, n) in &dims.fc_layers {
-        cycles += array.stream_cycles(samples, k, n);
-    }
-    for &w in &dims.lut_widths {
-        cycles += array.activation_cycles(samples * w);
-    }
-
-    let overhead_s = cfg.link.per_invoke_latency_s;
-    let input_transfer_s = (samples * dims.input_dim) as f64 / bw;
-    let output_transfer_s = (samples * dims.output_dim) as f64 / bw;
-    let compute_s = cycles as f64 / cfg.clock_hz;
+    let costs = stage_costs(cfg, dims, samples);
     InvokeEstimate {
         samples,
-        overhead_s,
-        input_transfer_s,
-        compute_s,
-        output_transfer_s,
-        compute_cycles: cycles,
-        total_s: overhead_s + input_transfer_s + compute_s + output_transfer_s,
+        overhead_s: costs.overhead_s,
+        input_transfer_s: costs.input_transfer_s,
+        compute_s: costs.compute_s,
+        output_transfer_s: costs.output_transfer_s,
+        compute_cycles: costs.compute_cycles,
+        total_s: costs.overhead_s
+            + costs.input_transfer_s
+            + costs.compute_s
+            + costs.output_transfer_s,
     }
 }
 
@@ -289,6 +322,21 @@ mod tests {
         let est = invoke_estimate(&cfg, &dims, 16);
         let sum = est.overhead_s + est.input_transfer_s + est.compute_s + est.output_transfer_s;
         assert!((est.total_s - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_costs_match_invoke_estimate_components() {
+        let cfg = DeviceConfig::default();
+        let dims = ModelDims::inference(128, 1024, 8);
+        for samples in [1usize, 7, 64] {
+            let costs = stage_costs(&cfg, &dims, samples);
+            let est = invoke_estimate(&cfg, &dims, samples);
+            assert!((costs.overhead_s - est.overhead_s).abs() < 1e-15);
+            assert!((costs.input_transfer_s - est.input_transfer_s).abs() < 1e-15);
+            assert!((costs.compute_s - est.compute_s).abs() < 1e-15);
+            assert!((costs.output_transfer_s - est.output_transfer_s).abs() < 1e-15);
+            assert_eq!(costs.compute_cycles, est.compute_cycles);
+        }
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Static schedule verification against the dynamic timing oracle.
+//!
+//! The declared SDF graphs in [`hyperedge::schedule`] claim an analytic
+//! critical path for each overlapped execution schedule. These tests
+//! hold that claim to the measured clock: the device
+//! [`TimingLedger`](tpu_sim::TimingLedger) of a pipelined run must equal
+//! the analyzer's predicted elapsed time to 1e-12 over randomized
+//! workloads, and the three production schedules must verify cleanly
+//! while a deliberately undersized channel bound is rejected with the
+//! analyzer's computed minimum in the message.
+
+use proptest::prelude::*;
+
+use hd_analysis::dataflow::analyze;
+use hd_tensor::rng::DetRng;
+use hd_tensor::Matrix;
+use hyperedge::schedule::{self, overlapped_invoke_graph, streamed_encode_graph, SchedulePlan};
+use hyperedge::FrameworkError;
+use tpu_sim::timing::ModelDims;
+use tpu_sim::{Device, DeviceConfig};
+use wide_nn::{compile, Activation, ModelBuilder, TargetSpec};
+
+/// A device with a compiled encoder network resident, the batch to
+/// drive it with, and the dimensions the timing model sees.
+fn loaded_device(
+    features: usize,
+    dim: usize,
+    rows: usize,
+    seed: u64,
+) -> (Device, Matrix, ModelDims) {
+    let mut rng = DetRng::new(seed);
+    let network = ModelBuilder::new(features)
+        .fully_connected(Matrix::random_normal(features, dim, &mut rng))
+        .unwrap()
+        .activation(Activation::Tanh)
+        .build()
+        .unwrap();
+    let batch = Matrix::random_normal(rows, features, &mut rng);
+    let compiled = compile::compile(&network, &batch, &TargetSpec::default()).unwrap();
+    let dims = ModelDims::from_compiled(&compiled);
+    let device = Device::new(DeviceConfig::default());
+    device.load_model(compiled).unwrap();
+    (device, batch, dims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Over arbitrary (rows, chunk, seed): the static analyzer's
+    /// critical-path prediction for the declared overlapped-invoke
+    /// schedule equals the measured ledger elapsed time to 1e-12. The
+    /// ledger is reset after the model load, so both sides cover
+    /// exactly the steady-state chunk iterations.
+    #[test]
+    fn prop_predicted_critical_path_matches_measured_ledger(
+        rows in 1usize..40,
+        chunk in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let (device, batch, dims) = loaded_device(12, 64, rows, seed);
+        device.reset_ledger();
+        device.invoke_pipelined(&batch, chunk).unwrap();
+        let measured = device.ledger().total_s;
+
+        let predicted =
+            schedule::predicted_pipelined_elapsed_s(&DeviceConfig::default(), &dims, rows, chunk)
+                .unwrap();
+        prop_assert!(
+            (measured - predicted).abs() < 1e-12,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+}
+
+/// All three production schedules verify cleanly as declared.
+#[test]
+fn production_schedules_are_accepted() {
+    for graph in schedule::standard_schedules(schedule::STREAM_DEPTH, 8) {
+        let report = analyze(&graph);
+        assert!(
+            !report.has_errors(),
+            "{}: {:?}",
+            report.graph,
+            report.diagnostics
+        );
+    }
+}
+
+/// An undersized streamed-channel declaration is rejected with the
+/// analyzer's computed minimal safe bound in the diagnostic.
+#[test]
+fn undersized_stream_channel_is_rejected_with_minimum() {
+    let cfg = DeviceConfig::default();
+    let dims = ModelDims::encoder(64, 512);
+    let err = SchedulePlan::declare(streamed_encode_graph(&cfg, &dims, 32, 0, 1e-3)).unwrap_err();
+    let FrameworkError::Schedule(diags) = err else {
+        panic!("expected a Schedule error");
+    };
+    let hit = diags
+        .iter()
+        .find(|d| d.code == "schedule/buffer-undersized")
+        .expect("buffer-undersized diagnostic");
+    assert!(
+        hit.message.contains("minimal safe bound 1"),
+        "{}",
+        hit.message
+    );
+}
+
+/// A rate-inconsistent declaration (a fan-out whose direct plan→merge
+/// edge contradicts the 4-way member fan-out) is rejected.
+#[test]
+fn inconsistent_member_rates_are_rejected() {
+    use hd_analysis::dataflow::{Resource, SdfGraph};
+    let mut graph = SdfGraph::new("parallel-members-bad");
+    let plan = graph.add_stage("plan", Resource::Host, 0.0);
+    let member = graph.add_stage("member", Resource::Host, 1.0);
+    let merge = graph.add_stage("merge", Resource::Host, 0.0);
+    graph.add_channel(plan, member, 4, 1, Some(4));
+    graph.add_channel(member, merge, 1, 4, Some(4));
+    // The fan-out dictates one merge firing per plan firing; this edge
+    // demands two.
+    graph.add_channel(plan, merge, 2, 1, None);
+    let report = analyze(&graph);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == "schedule/rate-inconsistent"));
+}
+
+/// The overlapped-invoke declaration stays accepted across model shapes
+/// and chunk sizes (the graph is re-declared on every backend call).
+#[test]
+fn overlapped_invoke_accepts_all_shapes() {
+    let cfg = DeviceConfig::default();
+    for (features, dim) in [(4, 16), (27, 10_000), (784, 10_000)] {
+        for samples in [1usize, 7, 256] {
+            let dims = ModelDims::encoder(features, dim);
+            let plan = SchedulePlan::declare(overlapped_invoke_graph(&cfg, &dims, samples))
+                .expect("overlapped invoke must verify");
+            assert!(plan.critical_path_s().unwrap() > 0.0);
+        }
+    }
+}
