@@ -5,14 +5,18 @@
 //! rates balance, a [`ScheduleAnalysis`] with the repetition vector, the
 //! minimal safe capacity of every channel, and the analytic critical
 //! path of one steady-state iteration.
+//!
+//! The rate mathematics itself (balance-equation solve, minimal bounds,
+//! steady-state simulation, busy times) lives in [`hd_dataflow::solve`]
+//! and is shared verbatim with the executing runtime
+//! ([`hd_dataflow::runtime`]), so what this analyzer proves is exactly
+//! what the runtime runs.
 
 use std::fmt;
 
-use super::graph::{Resource, SdfGraph};
+use hd_dataflow::graph::{Resource, SdfGraph};
+use hd_dataflow::solve;
 use wide_nn::diag::Diagnostic;
-
-/// Fixed resource order used for busy-time reporting.
-const RESOURCES: [Resource; 3] = [Resource::Device, Resource::Host, Resource::Link];
 
 /// Quantitative results of a successful rate analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,7 +33,7 @@ pub struct ScheduleAnalysis {
     pub min_capacities: Vec<usize>,
     /// Busy seconds per resource over one iteration:
     /// `Σ repetition × cost` of the stages pinned to it, ordered
-    /// device, host, link.
+    /// devices, host, links.
     pub resource_busy_s: Vec<(Resource, f64)>,
     /// Elapsed seconds one iteration cannot beat:
     /// `overhead + max(resource busy times)`. Resources serialize
@@ -88,185 +92,6 @@ impl fmt::Display for ScheduleReport {
             writeln!(f, "  {d}")?;
         }
         Ok(())
-    }
-}
-
-/// Greatest common divisor (u64, gcd(0, n) = n).
-fn gcd(mut a: u64, mut b: u64) -> u64 {
-    while b != 0 {
-        let t = a % b;
-        a = b;
-        b = t;
-    }
-    a
-}
-
-/// A non-negative rational, kept reduced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Ratio {
-    num: u64,
-    den: u64,
-}
-
-impl Ratio {
-    fn new(num: u64, den: u64) -> Ratio {
-        let g = gcd(num, den).max(1);
-        Ratio {
-            num: num / g,
-            den: den / g,
-        }
-    }
-
-    /// `self * num / den`, reduced.
-    fn scaled(self, num: u64, den: u64) -> Ratio {
-        let scale = Ratio::new(num, den);
-        // Cross-reduce before multiplying so u64 stays comfortable for
-        // any realistic rate declaration.
-        let g1 = gcd(self.num, scale.den).max(1);
-        let g2 = gcd(scale.num, self.den).max(1);
-        Ratio {
-            num: (self.num / g1) * (scale.num / g2),
-            den: (self.den / g2) * (scale.den / g1),
-        }
-    }
-}
-
-/// Solves the balance equations `rate[from] * produce = rate[to] *
-/// consume` for the smallest positive integer repetition vector, or
-/// reports the first inconsistent channel.
-fn repetition_vector(graph: &SdfGraph) -> Result<Vec<u64>, Diagnostic> {
-    let n = graph.stages().len();
-    let mut rates: Vec<Option<Ratio>> = vec![None; n];
-
-    // Adjacency over channel indices, both directions.
-    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (c, channel) in graph.channels().iter().enumerate() {
-        adjacency[channel.from.index()].push(c);
-        adjacency[channel.to.index()].push(c);
-    }
-
-    for start in 0..n {
-        if rates[start].is_some() {
-            continue;
-        }
-        rates[start] = Some(Ratio::new(1, 1));
-        let mut queue = vec![start];
-        while let Some(s) = queue.pop() {
-            let rate = match rates[s] {
-                Some(r) => r,
-                None => continue,
-            };
-            for &c in &adjacency[s] {
-                let channel = &graph.channels()[c];
-                let (other, expected) = if channel.from.index() == s {
-                    // rate[to] = rate[from] * produce / consume
-                    (
-                        channel.to.index(),
-                        rate.scaled(channel.produce as u64, channel.consume as u64),
-                    )
-                } else {
-                    (
-                        channel.from.index(),
-                        rate.scaled(channel.consume as u64, channel.produce as u64),
-                    )
-                };
-                match rates[other] {
-                    None => {
-                        rates[other] = Some(expected);
-                        queue.push(other);
-                    }
-                    Some(found) if found != expected => {
-                        return Err(Diagnostic::error(
-                            "schedule/rate-inconsistent",
-                            format!(
-                                "channel `{}` (produce {}, consume {}) contradicts the rates \
-                                 implied by the rest of the graph: no balanced repetition \
-                                 vector exists",
-                                graph.channel_label(channel),
-                                channel.produce,
-                                channel.consume
-                            ),
-                        )
-                        .with_help(
-                            "every cycle of rate ratios must multiply to 1; fix the \
-                             production/consumption declaration of this channel",
-                        ));
-                    }
-                    Some(_) => {}
-                }
-            }
-        }
-    }
-
-    // Scale to the smallest positive integer vector: multiply by the
-    // lcm of denominators, then divide by the gcd of the results.
-    let mut lcm: u64 = 1;
-    for rate in rates.iter().flatten() {
-        lcm = lcm / gcd(lcm, rate.den) * rate.den;
-    }
-    let mut reps: Vec<u64> = rates
-        .into_iter()
-        .map(|r| r.map_or(1, |r| r.num * (lcm / r.den)))
-        .collect();
-    let common = reps.iter().copied().fold(0, gcd).max(1);
-    for r in &mut reps {
-        *r /= common;
-    }
-    Ok(reps)
-}
-
-/// Symbolically executes one steady-state iteration under the declared
-/// capacities. Returns `Ok(())` when every stage completes its
-/// repetition count, or the deadlock diagnostic of the stalled state.
-fn simulate_steady_state(graph: &SdfGraph, repetition: &[u64]) -> Result<(), Diagnostic> {
-    let channels = graph.channels();
-    let mut tokens: Vec<usize> = channels.iter().map(|c| c.initial_tokens).collect();
-    let mut remaining: Vec<u64> = repetition.to_vec();
-
-    let can_fire = |stage: usize, tokens: &[usize]| -> bool {
-        for (c, channel) in channels.iter().enumerate() {
-            let consumes = channel.to.index() == stage;
-            let produces = channel.from.index() == stage;
-            let mut level = tokens[c];
-            if consumes {
-                if level < channel.consume {
-                    return false;
-                }
-                level -= channel.consume;
-            }
-            if produces {
-                if let Some(cap) = channel.capacity {
-                    if level + channel.produce > cap {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
-    };
-
-    loop {
-        let mut progressed = false;
-        for (stage, rem) in remaining.iter_mut().enumerate() {
-            while *rem > 0 && can_fire(stage, &tokens) {
-                for (c, channel) in channels.iter().enumerate() {
-                    if channel.to.index() == stage {
-                        tokens[c] -= channel.consume;
-                    }
-                    if channel.from.index() == stage {
-                        tokens[c] += channel.produce;
-                    }
-                }
-                *rem -= 1;
-                progressed = true;
-            }
-        }
-        if remaining.iter().all(|&r| r == 0) {
-            return Ok(());
-        }
-        if !progressed {
-            return Err(deadlock_diag(graph, &tokens, &remaining));
-        }
     }
 }
 
@@ -359,9 +184,48 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
         };
     }
 
-    let repetition = match repetition_vector(graph) {
+    let repetition = match solve::repetition_vector(graph) {
         Ok(reps) => reps,
-        Err(diag) => {
+        Err(err) => {
+            let diag = match err {
+                solve::RateError::Inconsistent { channel } => {
+                    let channel = &graph.channels()[channel];
+                    Diagnostic::error(
+                        "schedule/rate-inconsistent",
+                        format!(
+                            "channel `{}` (produce {}, consume {}) contradicts the rates \
+                             implied by the rest of the graph: no balanced repetition \
+                             vector exists",
+                            graph.channel_label(channel),
+                            channel.produce,
+                            channel.consume
+                        ),
+                    )
+                    .with_help(
+                        "every cycle of rate ratios must multiply to 1; fix the \
+                         production/consumption declaration of this channel",
+                    )
+                }
+                // Structural errors were already reported above; if the
+                // solver still surfaces one, report it rather than panic.
+                solve::RateError::Dangling { .. } => Diagnostic::error(
+                    "schedule/rate-inconsistent",
+                    "a channel references a stage that is not part of this graph".to_string(),
+                ),
+                solve::RateError::ZeroRate { channel } => {
+                    let channel = &graph.channels()[channel];
+                    Diagnostic::error(
+                        "schedule/rate-inconsistent",
+                        format!(
+                            "channel `{}` declares a zero token rate (produce {}, consume {})",
+                            graph.channel_label(channel),
+                            channel.produce,
+                            channel.consume
+                        ),
+                    )
+                    .with_help("every firing must move at least one token")
+                }
+            };
             return ScheduleReport {
                 graph: graph.name().to_string(),
                 diagnostics: vec![diag],
@@ -393,8 +257,7 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
     // Minimal safe bounds and overlap depth per channel.
     let mut min_capacities = Vec::with_capacity(graph.channels().len());
     for channel in graph.channels() {
-        let g = gcd(channel.produce as u64, channel.consume as u64) as usize;
-        let min_bound = (channel.produce + channel.consume - g).max(channel.initial_tokens);
+        let min_bound = solve::min_capacity(channel);
         min_capacities.push(min_bound);
         let Some(declared) = channel.capacity else {
             continue;
@@ -441,25 +304,14 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
         .iter()
         .any(|d| d.severity == wide_nn::diag::Severity::Error);
     if structurally_sound {
-        if let Err(diag) = simulate_steady_state(graph, &repetition) {
-            diagnostics.push(diag);
+        if let Err(stall) = solve::simulate_steady_state(graph, &repetition) {
+            diagnostics.push(deadlock_diag(graph, &stall.tokens, &stall.remaining));
         }
     }
 
     // Critical path: resources serialize internally, overlap mutually.
-    let mut resource_busy_s = Vec::with_capacity(RESOURCES.len());
-    let mut longest = 0.0f64;
-    for resource in RESOURCES {
-        let busy: f64 = graph
-            .stages()
-            .iter()
-            .zip(&repetition)
-            .filter(|(stage, _)| stage.resource == resource)
-            .map(|(stage, &reps)| reps as f64 * stage.cost_s)
-            .fold(0.0, |acc, s| acc + s);
-        longest = longest.max(busy);
-        resource_busy_s.push((resource, busy));
-    }
+    let resource_busy_s = solve::resource_busy_s(graph, &repetition);
+    let critical_path_s = solve::critical_path_s(graph, &repetition);
 
     ScheduleReport {
         graph: graph.name().to_string(),
@@ -469,7 +321,7 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
             repetition,
             min_capacities,
             resource_busy_s,
-            critical_path_s: graph.overhead_s() + longest,
+            critical_path_s,
         }),
     }
 }
@@ -486,9 +338,9 @@ mod tests {
     /// The double-buffered invoke shape: link -> device -> link.
     fn overlapped_invoke() -> SdfGraph {
         let mut g = SdfGraph::new("overlapped-invoke").with_overhead_s(1e-3);
-        let dma_in = g.add_stage("dma_in", Resource::Link, 2e-3);
-        let compute = g.add_stage("compute", Resource::Device, 5e-3);
-        let dma_out = g.add_stage("dma_out", Resource::Link, 1e-3);
+        let dma_in = g.add_stage("dma_in", Resource::LINK, 2e-3);
+        let compute = g.add_stage("compute", Resource::DEVICE, 5e-3);
+        let dma_out = g.add_stage("dma_out", Resource::LINK, 1e-3);
         g.add_channel(dma_in, compute, 1, 1, Some(2));
         g.add_channel(compute, dma_out, 1, 1, Some(2));
         g
@@ -547,7 +399,7 @@ mod tests {
     #[test]
     fn undersized_buffer_is_rejected_with_computed_minimum() {
         let mut g = SdfGraph::new("undersized");
-        let a = g.add_stage("a", Resource::Device, 1.0);
+        let a = g.add_stage("a", Resource::DEVICE, 1.0);
         let b = g.add_stage("b", Resource::Host, 1.0);
         g.add_channel(a, b, 3, 2, Some(2));
         let report = analyze(&g);
@@ -567,7 +419,7 @@ mod tests {
     #[test]
     fn zero_capacity_channel_is_undersized() {
         let mut g = SdfGraph::new("rendezvous");
-        let a = g.add_stage("a", Resource::Device, 1.0);
+        let a = g.add_stage("a", Resource::DEVICE, 1.0);
         let b = g.add_stage("b", Resource::Host, 1.0);
         g.add_channel(a, b, 1, 1, Some(0));
         let report = analyze(&g);
@@ -603,7 +455,7 @@ mod tests {
     #[test]
     fn unfireable_self_loop_is_rejected() {
         let mut g = SdfGraph::new("self-loop");
-        let a = g.add_stage("a", Resource::Device, 1.0);
+        let a = g.add_stage("a", Resource::DEVICE, 1.0);
         g.add_channel(a, a, 1, 1, Some(1));
         let report = analyze(&g);
         assert!(codes(&report).contains(&"schedule/resource-self-cycle"));
@@ -612,7 +464,7 @@ mod tests {
     #[test]
     fn seeded_self_loop_is_fine() {
         let mut g = SdfGraph::new("seeded-self-loop");
-        let a = g.add_stage("a", Resource::Device, 1.0);
+        let a = g.add_stage("a", Resource::DEVICE, 1.0);
         g.add_channel_with_delay(a, a, 1, 1, Some(1), 1);
         let report = analyze(&g);
         assert!(!report.has_errors(), "{report}");
@@ -621,7 +473,7 @@ mod tests {
     #[test]
     fn shallow_cross_resource_channel_warns_about_overlap() {
         let mut g = SdfGraph::new("serialized");
-        let a = g.add_stage("a", Resource::Device, 1.0);
+        let a = g.add_stage("a", Resource::DEVICE, 1.0);
         let b = g.add_stage("b", Resource::Host, 1.0);
         g.add_channel(a, b, 1, 1, Some(1));
         let report = analyze(&g);
@@ -667,6 +519,19 @@ mod tests {
         bad.add_channel(a, b, 2, 1, None);
         bad.add_channel(a, b, 1, 1, None);
         assert!(format!("{}", analyze(&bad)).contains("REJECTED"));
+    }
+
+    #[test]
+    fn two_device_schedule_reports_both_device_resources() {
+        let mut g = SdfGraph::new("two-device");
+        let enc = g.add_stage("encode", Resource::DEVICE, 2e-3);
+        let score = g.add_stage("score", Resource::Device(1), 3e-3);
+        g.add_channel(enc, score, 1, 1, Some(2));
+        let report = analyze(&g);
+        assert!(!report.has_errors(), "{report}");
+        let text = format!("{report}");
+        assert!(text.contains("busy device:"), "{text}");
+        assert!(text.contains("busy device1:"), "{text}");
     }
 
     #[test]

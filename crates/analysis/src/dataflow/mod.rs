@@ -9,7 +9,7 @@
 //! (SDF) stage-graph IR plus an analyzer that *proves* a declared
 //! schedule safe before any thread spawns or any simulated DMA fires.
 //!
-//! The IR ([`graph`]) models a schedule as stages with token
+//! The IR ([`hd_dataflow::graph`]) models a schedule as stages with token
 //! production/consumption rates on bounded channels, a resource tag
 //! ([`Resource`]: device, host, or link) and a per-firing cost in
 //! seconds. The analyzer ([`analyze`]) computes:
@@ -38,10 +38,12 @@
 //! carries their metadata for SARIF output.
 
 mod analyze;
-mod graph;
 
 pub use analyze::{analyze, ScheduleAnalysis, ScheduleReport};
-pub use graph::{Channel, Resource, SdfGraph, Stage, StageId};
+// The IR itself lives in the dependency-free `hd-dataflow` crate, shared
+// with the executing runtime; re-exported here so analysis consumers keep
+// their `hd_analysis::dataflow::*` paths.
+pub use hd_dataflow::graph::{Channel, Resource, SdfGraph, Stage, StageId};
 
 use crate::rules::RuleInfo;
 use wide_nn::diag::Severity;

@@ -17,6 +17,16 @@
 
 use wide_nn::diag::{Diagnostic, Severity, Site};
 
+/// Escapes `s` as a quoted JSON string literal — for callers (e.g. the
+/// CLI's enriched `verify --schedule` output) that assemble structured
+/// JSON around the diagnostic arrays this module encodes.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
 pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {

@@ -71,6 +71,20 @@ pub fn encode(diags: &[Diagnostic]) -> String {
 /// (e.g. `hyperedge-verify` for `hyperedge verify --schedule`).
 #[must_use]
 pub fn encode_as(driver: &str, diags: &[Diagnostic]) -> String {
+    encode_with_properties(driver, diags, None)
+}
+
+/// [`encode_as`] with an optional run-level `properties` bag:
+/// `properties` must be a pre-rendered JSON object (SARIF allows
+/// arbitrary property bags on a run). `hyperedge verify --schedule`
+/// uses it to attach each schedule's solved repetition vector and
+/// computed channel bounds alongside the pass/fail diagnostics.
+#[must_use]
+pub fn encode_with_properties(
+    driver: &str,
+    diags: &[Diagnostic],
+    properties: Option<&str>,
+) -> String {
     let rules = registered_rules();
     let mut out = String::with_capacity(2048 + diags.len() * 256);
     out.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
@@ -129,7 +143,12 @@ pub fn encode_as(driver: &str, diags: &[Diagnostic]) -> String {
         }
         out.push('\n');
     }
-    out.push_str("      ]\n    }\n  ]\n}\n");
+    out.push_str("      ]");
+    if let Some(bag) = properties {
+        out.push_str(",\n      \"properties\": ");
+        out.push_str(bag);
+    }
+    out.push_str("\n    }\n  ]\n}\n");
     out
 }
 
@@ -308,6 +327,31 @@ mod tests {
     fn empty_report_still_valid() {
         let log = parse_value(&encode(&[])).unwrap();
         assert_eq!(run(&log).get("results").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn run_property_bag_is_injected_verbatim() {
+        let bag = "{\"schedules\": [{\"name\": \"overlapped-invoke\"}]}";
+        let log = parse_value(&encode_with_properties(
+            "hyperedge-verify",
+            &sample(),
+            Some(bag),
+        ))
+        .expect("output with properties parses");
+        let schedules = run(&log)
+            .get("properties")
+            .expect("run carries a properties bag")
+            .get("schedules")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(
+            schedules[0].get("name").unwrap().as_str(),
+            Some("overlapped-invoke")
+        );
+        // Without a bag the run stays bag-free (and encode_as delegates).
+        let plain = parse_value(&encode_as("hyperedge-verify", &sample())).unwrap();
+        assert!(run(&plain).get("properties").is_none());
     }
 
     #[test]

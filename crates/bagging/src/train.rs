@@ -1,5 +1,9 @@
+use std::convert::Infallible;
+
 use serde::{Deserialize, Serialize};
 
+use hd_dataflow::runtime::{self, Binding, ExecutablePlan, Fire};
+use hd_dataflow::{Resource, SdfGraph};
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
 use hdc::{
@@ -325,8 +329,29 @@ pub fn train_members_with_recovery(
     Ok((BaggedModel::new(sub_models, classes)?, stats))
 }
 
+/// The declared parallel-members SDF schedule that
+/// [`train_members_parallel`] executes: one `plan` firing fans `members`
+/// job tokens out, `member` firings train concurrently, and one `merge`
+/// firing gathers every outcome back in index order. The slot vector the
+/// merge stage fills is the declared channel capacity. This is the same
+/// declaration `hyperedge verify --schedule` checks (the framework's
+/// schedule module delegates here), so the graph that is verified is the
+/// graph that runs.
+#[must_use]
+pub fn members_graph(members: usize, member_cost_s: f64) -> SdfGraph {
+    let members = members.max(1);
+    let mut g = SdfGraph::new("parallel-members");
+    let plan = g.add_stage("plan", Resource::Host, 0.0);
+    let member = g.add_stage("member", Resource::Host, member_cost_s);
+    let merge = g.add_stage("merge", Resource::Host, 0.0);
+    g.add_channel(plan, member, members, 1, Some(members));
+    g.add_channel(member, merge, 1, members, Some(members));
+    g
+}
+
 /// [`train_members_with_recovery`] with member-level parallelism: up to
-/// `threads` ensemble members train concurrently on scoped host threads.
+/// `threads` ensemble members train concurrently, executed through the
+/// generic SDF runtime from the declared [`members_graph`] schedule.
 /// Members are independent (each has its own encoder, bootstrap sample,
 /// and class hypervectors), so per-member results are bit-exact with the
 /// sequential loop; recovery and assembly still run in index order, and
@@ -362,34 +387,48 @@ pub fn train_members_parallel(
         }));
     }
 
-    // Phase 1: every member trains concurrently, writing into its own
-    // index-ordered slot (contiguous groups per worker, no locks).
-    let mut outcomes: Vec<Option<MemberOutcome>> = (0..specs.len()).map(|_| None).collect();
-    let workers = threads.min(specs.len());
-    let per_worker = specs.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut slots = outcomes.as_mut_slice();
-        let mut remaining = specs.as_slice();
-        while !remaining.is_empty() {
-            let take = per_worker.min(remaining.len());
-            let (group, rest_specs) = remaining.split_at(take);
-            remaining = rest_specs;
-            let (group_slots, rest_slots) = slots.split_at_mut(take);
-            slots = rest_slots;
-            scope.spawn(move || {
-                for (slot, spec) in group_slots.iter_mut().zip(group) {
-                    *slot = Some(train_one_member(spec, features, labels, classes, exec));
-                }
-            });
-        }
-    });
+    // Phase 1: execute the declared parallel-members schedule through
+    // the generic SDF runtime. One plan firing emits a job token per
+    // member, the member stage's worker pool trains them concurrently
+    // (the runtime preserves firing order, so firing index == member
+    // index), and one merge firing gathers every outcome in order.
+    let members = specs.len();
+    let plan = ExecutablePlan::validate(members_graph(members, 0.0))
+        .expect("parallel-members schedule is statically valid");
+    let mut outcomes: Vec<MemberOutcome> = Vec::with_capacity(members);
+    {
+        let specs = &specs;
+        let gathered = &mut outcomes;
+        let bindings: Vec<Binding<'_, Option<MemberOutcome>, Infallible>> = vec![
+            Binding::Map(Box::new(move |_, _| {
+                Ok(((0..members).map(|_| None).collect(), Fire::Continue))
+            })),
+            Binding::ParMap {
+                workers: threads.min(members),
+                f: Box::new(move |firing, _| {
+                    let spec = &specs[firing as usize];
+                    Ok(vec![Some(train_one_member(
+                        spec, features, labels, classes, exec,
+                    ))])
+                }),
+            },
+            Binding::Map(Box::new(move |_, tokens| {
+                gathered.extend(
+                    tokens
+                        .into_iter()
+                        .map(|t| t.expect("member firings produce outcome tokens")),
+                );
+                Ok((Vec::new(), Fire::Continue))
+            })),
+        ];
+        runtime::run(&plan, 1, bindings).expect("parallel-members schedule cannot fail");
+    }
 
     // Phase 2: sequential recovery and assembly in index order, matching
     // the sequential loop's semantics (first failing member wins).
     let mut sub_models = Vec::with_capacity(specs.len());
     let mut stats = BaggingStats::default();
-    for (spec, slot) in specs.into_iter().zip(outcomes) {
-        let (outcome, sampled_rows) = slot.expect("every member slot filled by its worker");
+    for (spec, (outcome, sampled_rows)) in specs.into_iter().zip(outcomes) {
         let (class_hvs, train_stats, sampled_rows) = match outcome {
             Ok((hvs, ts)) => (hvs, ts, sampled_rows),
             Err(BaggingError::Hdc(hdc::HdcError::Backend(reason))) => match recovery {

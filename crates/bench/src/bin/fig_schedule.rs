@@ -1,0 +1,17 @@
+//! Executes every declared SDF schedule through the generic runtime,
+//! pins the measured elapsed time against the analyzer's predicted
+//! critical path, measures the two-device serving schedule's simulated
+//! gain, and writes the machine-readable `BENCH_schedule.json` baseline
+//! at the repository root. See `hd_bench::experiments::fig_schedule_report`.
+
+fn main() {
+    let (table, report) = hd_bench::experiments::fig_schedule_report();
+    table.emit("fig_schedule");
+    match hd_bench::report::write_bench_report("schedule", &report.to_json()) {
+        Ok(path) => println!("(report written to {})", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_schedule.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -25,6 +25,7 @@ fn main() {
     ablations::robustness().emit("robustness");
     experiments::fig_fault().emit("fig_fault");
     experiments::fig_pipeline().emit("fig_pipeline");
+    experiments::fig_schedule().emit("fig_schedule");
     ablations::scaling().emit("scaling");
     ablations::energy().emit("energy");
 }

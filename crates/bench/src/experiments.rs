@@ -630,6 +630,177 @@ pub fn fig_pipeline() -> ResultTable {
     fig_pipeline_report().0
 }
 
+/// Executes one declared SDF graph through the generic runtime with
+/// do-nothing executors (each firing emits exactly the token counts the
+/// graph declares) and returns `(predicted_s, measured_s)`: the
+/// analyzer's critical path for `iterations` steady-state iterations
+/// against the elapsed time the runtime measures from observed firings.
+fn run_declared_schedule(graph: hd_dataflow::SdfGraph, iterations: u64) -> (f64, f64) {
+    use hd_dataflow::runtime::{Binding, ExecutablePlan, Fire};
+    let predicted = hyperedge::schedule::SchedulePlan::declare(graph.clone())
+        .expect("production schedule verifies")
+        .critical_path_s()
+        .expect("production schedule is rate-consistent")
+        * iterations as f64;
+    let plan = ExecutablePlan::validate(graph).expect("verified schedule validates");
+    let bindings: Vec<Binding<'static, (), std::convert::Infallible>> = plan
+        .graph()
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(s, _)| {
+            let produce: usize = plan
+                .graph()
+                .channels()
+                .iter()
+                .filter(|c| c.from.index() == s)
+                .map(|c| c.produce)
+                .sum();
+            Binding::Map(Box::new(move |_, _| {
+                Ok((vec![(); produce], Fire::Continue))
+            }))
+        })
+        .collect();
+    let report = hd_dataflow::runtime::run(&plan, iterations, bindings)
+        .expect("no-op executors cannot fail");
+    assert!(report.completed, "schedule wound down early");
+    (predicted, report.measured_elapsed_s(plan.graph()))
+}
+
+/// `fig_schedule` plus its machine-readable report: every production SDF
+/// declaration executed by the generic runtime, with the runtime's
+/// measured elapsed pinned against the analyzer's predicted critical
+/// path, and the two-device serving schedule's simulated gain over
+/// serializing both devices.
+///
+/// # Panics
+///
+/// Panics on any schedule/device error, if a runtime measurement drifts
+/// from its prediction, or if the pipelined serve fails to reproduce the
+/// sequential predictions bit-exactly.
+pub fn fig_schedule_report() -> (ResultTable, crate::report::ScheduleBenchReport) {
+    let smoke = crate::smoke_mode();
+    let mut t = ResultTable::new(
+        "Fig. schedule: declared SDF graphs executed by the generic runtime",
+        &["schedule", "predicted", "measured", "|delta|"],
+    );
+
+    // --- 1. every production declaration through the runtime ---------
+    let cfg = tpu_sim::DeviceConfig::default();
+    let samples = if smoke { 32 } else { PIPELINE_CHUNK };
+    let iterations = if smoke { 4 } else { 16 };
+    let dims = ModelDims::encoder(PIPELINE_FEATURES, PIPELINE_DIM);
+    let score_dims = ModelDims::encoder(PIPELINE_DIM, 16);
+    let members = if smoke { 4 } else { 8 };
+    let schedules = [
+        (
+            "overlapped-invoke",
+            hyperedge::schedule::overlapped_invoke_graph(&cfg, &dims, samples),
+            iterations,
+        ),
+        (
+            "streamed-encode-train",
+            hyperedge::schedule::streamed_encode_graph(
+                &cfg,
+                &dims,
+                samples,
+                hyperedge::schedule::STREAM_DEPTH,
+                1e-3,
+            ),
+            iterations,
+        ),
+        (
+            "parallel-members",
+            hyperedge::schedule::parallel_members_graph(members, 1e-3),
+            1,
+        ),
+        (
+            "two-device-serve",
+            hyperedge::schedule::encode_score_graph(&cfg, &dims, &score_dims, samples),
+            iterations,
+        ),
+    ];
+    let mut pairs = Vec::with_capacity(schedules.len());
+    let mut max_abs_delta_s = 0.0f64;
+    for (name, graph, iters) in schedules {
+        let (predicted, measured) = run_declared_schedule(graph, iters);
+        let delta = (measured - predicted).abs();
+        assert!(
+            delta < 1e-9,
+            "{name}: runtime measurement drifted from the declared prediction \
+             ({measured} vs {predicted})"
+        );
+        max_abs_delta_s = max_abs_delta_s.max(delta);
+        t.push_row(vec![
+            name.to_string(),
+            crate::fmt_secs(predicted),
+            crate::fmt_secs(measured),
+            format!("{delta:.3e}"),
+        ]);
+        pairs.push((predicted, measured));
+    }
+
+    // --- 2. two-device serving on real simulated devices -------------
+    let (rows, feats, dim, classes) = if smoke {
+        (96, 24, 256, 3)
+    } else {
+        (256, 48, 1024, 4)
+    };
+    let mut rng = DetRng::new(SEED ^ 0x5E12);
+    let mut features = hd_tensor::Matrix::random_normal(rows, feats, &mut rng);
+    let labels: Vec<usize> = (0..rows).map(|i| i % classes).collect();
+    for (i, &l) in labels.iter().enumerate() {
+        features.row_mut(i)[l] += 3.0;
+    }
+    let train = hdc::TrainConfig::new(dim)
+        .with_iterations(3)
+        .with_seed(SEED);
+    let (model, _) = hdc::HdcModel::fit(&features, &labels, classes, &train).expect("fit");
+    let pipe_cfg = hyperedge::PipelineConfig::new(dim).with_batches(64, 16);
+    let server = hyperedge::TwoDeviceServer::new(&model, &pipe_cfg, &features).expect("server");
+    let reference = hyperedge::TwoDeviceServer::new(&model, &pipe_cfg, &features).expect("server");
+    let pipelined_preds = server.predict(&features).expect("pipelined serve");
+    let sequential_preds = reference
+        .predict_sequential(&features)
+        .expect("sequential serve");
+    assert_eq!(
+        pipelined_preds, sequential_preds,
+        "two-device serve must be bit-exact with the sequential reference"
+    );
+    let serve_pipelined_s = server.measured_elapsed_s();
+    let serve_serial_s =
+        reference.encode_device().ledger().total_s + reference.score_device().ledger().total_s;
+    let serve_speedup = serve_serial_s / serve_pipelined_s;
+    t.push_row(vec![
+        format!("serve {rows}x{feats}->d={dim} (two devices, simulated)"),
+        crate::fmt_secs(serve_serial_s),
+        crate::fmt_secs(serve_pipelined_s),
+        fmt_speedup(serve_speedup),
+    ]);
+
+    let report = crate::report::ScheduleBenchReport {
+        overlapped_invoke_predicted_s: pairs[0].0,
+        overlapped_invoke_measured_s: pairs[0].1,
+        streamed_encode_predicted_s: pairs[1].0,
+        streamed_encode_measured_s: pairs[1].1,
+        parallel_members_predicted_s: pairs[2].0,
+        parallel_members_measured_s: pairs[2].1,
+        two_device_predicted_s: pairs[3].0,
+        two_device_measured_s: pairs[3].1,
+        max_abs_delta_s,
+        serve_serial_s,
+        serve_pipelined_s,
+        serve_speedup,
+        smoke,
+    };
+    (t, report)
+}
+
+/// `fig_schedule`: the table half of [`fig_schedule_report`].
+pub fn fig_schedule() -> ResultTable {
+    fig_schedule_report().0
+}
+
 /// The per-iteration default profile used when a measured one is not
 /// available (kept public so tests can pin its shape).
 pub fn reference_profile(iterations: usize) -> UpdateProfile {

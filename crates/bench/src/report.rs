@@ -54,6 +54,65 @@ impl PipelineBenchReport {
     }
 }
 
+/// Measurements of one `fig_schedule` run: for every production SDF
+/// graph, the analyzer's predicted critical path against the elapsed
+/// time the generic runtime actually measures executing that same
+/// declaration, plus the simulated gain of the two-device serving
+/// schedule over running both devices back to back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleBenchReport {
+    /// Analyzer-predicted seconds for the overlapped-invoke graph.
+    pub overlapped_invoke_predicted_s: f64,
+    /// Runtime-measured seconds executing the overlapped-invoke graph.
+    pub overlapped_invoke_measured_s: f64,
+    /// Predicted seconds for the streamed encode→train graph.
+    pub streamed_encode_predicted_s: f64,
+    /// Runtime-measured seconds for the streamed encode→train graph.
+    pub streamed_encode_measured_s: f64,
+    /// Predicted seconds for the parallel-members graph.
+    pub parallel_members_predicted_s: f64,
+    /// Runtime-measured seconds for the parallel-members graph.
+    pub parallel_members_measured_s: f64,
+    /// Predicted seconds for the two-device serve graph.
+    pub two_device_predicted_s: f64,
+    /// Runtime-measured seconds for the two-device serve graph.
+    pub two_device_measured_s: f64,
+    /// Largest |measured − predicted| across the four schedules.
+    pub max_abs_delta_s: f64,
+    /// Simulated seconds serving the batch with both devices serialized.
+    pub serve_serial_s: f64,
+    /// Simulated seconds for the pipelined two-device serve.
+    pub serve_pipelined_s: f64,
+    /// `serve_serial_s / serve_pipelined_s`.
+    pub serve_speedup: f64,
+    /// Whether the run was at `HD_BENCH_SMOKE` scale.
+    pub smoke: bool,
+}
+
+impl ScheduleBenchReport {
+    /// Renders the flat JSON form (same conventions as
+    /// [`PipelineBenchReport::to_json`]: one key per line, no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"schedule\",\n  \"git_describe\": null,\n  \"smoke\": {},\n  \"overlapped_invoke_predicted_s\": {:.12},\n  \"overlapped_invoke_measured_s\": {:.12},\n  \"streamed_encode_predicted_s\": {:.12},\n  \"streamed_encode_measured_s\": {:.12},\n  \"parallel_members_predicted_s\": {:.12},\n  \"parallel_members_measured_s\": {:.12},\n  \"two_device_predicted_s\": {:.12},\n  \"two_device_measured_s\": {:.12},\n  \"max_abs_delta_s\": {:.15},\n  \"serve_serial_s\": {:.9},\n  \"serve_pipelined_s\": {:.9},\n  \"serve_speedup\": {:.4}\n}}\n",
+            self.smoke,
+            self.overlapped_invoke_predicted_s,
+            self.overlapped_invoke_measured_s,
+            self.streamed_encode_predicted_s,
+            self.streamed_encode_measured_s,
+            self.parallel_members_predicted_s,
+            self.parallel_members_measured_s,
+            self.two_device_predicted_s,
+            self.two_device_measured_s,
+            self.max_abs_delta_s,
+            self.serve_serial_s,
+            self.serve_pipelined_s,
+            self.serve_speedup,
+        )
+    }
+}
+
 /// Repository-root path of the `BENCH_<name>.json` artifact.
 #[must_use]
 pub fn bench_report_path(name: &str) -> PathBuf {
@@ -115,5 +174,35 @@ mod tests {
     fn report_path_lands_at_repo_root() {
         let path = bench_report_path("pipeline");
         assert!(path.ends_with("../../BENCH_pipeline.json"));
+    }
+
+    #[test]
+    fn schedule_json_is_flat_and_line_parsable() {
+        let json = ScheduleBenchReport {
+            overlapped_invoke_predicted_s: 0.009,
+            overlapped_invoke_measured_s: 0.009,
+            streamed_encode_predicted_s: 0.004,
+            streamed_encode_measured_s: 0.004,
+            parallel_members_predicted_s: 0.9,
+            parallel_members_measured_s: 0.9,
+            two_device_predicted_s: 0.002,
+            two_device_measured_s: 0.002,
+            max_abs_delta_s: 0.0,
+            serve_serial_s: 0.004,
+            serve_pipelined_s: 0.0025,
+            serve_speedup: 1.6,
+            smoke: true,
+        }
+        .to_json();
+        for key in [
+            "\"bench\": \"schedule\"",
+            "\"git_describe\": null",
+            "\"smoke\": true",
+            "\"max_abs_delta_s\": 0.000000000000000",
+            "\"serve_speedup\": 1.6000",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in\n{json}");
+        }
+        assert_eq!(json.lines().count(), 17);
     }
 }

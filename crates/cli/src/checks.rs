@@ -36,7 +36,7 @@
 
 use std::process::ExitCode;
 
-use hd_analysis::dataflow::analyze;
+use hd_analysis::dataflow::{analyze, ScheduleReport, SdfGraph};
 use hd_analysis::{engine, json, sarif, Allowlist};
 use hd_tensor::Matrix;
 use hyperedge::schedule;
@@ -122,37 +122,113 @@ fn run_lint(args: &[String]) -> Result<bool, String> {
     Ok(!report.fails(deny_warnings))
 }
 
+/// Renders the solved schedule facts — per-stage repetition counts,
+/// per-channel declared/minimal capacities, and the analytic critical
+/// path — as a JSON array, one object per schedule. Rate-inconsistent
+/// graphs (no solution) carry `null` for the solved fields so a consumer
+/// can still see what was declared.
+fn schedules_summary_json(pairs: &[(SdfGraph, ScheduleReport)]) -> String {
+    let mut out = String::from("[");
+    for (g, (graph, report)) in pairs.iter().enumerate() {
+        if g > 0 {
+            out.push_str(", ");
+        }
+        let analysis = report.analysis.as_ref();
+        out.push('{');
+        out.push_str(&format!("\"name\": {}, ", json::escape(graph.name())));
+        out.push_str("\"repetition\": ");
+        match analysis {
+            Some(a) => {
+                out.push('[');
+                for (i, (name, firings)) in a.stage_names.iter().zip(&a.repetition).enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"stage\": {}, \"firings\": {firings}}}",
+                        json::escape(name)
+                    ));
+                }
+                out.push(']');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"channels\": [");
+        for (i, channel) in graph.channels().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"channel\": {}, \"declared\": ",
+                json::escape(&graph.channel_label(channel))
+            ));
+            match channel.capacity {
+                Some(declared) => out.push_str(&declared.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"minimum\": ");
+            match analysis.and_then(|a| a.min_capacities.get(i)) {
+                Some(minimum) => out.push_str(&minimum.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("], \"critical_path_s\": ");
+        match analysis {
+            Some(a) => out.push_str(&format!("{}", a.critical_path_s)),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
 /// Runs the static dataflow-schedule analyzer over the three declared
 /// execution schedules; returns `Ok(true)` when none has an error.
+///
+/// JSON and SARIF output carry the solved facts, not just pass/fail: the
+/// repetition vector and the computed minimal bound per channel ride
+/// alongside the diagnostics (as a `schedules` key in JSON, and as the
+/// SARIF run's property bag).
 fn run_verify_schedule(
     stream_depth: usize,
     members: usize,
     format: Format,
 ) -> Result<bool, String> {
-    let reports: Vec<_> = schedule::standard_schedules(stream_depth, members)
-        .iter()
-        .map(analyze)
+    let pairs: Vec<_> = schedule::standard_schedules(stream_depth, members)
+        .into_iter()
+        .map(|graph| {
+            let report = analyze(&graph);
+            (graph, report)
+        })
         .collect();
-    let any_errors = reports.iter().any(|r| r.has_errors());
+    let any_errors = pairs.iter().any(|(_, r)| r.has_errors());
+    let diagnostics = || -> Vec<_> {
+        pairs
+            .iter()
+            .flat_map(|(_, r)| r.diagnostics.iter().cloned())
+            .collect()
+    };
     match format {
         Format::Text => {
-            for report in &reports {
+            for (_, report) in &pairs {
                 print!("{report}");
             }
         }
         Format::Json => {
-            let diagnostics: Vec<_> = reports
-                .iter()
-                .flat_map(|r| r.diagnostics.iter().cloned())
-                .collect();
-            println!("{}", json::encode(&diagnostics));
+            println!(
+                "{{\"schedules\": {}, \"diagnostics\": {}}}",
+                schedules_summary_json(&pairs),
+                json::encode(&diagnostics())
+            );
         }
         Format::Sarif => {
-            let diagnostics: Vec<_> = reports
-                .iter()
-                .flat_map(|r| r.diagnostics.iter().cloned())
-                .collect();
-            println!("{}", sarif::encode_as(VERIFY_DRIVER, &diagnostics));
+            let properties = format!("{{\"schedules\": {}}}", schedules_summary_json(&pairs));
+            println!(
+                "{}",
+                sarif::encode_with_properties(VERIFY_DRIVER, &diagnostics(), Some(&properties))
+            );
         }
     }
     Ok(!any_errors)

@@ -62,3 +62,54 @@ fn unknown_schedule_option_exits_two() {
     let out = run_verify(&["--schedule", "--bogus"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
+
+#[test]
+fn json_output_carries_repetition_vectors_and_channel_bounds() {
+    let out = run_verify(&["--schedule", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Solved facts, not just pass/fail: every schedule lists its
+    // repetition vector and each channel's declared/minimal capacity.
+    assert!(stdout.starts_with("{\"schedules\": ["), "{stdout}");
+    for needle in [
+        "\"name\": \"overlapped-invoke\"",
+        "\"name\": \"streamed-encode-train\"",
+        "\"name\": \"parallel-members\"",
+        "{\"stage\": \"member\", \"firings\": 8}",
+        "{\"channel\": \"dma_in -> compute\", \"declared\": 2, \"minimum\": 1}",
+        "{\"channel\": \"plan -> member\", \"declared\": 8, \"minimum\": 8}",
+        "\"critical_path_s\": ",
+        "\"diagnostics\": [",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn undersized_json_reports_declared_zero_against_minimum_one() {
+    let out = run_verify(&["--schedule", "--stream-depth", "0", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("{\"channel\": \"encode -> update\", \"declared\": 0, \"minimum\": 1}"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("schedule/buffer-undersized"), "{stdout}");
+}
+
+#[test]
+fn sarif_run_properties_carry_the_schedule_summaries() {
+    let out = run_verify(&["--schedule", "--format", "sarif"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("\"properties\": {\"schedules\": ["),
+        "{stdout}"
+    );
+    for needle in [
+        "{\"stage\": \"compute\", \"firings\": 1}",
+        "{\"channel\": \"member -> merge\", \"declared\": 8, \"minimum\": 8}",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}

@@ -1,9 +1,8 @@
 //! The paper's co-designed placement: accelerator for encode/inference,
 //! host for the class-hypervector update.
 
-use std::sync::mpsc;
-
 use cpu_model::cost;
+use hd_dataflow::runtime::{self, Binding, RunError};
 use hd_tensor::Matrix;
 use hdc::{ClassHypervectors, Encoder, Executor, HdcError, HdcModel, TrainConfig, TrainStats};
 use tpu_sim::timing::ModelDims;
@@ -66,14 +65,15 @@ impl Executor for HybridBackend {
         self.host.train_classes(encoded, labels, classes, config)
     }
 
-    /// The pipelined encode→update schedule: a scoped producer thread
-    /// streams device-encoded chunks through a bounded channel while the
-    /// host update loop consumes them in order, so the accelerator's DMA
-    /// and the host's perceptron pass overlap in wall-clock time. The
-    /// consumed sample order is the batch order, so the result is
-    /// bit-exact with the phase-serial default chain. With `threads <= 1`
-    /// (or a batch that fits in one encode chunk) the exact sequential
-    /// path runs instead.
+    /// The pipelined encode→update schedule, executed through the
+    /// generic SDF runtime from its declared graph: the device-encode
+    /// stage streams chunks through the schedule's bounded
+    /// [`STREAM_DEPTH`] channel while the host update stage consumes
+    /// them in order, so the accelerator's DMA and the host's perceptron
+    /// pass overlap in wall-clock time. The consumed sample order is the
+    /// batch order, so the result is bit-exact with the phase-serial
+    /// default chain. With `threads <= 1` (or a batch that fits in one
+    /// encode chunk) the exact sequential path runs instead.
     fn encode_train(
         &self,
         encoder: &dyn Encoder,
@@ -88,38 +88,61 @@ impl Executor for HybridBackend {
         }
         // Verify the declared streamed schedule (bounded channel of
         // STREAM_DEPTH chunks between the device producer and the host
-        // consumer) before the producer thread spawns.
+        // consumer) and compile it into the runtime plan it executes as.
         let dims = ModelDims::encoder(encoder.feature_count(), encoder.dim());
         let update_cost_s =
             cost::class_update_s(self.host.spec(), self.encode_chunk, encoder.dim());
-        schedule::SchedulePlan::declare(schedule::streamed_encode_graph(
+        let plan = schedule::SchedulePlan::declare(schedule::streamed_encode_graph(
             self.tpu.device_config(),
             &dims,
             self.encode_chunk,
             STREAM_DEPTH,
             update_cost_s,
         ))
+        .and_then(|p| p.executable())
         .map_err(|e| HdcError::Backend(format!("streamed schedule rejected: {e}")))?;
-        let (tx, rx) = mpsc::sync_channel::<hdc::Result<Matrix>>(STREAM_DEPTH);
-        let result = std::thread::scope(|scope| {
-            let producer = scope.spawn(move || {
-                let streamed = self.tpu.encode_batch_streamed(encoder, batch, |chunk| {
-                    // A closed channel means the consumer already failed;
-                    // the remaining chunks are simply dropped.
-                    let _ = tx.send(Ok(chunk));
-                });
-                if let Err(e) = streamed {
-                    let _ = tx.send(Err(HdcError::Backend(format!(
-                        "device encoding failed: {e}"
-                    ))));
-                }
-            });
-            let trained = hdc::train_encoded_streamed(rx, labels, classes, config);
-            producer
-                .join()
-                .expect("streamed encode producer thread panicked");
-            trained
-        })?;
+
+        // Both stages pace themselves: encode pushes each device chunk as
+        // the hardware produces it (faults ride the channel as Err
+        // tokens), update consumes the stream in batch order. The
+        // runtime's bounded stage channel is the declared STREAM_DEPTH.
+        let mut trained: Option<hdc::Result<(ClassHypervectors, TrainStats)>> = None;
+        {
+            let slot = &mut trained;
+            let bindings: Vec<Binding<'_, hdc::Result<Matrix>, HdcError>> = vec![
+                Binding::Stream(Box::new(move |ctx| {
+                    let streamed = self.tpu.encode_batch_streamed(encoder, batch, |chunk| {
+                        // A refused send means the consumer already
+                        // failed; the remaining chunks are simply dropped.
+                        let _ = ctx.send(Ok(chunk));
+                    });
+                    if let Err(e) = streamed {
+                        let _ = ctx.send(Err(HdcError::Backend(format!(
+                            "device encoding failed: {e}"
+                        ))));
+                    }
+                    Ok(())
+                })),
+                Binding::Stream(Box::new(move |ctx| {
+                    *slot = Some(hdc::train_encoded_streamed(
+                        ctx.input_iter(0),
+                        labels,
+                        classes,
+                        config,
+                    ));
+                    Ok(())
+                })),
+            ];
+            let chunks = batch.rows().div_ceil(self.encode_chunk.max(1)) as u64;
+            runtime::run(&plan, chunks, bindings).map_err(|e| match e {
+                RunError::Stage { error, .. } => error,
+                RunError::Protocol { stage, message } => HdcError::Backend(format!(
+                    "streamed schedule protocol violation at stage {stage}: {message}"
+                )),
+            })?;
+        }
+        let result = trained
+            .ok_or_else(|| HdcError::Backend("streamed update stage never ran".into()))??;
         self.host
             .charge_update(batch.rows(), classes, &result.1, config);
         Ok(result)

@@ -4,6 +4,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
+use hd_dataflow::runtime::{self, Binding, Fire, RunError};
 use parking_lot::Mutex;
 
 use cpu_model::{cost, PlatformSpec};
@@ -62,6 +63,10 @@ pub struct TpuBackend {
     cache: Mutex<ModelCache>,
     breaker: Mutex<BreakerState>,
     ledger: Mutex<BackendLedger>,
+    /// Serializes schedule runs on the one device: residency must not
+    /// change underneath an executing invoke schedule, whose stage
+    /// threads re-lock `cache` briefly for pristine reloads.
+    run_lock: Mutex<()>,
 }
 
 impl TpuBackend {
@@ -85,6 +90,7 @@ impl TpuBackend {
                 devices_created: 1,
                 ..BackendLedger::default()
             }),
+            run_lock: Mutex::new(()),
         }
     }
 
@@ -130,6 +136,7 @@ impl TpuBackend {
         rate: f64,
         rng: &mut hd_tensor::rng::DetRng,
     ) -> crate::Result<usize> {
+        let _run = self.run_lock.lock();
         let mut cache = self.cache.lock();
         let flipped = self.device.inject_weight_faults(rate, rng)?;
         cache.resident = None;
@@ -227,11 +234,16 @@ impl TpuBackend {
         build: impl FnOnce() -> crate::Result<(Model, Matrix)>,
         batch: &Matrix,
         chunk: usize,
-        mut on_chunk: impl FnMut(usize, Matrix),
+        mut on_chunk: impl FnMut(usize, Matrix) + Send,
     ) -> crate::Result<(bool, f64)> {
         if self.breaker_open() {
             return Ok((false, 0.0));
         }
+        // One schedule run at a time on the one device: the coarse
+        // serialization the long-held cache lock used to provide now
+        // lives here, because the runtime's compute stage re-locks the
+        // cache briefly for pristine reloads.
+        let _run = self.run_lock.lock();
         let mut cache = self.cache.lock();
         match cache.models.entry(key) {
             Entry::Occupied(_) => self.ledger.lock().cache_hits += 1,
@@ -250,10 +262,10 @@ impl TpuBackend {
             self.reload_pristine(&mut cache, key)?;
         }
 
-        // The chunk loop below executes the double-buffered overlapped
-        // invoke; verify its declared SDF graph (rates, buffer bounds,
-        // deadlock-freedom) before running it.
-        {
+        // Verify the declared overlapped-invoke SDF graph (rates, buffer
+        // bounds, deadlock-freedom) and compile it into the executable
+        // plan the runtime will drive.
+        let plan = {
             let compiled = cache
                 .models
                 .get(&key)
@@ -264,57 +276,89 @@ impl TpuBackend {
                 &self.device_config,
                 &dims,
                 samples,
-            ))?;
-        }
+            ))?
+            .executable()?
+        };
+        drop(cache);
 
-        // Keep the cache lock across the invocations so residency cannot
-        // change underneath a concurrent caller; the device serializes
-        // invocations internally anyway.
+        // Execute the verified plan through the generic SDF runtime:
+        // dma_in slices chunks onto the link, compute runs the device
+        // invoke under the resilience policy (retries, pristine reloads,
+        // breaker), dma_out hands finished chunks to the caller. The
+        // bounded stage channels are the declared INVOKE_BUFFERS
+        // double-buffer; the device serializes invocations internally,
+        // so chunk timing is charged exactly as the serial loop did.
         let before = self.device.ledger();
         let mut backoff_total = 0.0;
         let mut degraded = false;
-        let mut start = 0;
-        'chunks: while start < batch.rows() {
-            let end = (start + chunk).min(batch.rows());
-            let part = batch.slice_rows(start, end)?;
-            let mut attempt: u32 = 0;
-            loop {
-                match self
-                    .device
-                    .invoke_overlapped_with_deadline(&part, self.policy.invoke_deadline_s)
-                {
-                    Ok((out, _stats)) => {
-                        self.breaker.lock().consecutive_failures = 0;
-                        on_chunk(start, out);
-                        break;
+        {
+            let backoff_total = &mut backoff_total;
+            let degraded = &mut degraded;
+            let on_chunk = &mut on_chunk;
+            let mut next_start = 0usize;
+            let rows = batch.rows();
+            let bindings: Vec<Binding<'_, (usize, Matrix), crate::FrameworkError>> = vec![
+                Binding::Map(Box::new(move |_, _| {
+                    let start = next_start;
+                    let end = (start + chunk).min(rows);
+                    next_start = end;
+                    Ok((vec![(start, batch.slice_rows(start, end)?)], Fire::Continue))
+                })),
+                Binding::Map(Box::new(move |_, mut tokens| {
+                    let (start, part) = tokens.pop().expect("one chunk per compute firing");
+                    let mut attempt: u32 = 0;
+                    loop {
+                        match self
+                            .device
+                            .invoke_overlapped_with_deadline(&part, self.policy.invoke_deadline_s)
+                        {
+                            Ok((out, _stats)) => {
+                                self.breaker.lock().consecutive_failures = 0;
+                                return Ok((vec![(start, out)], Fire::Continue));
+                            }
+                            Err(e) if e.is_fault() => {
+                                self.ledger.lock().faults_observed += 1;
+                                if self.note_failure() {
+                                    // Breaker open: stop the stream; the
+                                    // chunks already past dma_out stand.
+                                    *degraded = true;
+                                    return Ok((Vec::new(), Fire::Stop));
+                                }
+                                if e == SimError::WeightCorruption {
+                                    // Detected upset: put pristine weights
+                                    // back before (or without) retrying.
+                                    self.reload_pristine(&mut self.cache.lock(), key)?;
+                                }
+                                if attempt >= self.policy.max_retries {
+                                    // Retry budget exhausted with the
+                                    // breaker still closed: a hard, typed
+                                    // failure.
+                                    return Err(e.into());
+                                }
+                                attempt += 1;
+                                let backoff = self.policy.backoff_s(attempt);
+                                *backoff_total += backoff;
+                                let mut ledger = self.ledger.lock();
+                                ledger.retries += 1;
+                                ledger.backoff_s += backoff;
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
                     }
-                    Err(e) if e.is_fault() => {
-                        self.ledger.lock().faults_observed += 1;
-                        if self.note_failure() {
-                            degraded = true;
-                            break 'chunks;
-                        }
-                        if e == SimError::WeightCorruption {
-                            // Detected upset: put pristine weights back
-                            // before (or without) retrying.
-                            self.reload_pristine(&mut cache, key)?;
-                        }
-                        if attempt >= self.policy.max_retries {
-                            // Retry budget exhausted with the breaker
-                            // still closed: a hard, typed failure.
-                            return Err(e.into());
-                        }
-                        attempt += 1;
-                        let backoff = self.policy.backoff_s(attempt);
-                        backoff_total += backoff;
-                        let mut ledger = self.ledger.lock();
-                        ledger.retries += 1;
-                        ledger.backoff_s += backoff;
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            }
-            start = end;
+                })),
+                Binding::Map(Box::new(move |_, mut tokens| {
+                    let (start, out) = tokens.pop().expect("one chunk per dma_out firing");
+                    on_chunk(start, out);
+                    Ok((Vec::new(), Fire::Continue))
+                })),
+            ];
+            let chunks = rows.div_ceil(chunk.max(1)) as u64;
+            runtime::run(&plan, chunks, bindings).map_err(|e| match e {
+                RunError::Stage { error, .. } => error,
+                RunError::Protocol { stage, message } => crate::FrameworkError::InvalidConfig(
+                    format!("invoke schedule protocol violation at stage {stage}: {message}"),
+                ),
+            })?;
         }
         let after = self.device.ledger();
         {
@@ -346,7 +390,7 @@ impl TpuBackend {
         &self,
         encoder: &dyn Encoder,
         batch: &Matrix,
-        mut sink: impl FnMut(Matrix),
+        mut sink: impl FnMut(Matrix) + Send,
     ) -> crate::Result<()> {
         let calibration = Self::calibration(batch)?;
         let key = fingerprint(

@@ -71,6 +71,7 @@ pub mod backend;
 pub mod federated;
 pub mod runtime;
 pub mod schedule;
+pub mod serving;
 pub mod wide_model;
 
 pub use backend::{
@@ -83,6 +84,7 @@ pub use inference::{InferenceEngine, InferenceReport};
 pub use pipeline::{EvaluationReport, Pipeline, TrainingOutcome, TrainingTelemetry};
 pub use runtime::{EnergyBreakdown, RuntimeBreakdown, UpdateProfile, WorkloadSpec};
 pub use schedule::SchedulePlan;
+pub use serving::TwoDeviceServer;
 
 /// Convenience result alias for fallible framework operations.
 pub type Result<T> = std::result::Result<T, FrameworkError>;

@@ -49,9 +49,9 @@ pub const INVOKE_BUFFERS: usize = 2;
 pub fn overlapped_invoke_graph(cfg: &DeviceConfig, dims: &ModelDims, samples: usize) -> SdfGraph {
     let costs = timing::stage_costs(cfg, dims, samples);
     let mut g = SdfGraph::new("overlapped-invoke").with_overhead_s(costs.overhead_s);
-    let dma_in = g.add_stage("dma_in", Resource::Link, costs.input_transfer_s);
-    let compute = g.add_stage("compute", Resource::Device, costs.compute_s);
-    let dma_out = g.add_stage("dma_out", Resource::Link, costs.output_transfer_s);
+    let dma_in = g.add_stage("dma_in", Resource::LINK, costs.input_transfer_s);
+    let compute = g.add_stage("compute", Resource::DEVICE, costs.compute_s);
+    let dma_out = g.add_stage("dma_out", Resource::LINK, costs.output_transfer_s);
     g.add_channel(dma_in, compute, 1, 1, Some(INVOKE_BUFFERS));
     g.add_channel(compute, dma_out, 1, 1, Some(INVOKE_BUFFERS));
     g
@@ -73,7 +73,7 @@ pub fn streamed_encode_graph(
 ) -> SdfGraph {
     let encode_cost_s = timing::invoke_estimate_pipelined(cfg, dims, chunk.max(1)).total_s;
     let mut g = SdfGraph::new("streamed-encode-train");
-    let encode = g.add_stage("encode", Resource::Device, encode_cost_s);
+    let encode = g.add_stage("encode", Resource::DEVICE, encode_cost_s);
     let update = g.add_stage("update", Resource::Host, update_cost_s);
     g.add_channel(encode, update, 1, 1, Some(depth));
     g
@@ -82,18 +82,94 @@ pub fn streamed_encode_graph(
 /// The parallel bagged-member training schedule
 /// (`train_members_parallel`): a plan stage fans `members` work tokens
 /// out to member firings whose results merge back index-ordered into
-/// one full-width model. The slot vector the implementation writes
-/// into is the declared capacity.
+/// one full-width model. Delegates to
+/// [`hd_bagging::members_graph`] — the very declaration
+/// `train_members_parallel` executes through the SDF runtime — so the
+/// graph verified here is the graph that runs.
 #[must_use]
 pub fn parallel_members_graph(members: usize, member_cost_s: f64) -> SdfGraph {
-    let members = members.max(1);
-    let mut g = SdfGraph::new("parallel-members");
-    let plan = g.add_stage("plan", Resource::Host, 0.0);
-    let member = g.add_stage("member", Resource::Host, member_cost_s);
-    let merge = g.add_stage("merge", Resource::Host, 0.0);
-    g.add_channel(plan, member, members, 1, Some(members));
-    g.add_channel(member, merge, 1, members, Some(members));
+    hd_bagging::members_graph(members, member_cost_s)
+}
+
+/// The two-device serving schedule: encoding runs on the first
+/// accelerator ([`Resource::DEVICE`], ordinal 0) while scoring runs on a
+/// second one (`Resource::Device(1)`), chunks flowing between them
+/// through a double-buffered channel. Each stage's cost is the full
+/// pipelined invoke estimate of its half-network, so the analytic
+/// critical path per chunk is `max(encode invoke, score invoke)` — the
+/// two devices overlap completely in steady state.
+///
+/// This schedule has no hand-written implementation at all: the serving
+/// module executes it purely by binding the two [`tpu_sim::Device`]
+/// handles to its stages and handing the verified plan to the generic
+/// SDF runtime.
+#[must_use]
+pub fn encode_score_graph(
+    cfg: &DeviceConfig,
+    encoder_dims: &ModelDims,
+    score_dims: &ModelDims,
+    samples: usize,
+) -> SdfGraph {
+    let encode_cost_s = timing::invoke_estimate_pipelined(cfg, encoder_dims, samples).total_s;
+    let score_cost_s = timing::invoke_estimate_pipelined(cfg, score_dims, samples).total_s;
+    let mut g = SdfGraph::new("two-device-serve");
+    let encode = g.add_stage("encode", Resource::DEVICE, encode_cost_s);
+    let score = g.add_stage("score", Resource::Device(1), score_cost_s);
+    g.add_channel(encode, score, 1, 1, Some(INVOKE_BUFFERS));
     g
+}
+
+/// Predicted elapsed seconds for serving `total_samples` rows through
+/// the declared two-device encode→score schedule in chunks of `batch`
+/// rows (the last chunk may be partial): per-resource busy seconds
+/// accumulate across the full-chunk and remainder segments, and the
+/// prediction is the maximum over resources — the busier device is the
+/// pipeline's bottleneck, even if the bottleneck flips on the partial
+/// tail. The two device [`TimingLedger`](tpu_sim::TimingLedger)s must
+/// reproduce this exactly, because each stage invokes with the same
+/// `overhead + max(transfer, compute)` model the analyzer charges.
+///
+/// # Errors
+///
+/// [`FrameworkError::InvalidConfig`] when `batch == 0`, or
+/// [`FrameworkError::Schedule`] if the declared graph fails
+/// verification (it cannot, by construction).
+pub fn predicted_serve_elapsed_s(
+    cfg: &DeviceConfig,
+    encoder_dims: &ModelDims,
+    score_dims: &ModelDims,
+    total_samples: usize,
+    batch: usize,
+) -> crate::Result<f64> {
+    if batch == 0 {
+        return Err(FrameworkError::InvalidConfig(
+            "batch must be positive".into(),
+        ));
+    }
+    let full_chunks = total_samples / batch;
+    let remainder = total_samples % batch;
+    let mut busy: Vec<(Resource, f64)> = Vec::new();
+    let mut accumulate = |samples: usize, iterations: f64| -> crate::Result<()> {
+        let plan =
+            SchedulePlan::declare(encode_score_graph(cfg, encoder_dims, score_dims, samples))?;
+        let analysis = plan.report().analysis.as_ref().ok_or_else(|| {
+            FrameworkError::InvalidConfig("declared schedule has no rate analysis".into())
+        })?;
+        for &(resource, seconds) in &analysis.resource_busy_s {
+            match busy.iter_mut().find(|(r, _)| *r == resource) {
+                Some((_, total)) => *total += iterations * seconds,
+                None => busy.push((resource, iterations * seconds)),
+            }
+        }
+        Ok(())
+    };
+    if full_chunks > 0 {
+        accumulate(batch, full_chunks as f64)?;
+    }
+    if remainder > 0 {
+        accumulate(remainder, 1.0)?;
+    }
+    Ok(busy.iter().fold(0.0, |acc, &(_, s)| acc.max(s)))
 }
 
 /// A statically verified schedule: the declared graph plus the
@@ -133,6 +209,25 @@ impl SchedulePlan {
     #[must_use]
     pub fn report(&self) -> &ScheduleReport {
         &self.report
+    }
+
+    /// Compiles this verified declaration into an executable runtime
+    /// plan: the solver's repetition vector plus channel bounds sized at
+    /// the analyzer's minimal safe capacity where the declaration left
+    /// them open. This is the handle the backends feed to
+    /// [`hd_dataflow::runtime::run`], so the graph that was verified is
+    /// — structurally, not just by convention — the graph that executes.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::InvalidConfig`] if the runtime refuses the
+    /// declaration (cannot happen for a declared plan: the analyzer
+    /// already proved the same rate, bound, and deadlock properties the
+    /// runtime re-checks).
+    pub fn executable(&self) -> crate::Result<hd_dataflow::runtime::ExecutablePlan> {
+        hd_dataflow::runtime::ExecutablePlan::validate(self.graph.clone()).map_err(|e| {
+            FrameworkError::InvalidConfig(format!("declared schedule rejected by the runtime: {e}"))
+        })
     }
 
     /// The analytic critical path of one steady-state iteration in

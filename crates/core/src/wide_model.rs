@@ -67,6 +67,24 @@ pub fn inference_network(model: &HdcModel) -> Result<Model> {
     Ok(network)
 }
 
+/// Builds the *second half* of the wide network on its own: the scoring
+/// model `H -> H x C` that maps encoded hypervectors to class scores.
+/// Together with [`encoder_network`] this splits [`inference_network`]
+/// across two accelerators — the two-device serving schedule places
+/// encoding on one device and scoring on the other so their invocations
+/// overlap chunk by chunk.
+///
+/// # Errors
+///
+/// Never fails for a well-formed model (dimensions agree by
+/// construction).
+pub fn scoring_network(model: &HdcModel) -> Result<Model> {
+    let network = ModelBuilder::new(model.dim())
+        .fully_connected(model.classes().as_matrix().clone())?
+        .build()?;
+    Ok(network)
+}
+
 /// Builds the *training-update* graph: the element-wise
 /// bundling/detaching op on class hypervectors. Compiling this for an
 /// accelerator target fails with

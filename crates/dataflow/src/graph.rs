@@ -6,29 +6,43 @@
 //! removes, an optional declared capacity (the `sync_channel` bound or
 //! slot count of the real implementation), and the tokens present before
 //! the first firing (pipeline delays). Costs are plain seconds supplied
-//! by the caller — the analysis layer never computes hardware costs
-//! itself, keeping this crate free of any simulator dependency.
+//! by the caller — this crate never computes hardware costs itself,
+//! keeping it free of any simulator dependency.
 
 use std::fmt;
 
 /// Where a stage executes. Firings on the same resource serialize; the
 /// critical-path model lets distinct resources overlap freely.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Devices and links are indexed so multi-accelerator schedules (e.g.
+/// encode on device 0, score on device 1) can declare distinct,
+/// mutually overlapping resources. Index 0 is the classic single-device
+/// setup and displays as plain `device` / `link`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Resource {
-    /// The accelerator (MXU + activation units).
-    Device,
+    /// An accelerator (MXU + activation units), by device index.
+    Device(usize),
     /// The host CPU.
     Host,
-    /// The host↔device DMA link.
-    Link,
+    /// A host↔device DMA link, by link index.
+    Link(usize),
+}
+
+impl Resource {
+    /// The single-accelerator device resource (`Device(0)`).
+    pub const DEVICE: Resource = Resource::Device(0);
+    /// The single-accelerator DMA link resource (`Link(0)`).
+    pub const LINK: Resource = Resource::Link(0);
 }
 
 impl fmt::Display for Resource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Resource::Device => write!(f, "device"),
+            Resource::Device(0) => write!(f, "device"),
+            Resource::Device(n) => write!(f, "device{n}"),
             Resource::Host => write!(f, "host"),
-            Resource::Link => write!(f, "link"),
+            Resource::Link(0) => write!(f, "link"),
+            Resource::Link(n) => write!(f, "link{n}"),
         }
     }
 }
@@ -179,8 +193,9 @@ impl SdfGraph {
         &self.channels
     }
 
-    /// `"<producer> -> <consumer>"`, for diagnostics.
-    pub(crate) fn channel_label(&self, channel: &Channel) -> String {
+    /// `"<producer> -> <consumer>"`, for diagnostics and reports.
+    #[must_use]
+    pub fn channel_label(&self, channel: &Channel) -> String {
         format!(
             "{} -> {}",
             self.stages[channel.from.0].name, self.stages[channel.to.0].name
@@ -195,8 +210,8 @@ mod tests {
     #[test]
     fn builder_assigns_sequential_ids() {
         let mut g = SdfGraph::new("g").with_overhead_s(0.5);
-        let a = g.add_stage("a", Resource::Link, 1.0);
-        let b = g.add_stage("b", Resource::Device, 2.0);
+        let a = g.add_stage("a", Resource::LINK, 1.0);
+        let b = g.add_stage("b", Resource::DEVICE, 2.0);
         g.add_channel(a, b, 1, 1, Some(2));
         assert_eq!(a.index(), 0);
         assert_eq!(b.index(), 1);
@@ -204,5 +219,36 @@ mod tests {
         assert_eq!(g.channels().len(), 1);
         assert_eq!(g.overhead_s(), 0.5);
         assert_eq!(g.channel_label(&g.channels()[0]), "a -> b");
+    }
+
+    #[test]
+    fn indexed_resources_display_classic_names_for_index_zero() {
+        assert_eq!(Resource::DEVICE.to_string(), "device");
+        assert_eq!(Resource::Device(1).to_string(), "device1");
+        assert_eq!(Resource::Host.to_string(), "host");
+        assert_eq!(Resource::LINK.to_string(), "link");
+        assert_eq!(Resource::Link(2).to_string(), "link2");
+    }
+
+    #[test]
+    fn resources_order_devices_then_host_then_links() {
+        let mut rs = vec![
+            Resource::Link(1),
+            Resource::Host,
+            Resource::Device(1),
+            Resource::LINK,
+            Resource::DEVICE,
+        ];
+        rs.sort();
+        assert_eq!(
+            rs,
+            vec![
+                Resource::DEVICE,
+                Resource::Device(1),
+                Resource::Host,
+                Resource::LINK,
+                Resource::Link(1),
+            ]
+        );
     }
 }

@@ -1,0 +1,33 @@
+//! Synchronous-dataflow schedules: declare, solve, execute.
+//!
+//! This crate is the dependency-free core of the pipelined execution
+//! layer. It owns three things:
+//!
+//! 1. [`graph`] — the SDF stage-graph IR: stages pinned to a
+//!    [`Resource`], token channels with produce/consume rates, declared
+//!    capacities and pipeline delays.
+//! 2. [`solve`] — the rate mathematics shared by the static analyzer
+//!    (`hd-analysis`) and the runtime: balance-equation solve to the
+//!    smallest integer repetition vector, minimal safe channel bounds,
+//!    symbolic steady-state deadlock simulation, and per-resource busy
+//!    time.
+//! 3. [`runtime`] — the executor. A validated [`ExecutablePlan`] binds
+//!    one executor closure per stage and runs the graph on real scoped
+//!    threads connected by bounded `sync_channel`s sized from the
+//!    solver's minimal safe bounds. This module is the single
+//!    sanctioned concurrency site in the workspace (see the
+//!    `no-adhoc-concurrency` lint): every pipelined production schedule
+//!    executes through [`runtime::run`] rather than hand-rolled
+//!    threads.
+//!
+//! The crate deliberately has no dependencies (not even on the tensor
+//! layer) so that every other crate — tensor GEMM, the device
+//! simulator, the backends, the bagging trainer, the analyzer — can
+//! execute through one shared runtime without dependency cycles.
+
+pub mod graph;
+pub mod runtime;
+pub mod solve;
+
+pub use graph::{Channel, Resource, SdfGraph, Stage, StageId};
+pub use runtime::{run, Binding, ExecutablePlan, Fire, PlanError, RunError, RunReport, StageCtx};

@@ -1,0 +1,876 @@
+//! The SDF schedule runtime: execute a validated graph directly.
+//!
+//! Lifecycle: **declare** an [`SdfGraph`](crate::graph::SdfGraph)
+//! (stages + channels + costs), **verify** it into an
+//! [`ExecutablePlan`] (rates balance, capacities meet the solver's
+//! minimal safe bounds, steady state cannot deadlock), **bind** one
+//! [`Binding`] executor per stage, then **execute** with [`run`]. The
+//! runtime spawns one scoped thread per stage, connects them with
+//! bounded `sync_channel`s sized exactly from the plan's capacities,
+//! and drives each stage `repetition × iterations` firings.
+//!
+//! This module is the single sanctioned concurrency site in the
+//! workspace: the `no-adhoc-concurrency` lint allowlists exactly this
+//! file, and every production pipeline (overlapped device invoke,
+//! streamed encode→train, parallel ensemble members, blocked GEMM rows,
+//! two-device serving) executes through it.
+//!
+//! Teardown is cooperative and loss-free for completed work: when a
+//! stage stops early — [`Fire::Stop`], an executor error, or a
+//! disconnected neighbour — it drops its channel endpoints. Upstream
+//! senders then fail fast, while downstream receivers still drain every
+//! token already buffered, so results produced before a fault stand
+//! (this is what keeps the degraded mid-stream host fallback of the
+//! streamed training path loss-free).
+
+use std::fmt;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread;
+
+use crate::graph::SdfGraph;
+use crate::solve;
+
+/// Why a graph cannot be promoted to an [`ExecutablePlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A channel references a stage outside the graph.
+    Dangling {
+        /// Index into the graph's channel list.
+        channel: usize,
+    },
+    /// A channel declares a zero produce or consume rate.
+    ZeroRate {
+        /// Index into the graph's channel list.
+        channel: usize,
+    },
+    /// No balanced repetition vector exists.
+    RateInconsistent {
+        /// Index into the graph's channel list.
+        channel: usize,
+    },
+    /// A declared capacity is below the solver's minimal safe bound.
+    Undersized {
+        /// Index into the graph's channel list.
+        channel: usize,
+        /// The declared capacity.
+        declared: usize,
+        /// The minimal safe bound (`produce + consume - gcd`).
+        minimum: usize,
+    },
+    /// Steady-state execution stalls under the declared capacities.
+    Deadlock,
+    /// The runtime cannot materialize initial tokens (pipeline delays):
+    /// it would have to invent token values.
+    InitialTokens {
+        /// Index into the graph's channel list.
+        channel: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Dangling { channel } => {
+                write!(f, "channel {channel} references a stage outside the graph")
+            }
+            PlanError::ZeroRate { channel } => {
+                write!(f, "channel {channel} declares a zero token rate")
+            }
+            PlanError::RateInconsistent { channel } => write!(
+                f,
+                "channel {channel} contradicts the graph's rates: no repetition vector exists"
+            ),
+            PlanError::Undersized {
+                channel,
+                declared,
+                minimum,
+            } => write!(
+                f,
+                "channel {channel} declares capacity {declared}, below the minimal safe \
+                 bound {minimum}"
+            ),
+            PlanError::Deadlock => {
+                write!(
+                    f,
+                    "steady-state execution deadlocks under the declared capacities"
+                )
+            }
+            PlanError::InitialTokens { channel } => write!(
+                f,
+                "channel {channel} declares initial tokens, which the runtime cannot \
+                 materialize"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A verified, executable schedule: the graph plus its solved
+/// repetition vector and the channel capacities the runtime will use
+/// (the declared bound, or the solver's minimal safe bound for
+/// unbounded declarations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutablePlan {
+    graph: SdfGraph,
+    repetition: Vec<u64>,
+    capacities: Vec<usize>,
+}
+
+impl ExecutablePlan {
+    /// Verifies `graph` into a plan the runtime can execute: solves the
+    /// repetition vector, checks every declared capacity against the
+    /// minimal safe bound, and symbolically executes one steady-state
+    /// iteration to prove deadlock freedom.
+    pub fn validate(graph: SdfGraph) -> Result<ExecutablePlan, PlanError> {
+        let repetition = solve::repetition_vector(&graph).map_err(|e| match e {
+            solve::RateError::Dangling { channel } => PlanError::Dangling { channel },
+            solve::RateError::ZeroRate { channel } => PlanError::ZeroRate { channel },
+            solve::RateError::Inconsistent { channel } => PlanError::RateInconsistent { channel },
+        })?;
+        let mut capacities = Vec::with_capacity(graph.channels().len());
+        for (c, channel) in graph.channels().iter().enumerate() {
+            if channel.initial_tokens > 0 {
+                return Err(PlanError::InitialTokens { channel: c });
+            }
+            let minimum = solve::min_capacity(channel);
+            match channel.capacity {
+                Some(declared) if declared < minimum => {
+                    return Err(PlanError::Undersized {
+                        channel: c,
+                        declared,
+                        minimum,
+                    });
+                }
+                Some(declared) => capacities.push(declared),
+                None => capacities.push(minimum),
+            }
+        }
+        if solve::simulate_steady_state(&graph, &repetition).is_err() {
+            return Err(PlanError::Deadlock);
+        }
+        Ok(ExecutablePlan {
+            graph,
+            repetition,
+            capacities,
+        })
+    }
+
+    /// The verified graph.
+    #[must_use]
+    pub fn graph(&self) -> &SdfGraph {
+        &self.graph
+    }
+
+    /// Firings of each stage per iteration, in stage order.
+    #[must_use]
+    pub fn repetition(&self) -> &[u64] {
+        &self.repetition
+    }
+
+    /// The `sync_channel` bound the runtime uses per channel, in
+    /// channel order.
+    #[must_use]
+    pub fn capacities(&self) -> &[usize] {
+        &self.capacities
+    }
+}
+
+/// Flow control returned by a [`Binding::Map`] executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fire {
+    /// Keep firing until the repetition target is met.
+    Continue,
+    /// Stop this stage after the current firing (e.g. a circuit breaker
+    /// opened); downstream stages drain what was already produced.
+    Stop,
+}
+
+/// Serial per-firing executor: receives this firing's consumed tokens
+/// (in channel order), returns the produced tokens (in channel order)
+/// and whether to keep firing. On [`Fire::Stop`] the produced tokens
+/// may be empty.
+pub type MapFn<'env, T, E> = Box<dyn FnMut(u64, Vec<T>) -> Result<(Vec<T>, Fire), E> + Send + 'env>;
+
+/// Data-parallel per-firing executor: like [`MapFn`] but pure enough to
+/// run firings on a worker pool. Outputs are re-ordered to firing order
+/// before being sent downstream, so execution stays deterministic.
+pub type ParMapFn<'env, T, E> = Box<dyn Fn(u64, Vec<T>) -> Result<Vec<T>, E> + Send + Sync + 'env>;
+
+/// Self-paced executor: drives its own receive/send loop through a
+/// [`StageCtx`] (e.g. wrapping an external streaming API that owns its
+/// chunking).
+pub type StreamFn<'env, T, E> = Box<dyn FnOnce(&mut StageCtx<T>) -> Result<(), E> + Send + 'env>;
+
+/// The executor bound to one stage of an [`ExecutablePlan`].
+pub enum Binding<'env, T, E> {
+    /// Fire serially, once per repetition-vector entry per iteration.
+    Map(MapFn<'env, T, E>),
+    /// Fire on up to `workers` pooled threads, preserving firing order
+    /// on the output channels.
+    ParMap {
+        /// Worker-pool width (clamped to at least 1).
+        workers: usize,
+        /// The per-firing executor.
+        f: ParMapFn<'env, T, E>,
+    },
+    /// The stage paces itself against its channels.
+    Stream(StreamFn<'env, T, E>),
+}
+
+/// Channel endpoints handed to a [`Binding::Stream`] executor, with
+/// token counters for the run report.
+pub struct StageCtx<T> {
+    inputs: Vec<Receiver<T>>,
+    outputs: Vec<SyncSender<T>>,
+    received: u64,
+    sent: u64,
+}
+
+impl<T> StageCtx<T> {
+    /// Receives one token from the stage's first input channel;
+    /// `None` once every upstream sender is gone and the buffer is
+    /// drained.
+    pub fn recv(&mut self) -> Option<T> {
+        self.recv_from(0)
+    }
+
+    /// [`StageCtx::recv`] from input channel `input` (graph channel
+    /// order among this stage's inputs).
+    pub fn recv_from(&mut self, input: usize) -> Option<T> {
+        match self.inputs.get(input)?.recv() {
+            Ok(token) => {
+                self.received += 1;
+                Some(token)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Sends one token on the stage's first output channel; `false`
+    /// when the consumer is gone (the stage should wind down).
+    pub fn send(&mut self, token: T) -> bool {
+        self.send_to(0, token)
+    }
+
+    /// [`StageCtx::send`] on output channel `output` (graph channel
+    /// order among this stage's outputs).
+    pub fn send_to(&mut self, output: usize, token: T) -> bool {
+        let Some(tx) = self.outputs.get(output) else {
+            return false;
+        };
+        match tx.send(token) {
+            Ok(()) => {
+                self.sent += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// A draining iterator over input channel `input`; ends once every
+    /// upstream sender is gone and the buffer is empty.
+    pub fn input_iter(&mut self, input: usize) -> InputIter<'_, T> {
+        InputIter {
+            rx: self.inputs.get(input),
+            count: &mut self.received,
+        }
+    }
+}
+
+/// Iterator over one input channel of a [`StageCtx`].
+pub struct InputIter<'a, T> {
+    rx: Option<&'a Receiver<T>>,
+    count: &'a mut u64,
+}
+
+impl<T> Iterator for InputIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        let token = self.rx?.recv().ok()?;
+        *self.count += 1;
+        Some(token)
+    }
+}
+
+/// Why a [`run`] failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RunError<E> {
+    /// A stage executor returned an error.
+    Stage {
+        /// Stage index in graph order.
+        stage: usize,
+        /// The executor's error.
+        error: E,
+    },
+    /// A binding violated the declared rates (e.g. a `Map` executor
+    /// returned the wrong number of tokens) or the binding list does
+    /// not match the graph.
+    Protocol {
+        /// Stage index in graph order (`usize::MAX` for a plan-level
+        /// mismatch).
+        stage: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for RunError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Stage { stage, error } => write!(f, "stage {stage} failed: {error}"),
+            RunError::Protocol { stage, message } => {
+                write!(f, "stage {stage} protocol violation: {message}")
+            }
+        }
+    }
+}
+
+/// What actually happened during a [`run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Completed firings per stage, in graph order.
+    pub firings: Vec<u64>,
+    /// The iteration count the run was asked for.
+    pub iterations: u64,
+    /// Whether every stage met its full `repetition × iterations`
+    /// target (false after a [`Fire::Stop`] or early teardown).
+    pub completed: bool,
+}
+
+impl RunReport {
+    /// Measured analytic elapsed time of the run: per-iteration
+    /// overhead plus the busiest resource's `Σ observed firings ×
+    /// cost`. On a completed run this equals `iterations ×` the
+    /// analyzer's critical path exactly (same arithmetic, same order).
+    #[must_use]
+    pub fn measured_elapsed_s(&self, graph: &SdfGraph) -> f64 {
+        let longest = solve::resource_busy_s(graph, &self.firings)
+            .into_iter()
+            .fold(0.0f64, |acc, (_, busy)| acc.max(busy));
+        graph.overhead_s() * self.iterations as f64 + longest
+    }
+}
+
+/// Outcome of one stage thread.
+struct StageOutcome<E> {
+    firings: u64,
+    fault: Option<Fault<E>>,
+}
+
+enum Fault<E> {
+    Stage(E),
+    Protocol(String),
+}
+
+/// Channel endpoints of one stage, in graph channel order.
+struct StageIo<T> {
+    inputs: Vec<Receiver<T>>,
+    in_rates: Vec<usize>,
+    outputs: Vec<SyncSender<T>>,
+    out_rates: Vec<usize>,
+}
+
+/// Executes a validated plan: one scoped thread per stage, bounded
+/// channels sized from the plan, `repetition × iterations` firings per
+/// `Map`/`ParMap` stage. Returns the per-stage firing counts, or the
+/// first (lowest stage index) executor error.
+pub fn run<'env, T, E>(
+    plan: &ExecutablePlan,
+    iterations: u64,
+    bindings: Vec<Binding<'env, T, E>>,
+) -> Result<RunReport, RunError<E>>
+where
+    T: Send + 'env,
+    E: Send + 'env,
+{
+    let graph = plan.graph();
+    let stage_count = graph.stages().len();
+    if bindings.len() != stage_count {
+        return Err(RunError::Protocol {
+            stage: usize::MAX,
+            message: format!(
+                "{} bindings supplied for {} stages",
+                bindings.len(),
+                stage_count
+            ),
+        });
+    }
+
+    // Build one bounded channel per graph channel, then hand each stage
+    // its endpoints in graph channel order.
+    let mut ios: Vec<StageIo<T>> = (0..stage_count)
+        .map(|_| StageIo {
+            inputs: Vec::new(),
+            in_rates: Vec::new(),
+            outputs: Vec::new(),
+            out_rates: Vec::new(),
+        })
+        .collect();
+    for (c, channel) in graph.channels().iter().enumerate() {
+        let (tx, rx) = sync_channel::<T>(plan.capacities()[c]);
+        ios[channel.from.index()].outputs.push(tx);
+        ios[channel.from.index()].out_rates.push(channel.produce);
+        ios[channel.to.index()].inputs.push(rx);
+        ios[channel.to.index()].in_rates.push(channel.consume);
+    }
+
+    let outcomes: Vec<StageOutcome<E>> = thread::scope(|scope| {
+        let handles: Vec<_> = bindings
+            .into_iter()
+            .zip(ios)
+            .enumerate()
+            .map(|(s, (binding, io))| {
+                let target = plan.repetition()[s] * iterations;
+                scope.spawn(move || run_stage(binding, io, target))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("schedule stage panicked"))
+            .collect()
+    });
+
+    let mut firings = Vec::with_capacity(stage_count);
+    let mut first_fault: Option<RunError<E>> = None;
+    for (s, outcome) in outcomes.into_iter().enumerate() {
+        firings.push(outcome.firings);
+        if first_fault.is_none() {
+            first_fault = outcome.fault.map(|fault| match fault {
+                Fault::Stage(error) => RunError::Stage { stage: s, error },
+                Fault::Protocol(message) => RunError::Protocol { stage: s, message },
+            });
+        }
+    }
+    if let Some(err) = first_fault {
+        return Err(err);
+    }
+    let completed = firings
+        .iter()
+        .zip(plan.repetition())
+        .all(|(&fired, &reps)| fired == reps * iterations);
+    Ok(RunReport {
+        firings,
+        iterations,
+        completed,
+    })
+}
+
+/// Runs one stage to completion on the current (scoped) thread.
+fn run_stage<T: Send, E: Send>(
+    binding: Binding<'_, T, E>,
+    io: StageIo<T>,
+    target: u64,
+) -> StageOutcome<E> {
+    match binding {
+        Binding::Map(f) => run_map(f, io, target),
+        Binding::ParMap { workers, f } => run_parmap(&f, io, target, workers),
+        Binding::Stream(f) => run_stream(f, io),
+    }
+}
+
+/// Receives one firing's worth of input tokens, in channel order.
+/// `None` when any upstream sender is gone (graceful wind-down).
+fn collect_inputs<T>(io: &StageIo<T>) -> Option<Vec<T>> {
+    let total: usize = io.in_rates.iter().sum();
+    let mut inputs = Vec::with_capacity(total);
+    for (rx, &rate) in io.inputs.iter().zip(&io.in_rates) {
+        for _ in 0..rate {
+            match rx.recv() {
+                Ok(token) => inputs.push(token),
+                Err(_) => return None,
+            }
+        }
+    }
+    Some(inputs)
+}
+
+/// Sends one firing's output tokens, in channel order. `false` when a
+/// downstream receiver is gone.
+fn send_outputs<T>(io: &StageIo<T>, outs: Vec<T>) -> bool {
+    let mut it = outs.into_iter();
+    for (tx, &rate) in io.outputs.iter().zip(&io.out_rates) {
+        for _ in 0..rate {
+            let Some(token) = it.next() else {
+                return true; // Fire::Stop may legally under-produce.
+            };
+            if tx.send(token).is_err() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn run_map<T: Send, E: Send>(
+    mut f: MapFn<'_, T, E>,
+    io: StageIo<T>,
+    target: u64,
+) -> StageOutcome<E> {
+    let total_produce: usize = io.out_rates.iter().sum();
+    let mut firings = 0u64;
+    for firing in 0..target {
+        let Some(inputs) = collect_inputs(&io) else {
+            break;
+        };
+        match f(firing, inputs) {
+            Ok((outs, fire)) => {
+                let stop = matches!(fire, Fire::Stop);
+                if outs.len() != total_produce && !(stop && outs.is_empty()) {
+                    return StageOutcome {
+                        firings,
+                        fault: Some(Fault::Protocol(format!(
+                            "executor returned {} token(s), the graph declares {total_produce}",
+                            outs.len()
+                        ))),
+                    };
+                }
+                firings += 1;
+                if !send_outputs(&io, outs) || stop {
+                    break;
+                }
+            }
+            Err(error) => {
+                return StageOutcome {
+                    firings,
+                    fault: Some(Fault::Stage(error)),
+                };
+            }
+        }
+    }
+    StageOutcome {
+        firings,
+        fault: None,
+    }
+}
+
+fn run_parmap<T: Send, E: Send>(
+    f: &ParMapFn<'_, T, E>,
+    io: StageIo<T>,
+    target: u64,
+    workers: usize,
+) -> StageOutcome<E> {
+    let workers = workers.max(1).min(target.max(1) as usize);
+    let total_produce: usize = io.out_rates.iter().sum();
+    // Every worker queue holds its full share of jobs and results, so
+    // dispatch and collection can run strictly in sequence without
+    // blocking each other.
+    let per_worker = (target as usize).div_ceil(workers).max(1);
+
+    thread::scope(|scope| {
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut result_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = sync_channel::<(u64, Vec<T>)>(per_worker);
+            let (result_tx, result_rx) = sync_channel::<Result<Vec<T>, E>>(per_worker);
+            scope.spawn(move || {
+                for (firing, inputs) in job_rx {
+                    if result_tx.send(f(firing, inputs)).is_err() {
+                        break;
+                    }
+                }
+            });
+            job_txs.push(job_tx);
+            result_rxs.push(result_rx);
+        }
+
+        let mut dispatched = 0u64;
+        for firing in 0..target {
+            let Some(inputs) = collect_inputs(&io) else {
+                break;
+            };
+            if job_txs[(firing as usize) % workers]
+                .send((firing, inputs))
+                .is_err()
+            {
+                break;
+            }
+            dispatched += 1;
+        }
+        drop(job_txs);
+
+        // Workers answer their queues in dispatch order, so pulling
+        // worker (firing % workers) reassembles strict firing order.
+        let mut firings = 0u64;
+        for firing in 0..dispatched {
+            match result_rxs[(firing as usize) % workers].recv() {
+                Ok(Ok(outs)) => {
+                    if outs.len() != total_produce {
+                        return StageOutcome {
+                            firings,
+                            fault: Some(Fault::Protocol(format!(
+                                "executor returned {} token(s), the graph declares \
+                                 {total_produce}",
+                                outs.len()
+                            ))),
+                        };
+                    }
+                    firings += 1;
+                    if !send_outputs(&io, outs) {
+                        break;
+                    }
+                }
+                Ok(Err(error)) => {
+                    return StageOutcome {
+                        firings,
+                        fault: Some(Fault::Stage(error)),
+                    };
+                }
+                Err(_) => break,
+            }
+        }
+        StageOutcome {
+            firings,
+            fault: None,
+        }
+    })
+}
+
+fn run_stream<T: Send, E: Send>(f: StreamFn<'_, T, E>, io: StageIo<T>) -> StageOutcome<E> {
+    let consume_per_firing: usize = io.in_rates.iter().sum();
+    let produce_per_firing: usize = io.out_rates.iter().sum();
+    let mut ctx = StageCtx {
+        inputs: io.inputs,
+        outputs: io.outputs,
+        received: 0,
+        sent: 0,
+    };
+    let fault = match f(&mut ctx) {
+        Ok(()) => None,
+        Err(error) => Some(Fault::Stage(error)),
+    };
+    // A stream stage's firing count is inferred from the tokens it
+    // actually moved relative to the declared per-firing rates.
+    let from_in = if consume_per_firing > 0 {
+        ctx.received / consume_per_firing as u64
+    } else {
+        0
+    };
+    let from_out = if produce_per_firing > 0 {
+        ctx.sent / produce_per_firing as u64
+    } else {
+        0
+    };
+    StageOutcome {
+        firings: from_in.max(from_out),
+        fault,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Resource, SdfGraph};
+    use std::convert::Infallible;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    fn unit_chain(cap: usize) -> SdfGraph {
+        let mut g = SdfGraph::new("chain").with_overhead_s(1e-3);
+        let a = g.add_stage("produce", Resource::LINK, 2e-3);
+        let b = g.add_stage("work", Resource::DEVICE, 5e-3);
+        let c = g.add_stage("consume", Resource::LINK, 1e-3);
+        g.add_channel(a, b, 1, 1, Some(cap));
+        g.add_channel(b, c, 1, 1, Some(cap));
+        g
+    }
+
+    #[test]
+    fn validate_rejects_undersized_and_accepts_minimal() {
+        let err = ExecutablePlan::validate(unit_chain(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::Undersized {
+                declared: 0,
+                minimum: 1,
+                ..
+            }
+        ));
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        assert_eq!(plan.repetition(), &[1, 1, 1]);
+        assert_eq!(plan.capacities(), &[2, 2]);
+    }
+
+    #[test]
+    fn validate_sizes_unbounded_channels_at_the_minimum() {
+        let mut g = SdfGraph::new("unbounded");
+        let a = g.add_stage("a", Resource::Host, 0.0);
+        let b = g.add_stage("b", Resource::Host, 0.0);
+        g.add_channel(a, b, 3, 2, None);
+        let plan = ExecutablePlan::validate(g).unwrap();
+        // 3 + 2 - gcd(3,2) = 4.
+        assert_eq!(plan.capacities(), &[4]);
+    }
+
+    #[test]
+    fn map_chain_runs_all_firings_in_order() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let seen = Mutex::new(Vec::new());
+        let bindings: Vec<Binding<'_, u64, Infallible>> = vec![
+            Binding::Map(Box::new(|firing, _| {
+                Ok((vec![firing * 10], Fire::Continue))
+            })),
+            Binding::Map(Box::new(|_, inputs| {
+                Ok((vec![inputs[0] + 1], Fire::Continue))
+            })),
+            Binding::Map(Box::new(|_, inputs| {
+                seen.lock().unwrap().push(inputs[0]);
+                Ok((vec![], Fire::Continue))
+            })),
+        ];
+        let report = run(&plan, 5, bindings).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.firings, vec![5, 5, 5]);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 11, 21, 31, 41]);
+        // Completed run: measured elapsed == iterations × critical path.
+        let predicted = 5.0 * solve::critical_path_s(plan.graph(), plan.repetition());
+        assert!((report.measured_elapsed_s(plan.graph()) - predicted).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parmap_preserves_firing_order() {
+        let mut g = SdfGraph::new("fan");
+        let src = g.add_stage("src", Resource::Host, 0.0);
+        let work = g.add_stage("work", Resource::Host, 1.0);
+        let sink = g.add_stage("sink", Resource::Host, 0.0);
+        g.add_channel(src, work, 1, 1, Some(8));
+        g.add_channel(work, sink, 1, 1, Some(8));
+        let plan = ExecutablePlan::validate(g).unwrap();
+        let seen = Mutex::new(Vec::new());
+        let bindings: Vec<Binding<'_, u64, Infallible>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Binding::ParMap {
+                workers: 4,
+                f: Box::new(|_, inputs| Ok(vec![inputs[0] * 2])),
+            },
+            Binding::Map(Box::new(|_, inputs| {
+                seen.lock().unwrap().push(inputs[0]);
+                Ok((vec![], Fire::Continue))
+            })),
+        ];
+        let report = run(&plan, 16, bindings).unwrap();
+        assert!(report.completed);
+        assert_eq!(
+            *seen.lock().unwrap(),
+            (0..16).map(|i| i * 2).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn stage_error_tears_down_and_reports_lowest_stage() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Binding::Map(Box::new(|firing, inputs| {
+                if firing == 3 {
+                    Err("device fault")
+                } else {
+                    Ok((vec![inputs[0]], Fire::Continue))
+                }
+            })),
+            Binding::Map(Box::new(|_, _| Ok((vec![], Fire::Continue)))),
+        ];
+        let err = run(&plan, 10, bindings).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Stage {
+                stage: 1,
+                error: "device fault"
+            }
+        );
+    }
+
+    #[test]
+    fn stop_drains_tokens_already_produced() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let delivered = AtomicU64::new(0);
+        let bindings: Vec<Binding<'_, u64, Infallible>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Binding::Map(Box::new(|firing, inputs| {
+                if firing == 4 {
+                    // Simulates a circuit breaker opening mid-run.
+                    Ok((vec![], Fire::Stop))
+                } else {
+                    Ok((vec![inputs[0]], Fire::Continue))
+                }
+            })),
+            Binding::Map(Box::new(|_, _| {
+                delivered.fetch_add(1, Ordering::SeqCst);
+                Ok((vec![], Fire::Continue))
+            })),
+        ];
+        let report = run(&plan, 10, bindings).unwrap();
+        assert!(!report.completed);
+        // Firings 0..=3 produced tokens; all four must reach the sink.
+        assert_eq!(delivered.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn stream_stages_pace_themselves() {
+        let mut g = SdfGraph::new("stream");
+        let enc = g.add_stage("encode", Resource::DEVICE, 3e-3);
+        let upd = g.add_stage("update", Resource::Host, 1e-3);
+        g.add_channel(enc, upd, 1, 1, Some(2));
+        let plan = ExecutablePlan::validate(g).unwrap();
+        let total = Mutex::new(0u64);
+        let bindings: Vec<Binding<'_, u64, Infallible>> = vec![
+            Binding::Stream(Box::new(|ctx| {
+                for v in 0..7u64 {
+                    if !ctx.send(v) {
+                        break;
+                    }
+                }
+                Ok(())
+            })),
+            Binding::Stream(Box::new(|ctx| {
+                let mut sum = 0;
+                for v in ctx.input_iter(0) {
+                    sum += v;
+                }
+                *total.lock().unwrap() = sum;
+                Ok(())
+            })),
+        ];
+        let report = run(&plan, 7, bindings).unwrap();
+        assert_eq!(*total.lock().unwrap(), 21);
+        assert_eq!(report.firings, vec![7, 7]);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn wrong_token_count_is_a_protocol_error() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let bindings: Vec<Binding<'_, u64, Infallible>> = vec![
+            Binding::Map(Box::new(|_, _| Ok((vec![1, 2], Fire::Continue)))),
+            Binding::Map(Box::new(|_, inputs| Ok((vec![inputs[0]], Fire::Continue)))),
+            Binding::Map(Box::new(|_, _| Ok((vec![], Fire::Continue)))),
+        ];
+        let err = run(&plan, 1, bindings).unwrap_err();
+        assert!(matches!(err, RunError::Protocol { stage: 0, .. }));
+    }
+
+    #[test]
+    fn binding_count_mismatch_is_rejected_up_front() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let bindings: Vec<Binding<'_, u64, Infallible>> =
+            vec![Binding::Map(Box::new(|_, _| Ok((vec![], Fire::Continue))))];
+        assert!(matches!(
+            run(&plan, 1, bindings),
+            Err(RunError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_iterations_is_a_clean_noop() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let bindings: Vec<Binding<'_, u64, Infallible>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Binding::Map(Box::new(|_, inputs| Ok((vec![inputs[0]], Fire::Continue)))),
+            Binding::Map(Box::new(|_, _| Ok((vec![], Fire::Continue)))),
+        ];
+        let report = run(&plan, 0, bindings).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.firings, vec![0, 0, 0]);
+    }
+}

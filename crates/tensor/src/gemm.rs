@@ -3,14 +3,19 @@
 //! HDC encoding is "indeed a vector–matrix multiplication that is ready to
 //! accelerate on most hardware accelerators" (paper, Section III-A); on the
 //! host CPU baseline it is a plain SGEMM. This module provides a cache
-//! blocked kernel plus a [`std::thread::scope`] row-parallel driver so that
-//! the *functional* parts of the experiments (accuracy measurements) finish
-//! in reasonable wall-clock time. The *analytic* runtime models in the
-//! `cpu-model` and `tpu-sim` crates are what reproduce the paper's timing
-//! figures; this kernel's real speed is never reported as an experiment
-//! result.
+//! blocked kernel plus a row-parallel driver — a two-stage SDF schedule
+//! (plan → rows) executed through the generic runtime in
+//! [`hd_dataflow::runtime`] — so that the *functional* parts of the
+//! experiments (accuracy measurements) finish in reasonable wall-clock
+//! time. The *analytic* runtime models in the `cpu-model` and `tpu-sim`
+//! crates are what reproduce the paper's timing figures; this kernel's
+//! real speed is never reported as an experiment result.
 
+use std::convert::Infallible;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hd_dataflow::runtime::{self, Binding, ExecutablePlan, Fire};
+use hd_dataflow::{Resource, SdfGraph};
 
 use crate::error::TensorError;
 use crate::matrix::Matrix;
@@ -153,28 +158,59 @@ pub fn available_threads() -> usize {
     threads.max(1)
 }
 
+/// One row-band of the output, paired with the matching band of `a`.
+struct RowJob<'a> {
+    a: &'a [f32],
+    out: &'a mut [f32],
+    rows: usize,
+}
+
 fn parallel_rows(a: &Matrix, b: &Matrix, out: &mut Matrix, threads: usize) {
     let (m, k) = a.shape();
     let n = b.cols();
     let rows_per_chunk = m.div_ceil(threads).max(1);
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    let out_data = out.as_mut_slice();
 
-    std::thread::scope(|scope| {
-        let mut remaining = out_data;
-        let mut row_start = 0;
-        while row_start < m {
-            let rows_here = rows_per_chunk.min(m - row_start);
-            let (chunk, rest) = remaining.split_at_mut(rows_here * n);
-            remaining = rest;
-            let a_chunk = &a_data[row_start * k..(row_start + rows_here) * k];
-            scope.spawn(move || {
-                block_kernel(a_chunk, b_data, chunk, rows_here, k, n);
-            });
-            row_start += rows_here;
-        }
-    });
+    // Carve the output into disjoint row bands up front; the plan stage
+    // hands one band per firing to the worker-pooled rows stage.
+    let mut jobs = Vec::new();
+    let mut remaining = out.as_mut_slice();
+    let mut row_start = 0;
+    while row_start < m {
+        let rows_here = rows_per_chunk.min(m - row_start);
+        let (chunk, rest) = remaining.split_at_mut(rows_here * n);
+        remaining = rest;
+        jobs.push(RowJob {
+            a: &a_data[row_start * k..(row_start + rows_here) * k],
+            out: chunk,
+            rows: rows_here,
+        });
+        row_start += rows_here;
+    }
+
+    let bands = jobs.len();
+    let mut graph = SdfGraph::new("gemm-rows");
+    let plan = graph.add_stage("plan", Resource::Host, 0.0);
+    let rows = graph.add_stage("rows", Resource::Host, 0.0);
+    graph.add_channel(plan, rows, bands, 1, Some(bands));
+    let plan = ExecutablePlan::validate(graph).expect("gemm row schedule is statically valid");
+
+    let mut jobs = Some(jobs);
+    let bindings: Vec<Binding<'_, RowJob<'_>, Infallible>> = vec![
+        Binding::Map(Box::new(move |_, _| {
+            Ok((jobs.take().unwrap_or_default(), Fire::Continue))
+        })),
+        Binding::ParMap {
+            workers: threads,
+            f: Box::new(move |_, mut inputs| {
+                let job = inputs.pop().expect("one row band per firing");
+                block_kernel(job.a, b_data, job.out, job.rows, k, n);
+                Ok(Vec::new())
+            }),
+        },
+    ];
+    runtime::run(&plan, 1, bindings).expect("gemm row schedule cannot fail");
 }
 
 /// The serial blocked kernel: `out (m x n) += a (m x k) * b (k x n)`.

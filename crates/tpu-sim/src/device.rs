@@ -131,6 +131,7 @@ pub struct Device {
     config: DeviceConfig,
     array: SystolicArray,
     link: HostLink,
+    ordinal: usize,
     state: Mutex<DeviceState>,
 }
 
@@ -155,6 +156,21 @@ impl Device {
     /// [`crate::FaultConfig::validate`]).
     #[must_use]
     pub fn new(config: DeviceConfig) -> Self {
+        Self::with_ordinal(config, 0)
+    }
+
+    /// Creates a device bound to the given schedule-resource ordinal:
+    /// stage graphs refer to this handle as
+    /// [`Resource::Device(ordinal)`](hd_dataflow::Resource), so a
+    /// multi-device schedule can pin each stage to a concrete simulated
+    /// accelerator. [`Device::new`] binds ordinal 0, the classic
+    /// single-device resource.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Device::new`].
+    #[must_use]
+    pub fn with_ordinal(config: DeviceConfig, ordinal: usize) -> Self {
         let array = SystolicArray::new(config.target.array_rows, config.target.array_cols);
         let link = HostLink::new(config.link);
         if let Err(e) = config.fault.validate() {
@@ -166,6 +182,7 @@ impl Device {
             config,
             array,
             link,
+            ordinal,
             state: Mutex::new(DeviceState {
                 model: None,
                 buffer,
@@ -179,6 +196,12 @@ impl Device {
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.config
+    }
+
+    /// The SDF-schedule resource this device handle is bindable as:
+    /// a stage tagged with this resource executes on this device.
+    pub fn resource(&self) -> hd_dataflow::Resource {
+        hd_dataflow::Resource::Device(self.ordinal)
     }
 
     /// Whether a model is currently resident.

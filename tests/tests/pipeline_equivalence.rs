@@ -19,8 +19,10 @@ use proptest::prelude::*;
 
 use hd_tensor::rng::DetRng;
 use hd_tensor::{ops, Matrix};
-use hdc::{BaseHypervectors, Encoder, Executor, NonlinearEncoder, TrainConfig};
-use hyperedge::{ExecutionBackend, ExecutionSetting, Pipeline, PipelineConfig, ResiliencePolicy};
+use hdc::{BaseHypervectors, Encoder, Executor, HdcModel, NonlinearEncoder, TrainConfig};
+use hyperedge::{
+    ExecutionBackend, ExecutionSetting, Pipeline, PipelineConfig, ResiliencePolicy, TwoDeviceServer,
+};
 use integration_tests::clustered_dataset;
 use tpu_sim::{Device, DeviceConfig, FaultConfig};
 use wide_nn::{compile, Activation, ModelBuilder, TargetSpec};
@@ -218,6 +220,39 @@ fn streamed_training_with_transient_faults_stays_bit_exact() {
     assert!(ledger.faults_observed > 0, "the chaos schedule never fired");
     assert_eq!(ledger.retries, ledger.faults_observed);
     assert_eq!(ledger.fallbacks, 0);
+}
+
+/// The two-device serving schedule — born as a declared SDF graph and
+/// executed by the generic runtime, never hand-threaded — is bit-exact
+/// with its sequential reference, and its measured wall-clock equals the
+/// prediction computed from the declaration alone.
+#[test]
+fn two_device_serving_is_bit_exact_and_matches_declared_prediction() {
+    let (features, labels) = clustered_dataset(30, 10, CLASSES, 0.5, 51);
+    let train = TrainConfig::new(256).with_iterations(3).with_seed(52);
+    let (model, _) = HdcModel::fit(&features, &labels, CLASSES, &train).unwrap();
+    // Chunk 16 over 90 rows: five full chunks plus a partial tail, the
+    // case where the bottleneck device can flip mid-batch.
+    let config = PipelineConfig::new(256).with_batches(64, 16);
+
+    let pipelined = TwoDeviceServer::new(&model, &config, &features).unwrap();
+    let reference = TwoDeviceServer::new(&model, &config, &features).unwrap();
+    let got = pipelined.predict(&features).unwrap();
+    let expected = reference.predict_sequential(&features).unwrap();
+    assert_eq!(got, expected);
+    assert_eq!(got.len(), features.rows());
+
+    let predicted = pipelined.predicted_elapsed_s(features.rows()).unwrap();
+    let measured = pipelined.measured_elapsed_s();
+    assert!(
+        (measured - predicted).abs() < 1e-12,
+        "measured {measured} vs predicted {predicted}"
+    );
+    // The overlap is real: the pipelined wall-clock (bottleneck device)
+    // beats the serial sum of both devices' busy time.
+    let serial_sum =
+        reference.encode_device().ledger().total_s + reference.score_device().ledger().total_s;
+    assert!(measured < serial_sum, "{measured} vs serial {serial_sum}");
 }
 
 /// End-to-end: a full `Pipeline::train` on the CPU setting with a thread

@@ -9,12 +9,19 @@
 //! while a deliberately undersized channel bound is rejected with the
 //! analyzer's computed minimum in the message.
 
+use std::convert::Infallible;
+
 use proptest::prelude::*;
 
 use hd_analysis::dataflow::analyze;
+use hd_dataflow::runtime::{self, Binding, ExecutablePlan, Fire};
+use hd_dataflow::SdfGraph;
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
-use hyperedge::schedule::{self, overlapped_invoke_graph, streamed_encode_graph, SchedulePlan};
+use hyperedge::schedule::{
+    self, encode_score_graph, overlapped_invoke_graph, parallel_members_graph,
+    streamed_encode_graph, SchedulePlan,
+};
 use hyperedge::FrameworkError;
 use tpu_sim::timing::ModelDims;
 use tpu_sim::{Device, DeviceConfig};
@@ -69,6 +76,74 @@ proptest! {
             (measured - predicted).abs() < 1e-12,
             "measured {measured} vs predicted {predicted}"
         );
+    }
+}
+
+/// One do-nothing executor per stage: each firing emits exactly the
+/// token count its output channels declare. The runtime charges each
+/// firing the stage's declared cost to its resource, so a run with
+/// these bindings measures the schedule itself, with no workload code.
+fn synthetic_bindings(graph: &SdfGraph) -> Vec<Binding<'static, (), Infallible>> {
+    graph
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(s, _)| {
+            let produce: usize = graph
+                .channels()
+                .iter()
+                .filter(|c| c.from.index() == s)
+                .map(|c| c.produce)
+                .sum();
+            Binding::Map(Box::new(move |_, _| {
+                Ok((vec![(); produce], Fire::Continue))
+            }))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Over every production graph shape and an arbitrary iteration
+    /// count: executing the declared graph through the generic SDF
+    /// runtime with synthetic no-op executors yields a measured elapsed
+    /// time equal to the analyzer's critical path per iteration, to
+    /// 1e-12. The prediction and the execution come from the same
+    /// declaration, so any drift is a runtime bug.
+    #[test]
+    fn prop_runtime_elapsed_equals_analyzer_critical_path(
+        samples in 1usize..64,
+        members in 1usize..9,
+        depth in 1usize..4,
+        iterations in 1u64..6,
+    ) {
+        let cfg = DeviceConfig::default();
+        let encoder_dims = ModelDims::encoder(12, 64);
+        let score_dims = ModelDims::encoder(64, 3);
+        let graphs = [
+            overlapped_invoke_graph(&cfg, &encoder_dims, samples),
+            streamed_encode_graph(&cfg, &encoder_dims, samples, depth, 1e-3),
+            parallel_members_graph(members, 0.25),
+            encode_score_graph(&cfg, &encoder_dims, &score_dims, samples),
+        ];
+        for graph in graphs {
+            let analysis = analyze(&graph)
+                .analysis
+                .expect("production graphs are rate-consistent");
+            let plan = ExecutablePlan::validate(graph).expect("production graphs validate");
+            let bindings = synthetic_bindings(plan.graph());
+            let report = runtime::run(&plan, iterations, bindings)
+                .expect("synthetic executors cannot fail");
+            prop_assert!(report.completed, "{}: incomplete run", plan.graph().name());
+            let measured = report.measured_elapsed_s(plan.graph());
+            let predicted = analysis.critical_path_s * iterations as f64;
+            prop_assert!(
+                (measured - predicted).abs() < 1e-12,
+                "{}: measured {measured} vs predicted {predicted}",
+                plan.graph().name()
+            );
+        }
     }
 }
 
