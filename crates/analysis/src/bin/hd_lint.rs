@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hd_analysis::{engine, json, sarif, Allowlist, LintReport, RULES};
+use hd_analysis::{engine, json, sarif, Allowlist, LintReport};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -71,13 +71,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 /// Renders the rule table for `--list-rules`: one `id  severity
-/// description` line per rule, aligned. The README rules table is
+/// description` line per registered rule — the `lint/*` source rules
+/// plus the `range/*` and `schedule/*` analysis rules, in the same
+/// order the SARIF driver catalogs them. The README rules table is
 /// generated from this output.
 fn rules_table() -> String {
-    let id_width = RULES.iter().map(|r| r.name.len() + 5).max().unwrap_or(0);
+    let rules = sarif::registered_rules();
+    let id_width = rules.iter().map(|(id, _)| id.len()).max().unwrap_or(0);
     let mut out = String::new();
-    for rule in RULES {
-        let id = format!("lint/{}", rule.name);
+    for (id, rule) in &rules {
         out.push_str(&format!(
             "{id:<id_width$}  {:<7}  {}\n",
             rule.severity.name(),
@@ -168,6 +170,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hd_analysis::RULES;
 
     fn parse(args: &[&str]) -> Result<Options, String> {
         parse_args(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
@@ -188,16 +191,31 @@ mod tests {
     }
 
     #[test]
-    fn rules_table_has_one_line_per_rule() {
+    fn rules_table_has_one_line_per_registered_rule() {
         let table = rules_table();
-        assert_eq!(table.lines().count(), RULES.len());
-        for rule in RULES {
+        let registered = sarif::registered_rules();
+        assert_eq!(table.lines().count(), registered.len());
+        assert!(registered.len() > RULES.len(), "analysis rules missing");
+        for (id, rule) in &registered {
             let line = table
                 .lines()
-                .find(|l| l.starts_with(&format!("lint/{}", rule.name)))
-                .expect("rule listed");
+                .find(|l| l.starts_with(id.as_str()))
+                .unwrap_or_else(|| panic!("{id} not listed"));
             assert!(line.contains(rule.severity.name()));
             assert!(line.contains(rule.description));
+        }
+    }
+
+    #[test]
+    fn rules_table_catalogs_the_interleaving_rules() {
+        let table = rules_table();
+        for id in [
+            "schedule/interleaving-deadlock",
+            "schedule/interleaving-overflow",
+            "schedule/interleaving-lost-token",
+            "schedule/interleaving-livelock",
+        ] {
+            assert!(table.contains(id), "{id} missing:\n{table}");
         }
     }
 }

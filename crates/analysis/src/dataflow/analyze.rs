@@ -146,23 +146,39 @@ fn deadlock_diag(graph: &SdfGraph, tokens: &[usize], remaining: &[u64]) -> Diagn
     )
 }
 
+/// Orders keyed diagnostics by (stage index, channel index) — stable,
+/// so findings at the same position keep their emission order — and
+/// strips the keys.
+fn finish(mut keyed: Vec<((usize, usize), Diagnostic)>) -> Vec<Diagnostic> {
+    keyed.sort_by_key(|&(key, _)| key);
+    keyed.into_iter().map(|(_, d)| d).collect()
+}
+
 /// Analyzes a declared schedule: rate consistency, repetition vector,
 /// buffer bounds, deadlock freedom, and the analytic critical path.
 #[must_use]
 pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
-    let mut diagnostics = Vec::new();
+    // Diagnostics carry a (stage index, channel index) sort key so the
+    // report order is deterministic and position-based, independent of
+    // the order the checks below happen to run in. Whole-graph findings
+    // (deadlock) key past every per-channel one.
+    let mut keyed: Vec<((usize, usize), Diagnostic)> = Vec::new();
     let stage_count = graph.stages().len();
 
     // Structural validity: every channel must name real stages and
     // positive rates, otherwise no balance equation is meaningful.
-    for channel in graph.channels() {
+    for (c, channel) in graph.channels().iter().enumerate() {
         if channel.from.index() >= stage_count || channel.to.index() >= stage_count {
-            diagnostics.push(Diagnostic::error(
-                "schedule/rate-inconsistent",
-                "a channel references a stage that is not part of this graph".to_string(),
+            keyed.push((
+                (channel.from.index().min(stage_count), c),
+                Diagnostic::error(
+                    "schedule/rate-inconsistent",
+                    "a channel references a stage that is not part of this graph".to_string(),
+                ),
             ));
         } else if channel.produce == 0 || channel.consume == 0 {
-            diagnostics.push(
+            keyed.push((
+                (channel.from.index(), c),
                 Diagnostic::error(
                     "schedule/rate-inconsistent",
                     format!(
@@ -173,13 +189,13 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
                     ),
                 )
                 .with_help("every firing must move at least one token"),
-            );
+            ));
         }
     }
-    if !diagnostics.is_empty() {
+    if !keyed.is_empty() {
         return ScheduleReport {
             graph: graph.name().to_string(),
-            diagnostics,
+            diagnostics: finish(keyed),
             analysis: None,
         };
     }
@@ -235,9 +251,10 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
     };
 
     // Self-loops that can never gather their own first tokens.
-    for channel in graph.channels() {
+    for (c, channel) in graph.channels().iter().enumerate() {
         if channel.from == channel.to && channel.initial_tokens < channel.consume {
-            diagnostics.push(
+            keyed.push((
+                (channel.from.index(), c),
                 Diagnostic::error(
                     "schedule/resource-self-cycle",
                     format!(
@@ -250,20 +267,21 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
                     ),
                 )
                 .with_help("seed the self-loop with at least `consume` initial tokens"),
-            );
+            ));
         }
     }
 
     // Minimal safe bounds and overlap depth per channel.
     let mut min_capacities = Vec::with_capacity(graph.channels().len());
-    for channel in graph.channels() {
+    for (c, channel) in graph.channels().iter().enumerate() {
         let min_bound = solve::min_capacity(channel);
         min_capacities.push(min_bound);
         let Some(declared) = channel.capacity else {
             continue;
         };
         if declared < min_bound {
-            diagnostics.push(
+            keyed.push((
+                (channel.from.index(), c),
                 Diagnostic::error(
                     "schedule/buffer-undersized",
                     format!(
@@ -276,13 +294,14 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
                     "raise the declared bound to at least {min_bound} \
                      (produce + consume - gcd)"
                 )),
-            );
+            ));
         } else if declared < channel.produce + channel.consume
             && graph.stages()[channel.from.index()].resource
                 != graph.stages()[channel.to.index()].resource
         {
             let overlap = channel.produce + channel.consume;
-            diagnostics.push(
+            keyed.push((
+                (channel.from.index(), c),
                 Diagnostic::warning(
                     "schedule/no-overlap",
                     format!(
@@ -295,17 +314,20 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
                     "declare capacity >= {overlap} (produce + consume) to let the two \
                      resources overlap"
                 )),
-            );
+            ));
         }
     }
 
     // Deadlock freedom, only meaningful once the structure is sound.
-    let structurally_sound = !diagnostics
+    let structurally_sound = !keyed
         .iter()
-        .any(|d| d.severity == wide_nn::diag::Severity::Error);
+        .any(|(_, d)| d.severity == wide_nn::diag::Severity::Error);
     if structurally_sound {
         if let Err(stall) = solve::simulate_steady_state(graph, &repetition) {
-            diagnostics.push(deadlock_diag(graph, &stall.tokens, &stall.remaining));
+            keyed.push((
+                (stage_count, graph.channels().len()),
+                deadlock_diag(graph, &stall.tokens, &stall.remaining),
+            ));
         }
     }
 
@@ -315,7 +337,7 @@ pub fn analyze(graph: &SdfGraph) -> ScheduleReport {
 
     ScheduleReport {
         graph: graph.name().to_string(),
-        diagnostics,
+        diagnostics: finish(keyed),
         analysis: Some(ScheduleAnalysis {
             stage_names: graph.stages().iter().map(|s| s.name.clone()).collect(),
             repetition,

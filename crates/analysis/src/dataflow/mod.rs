@@ -33,13 +33,26 @@
 //!   device's ledger obeys. The prediction is a checkable lower bound
 //!   that the integration suite pins against measured ledgers to 1e-12.
 //!
+//! The symbolic analyzer fires whole stages atomically. Its dynamic
+//! counterpart, [`check_interleavings`], drives the exhaustive
+//! interleaving model checker ([`hd_dataflow::model_check`]) over the
+//! same declaration, replaying the runtime's per-token `sync_channel`
+//! semantics — including `Fire::Stop` and executor-error teardown
+//! injected at every reachable firing — and surfaces its verdicts as
+//! `schedule/interleaving-*` diagnostics. Each side is the other's
+//! oracle: a differential property test holds their deadlock verdicts
+//! equal over random graphs.
+//!
 //! Diagnostics reuse the shared [`Diagnostic`](wide_nn::diag::Diagnostic)
 //! currency under the `schedule/` code namespace; [`SCHEDULE_RULES`]
 //! carries their metadata for SARIF output.
 
 mod analyze;
+mod interleave;
 
 pub use analyze::{analyze, ScheduleAnalysis, ScheduleReport};
+pub use hd_dataflow::model_check::{CheckConfig, CheckReport};
+pub use interleave::{check_interleavings, InterleavingReport};
 // The IR itself lives in the dependency-free `hd-dataflow` crate, shared
 // with the executing runtime; re-exported here so analysis consumers keep
 // their `hd_analysis::dataflow::*` paths.
@@ -81,5 +94,29 @@ pub const SCHEDULE_RULES: &[RuleInfo] = &[
         severity: Severity::Warning,
         description: "a cross-resource channel is too shallow to let producer and consumer \
                       fire concurrently; the declared overlap cannot happen",
+    },
+    RuleInfo {
+        name: "interleaving-deadlock",
+        severity: Severity::Error,
+        description: "exhaustive model checking of the runtime's per-token semantics found a \
+                      reachable interleaving where no stage can take a step",
+    },
+    RuleInfo {
+        name: "interleaving-overflow",
+        severity: Severity::Error,
+        description: "a reachable interleaving drives a channel above its declared capacity",
+    },
+    RuleInfo {
+        name: "interleaving-lost-token",
+        severity: Severity::Error,
+        description: "a reachable interleaving (possibly under an injected stop or executor \
+                      error) strands buffered tokens that a receiver was obligated to drain, \
+                      or finishes a fault-free run with unbalanced token counts",
+    },
+    RuleInfo {
+        name: "interleaving-livelock",
+        severity: Severity::Warning,
+        description: "the interleaving exploration exceeded its transition bound or state \
+                      budget, so termination of every schedule order is not proven",
     },
 ];

@@ -6,6 +6,8 @@
 //!                  [--buffer BYTES] [--ranges] [--format text|json|sarif]
 //! hyperedge verify --schedule [--stream-depth N] [--members M]
 //!                  [--format text|json|sarif]
+//! hyperedge verify --model-check [--depth N] [--stream-depth N]
+//!                  [--members M] [--format text|json|sarif]
 //! ```
 //!
 //! `lint` runs the `hd-analysis` workspace lint engine (the same pass as
@@ -28,6 +30,17 @@
 //! fan-out, so a deliberately undersized bound (e.g. `--stream-depth 0`)
 //! demonstrates the analyzer's rejection with the computed minimum.
 //!
+//! `verify --model-check` goes one level deeper: it hands all four
+//! production schedules (the three above plus the two-device serving
+//! graph) to the exhaustive interleaving model checker
+//! ([`hd_analysis::dataflow::check_interleavings`]), which replays the
+//! runtime's per-token channel semantics over every reachable schedule
+//! order — with stop and executor-error faults injected at every
+//! reachable firing — and reports `schedule/interleaving-*` findings.
+//! The explored state and transition counts are always printed (and
+//! carried in the JSON/SARIF output), so a truncated search can never
+//! pass silently; `--depth N` bounds the explored depth explicitly.
+//!
 //! These flags include bare booleans (`--deny-warnings`), so the two
 //! subcommands parse their own arguments instead of going through
 //! [`crate::args::ParsedArgs`], and they follow the check exit-status
@@ -36,7 +49,9 @@
 
 use std::process::ExitCode;
 
-use hd_analysis::dataflow::{analyze, ScheduleReport, SdfGraph};
+use hd_analysis::dataflow::{
+    analyze, check_interleavings, CheckConfig, InterleavingReport, ScheduleReport, SdfGraph,
+};
 use hd_analysis::{engine, json, sarif, Allowlist};
 use hd_tensor::Matrix;
 use hyperedge::schedule;
@@ -51,6 +66,8 @@ const CHECKS_USAGE: &str = "usage: hyperedge <lint|verify> [options]\n\
     hyperedge verify [--features N] [--dim D] [--classes K] \
 [--buffer BYTES] [--ranges] [--format text|json|sarif]\n\
     hyperedge verify --schedule [--stream-depth N] [--members M] \
+[--format text|json|sarif]\n\
+    hyperedge verify --model-check [--depth N] [--stream-depth N] [--members M] \
 [--format text|json|sarif]";
 
 /// Driver name stamped into SARIF output from the verify subcommand.
@@ -234,6 +251,102 @@ fn run_verify_schedule(
     Ok(!any_errors)
 }
 
+/// Renders the exploration statistics of every model-checked schedule
+/// as a JSON array: state/transition counts, the deepest interleaving
+/// seen, whether the search was truncated, and the violation count.
+/// Graphs with no repetition vector (nothing to explore) carry `null`
+/// statistics.
+fn model_check_summary_json(reports: &[InterleavingReport]) -> String {
+    let mut out = String::from("[");
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('{');
+        out.push_str(&format!("\"graph\": {}, ", json::escape(&report.graph)));
+        out.push_str("\"explored\": ");
+        match &report.check {
+            Some(check) => out.push_str(&format!(
+                "{{\"states\": {}, \"transitions\": {}, \"max_depth\": {}, \"truncated\": {}}}",
+                check.states, check.transitions, check.max_depth_seen, check.truncated
+            )),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(", \"violations\": {}", report.diagnostics.len()));
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// Runs the exhaustive interleaving model checker over the four
+/// production schedules; returns `Ok(true)` when no schedule has an
+/// error-severity finding.
+///
+/// Every output format discloses how much was explored (states,
+/// transitions, deepest interleaving, truncation), so a search cut
+/// short by the state budget or an explicit `--depth` bound is visible
+/// even when no violation was found.
+fn run_verify_model_check(
+    stream_depth: usize,
+    members: usize,
+    depth: Option<usize>,
+    format: Format,
+) -> Result<bool, String> {
+    let cfg = CheckConfig {
+        max_depth: depth,
+        ..CheckConfig::default()
+    };
+    let reports: Vec<InterleavingReport> = schedule::production_schedules(stream_depth, members)
+        .iter()
+        .map(|graph| check_interleavings(graph, &cfg))
+        .collect();
+    let any_errors = reports.iter().any(InterleavingReport::has_errors);
+    let diagnostics = || -> Vec<_> {
+        reports
+            .iter()
+            .flat_map(|r| r.diagnostics.iter().cloned())
+            .collect()
+    };
+    match format {
+        Format::Text => {
+            for report in &reports {
+                let verdict = if report.has_errors() {
+                    "REJECTED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "model-check `{}`: {verdict} ({})",
+                    report.graph,
+                    report.coverage()
+                );
+                for d in &report.diagnostics {
+                    println!("  {d}");
+                }
+            }
+        }
+        Format::Json => {
+            println!(
+                "{{\"model_check\": {}, \"diagnostics\": {}}}",
+                model_check_summary_json(&reports),
+                json::encode(&diagnostics())
+            );
+        }
+        Format::Sarif => {
+            let properties = format!(
+                "{{\"model_check\": {}}}",
+                model_check_summary_json(&reports)
+            );
+            println!(
+                "{}",
+                sarif::encode_with_properties(VERIFY_DRIVER, &diagnostics(), Some(&properties))
+            );
+        }
+    }
+    Ok(!any_errors)
+}
+
 /// Builds the paper's `features -> dim -> classes` wide inference network
 /// and statically verifies it; returns `Ok(true)` when the model passes.
 fn run_verify(args: &[String]) -> Result<bool, String> {
@@ -244,6 +357,8 @@ fn run_verify(args: &[String]) -> Result<bool, String> {
     let mut ranges = false;
     let mut format = Format::Text;
     let mut schedule_mode = false;
+    let mut model_check_mode = false;
+    let mut depth: Option<usize> = None;
     let mut stream_depth = schedule::STREAM_DEPTH;
     let mut members = 8usize;
     let mut it = args.iter();
@@ -261,11 +376,16 @@ fn run_verify(args: &[String]) -> Result<bool, String> {
             "--buffer" => buffer = parse_usize(it.next(), "--buffer")?,
             "--ranges" => ranges = true,
             "--schedule" => schedule_mode = true,
+            "--model-check" => model_check_mode = true,
+            "--depth" => depth = Some(parse_usize(it.next(), "--depth")?),
             "--stream-depth" => stream_depth = parse_usize(it.next(), "--stream-depth")?,
             "--members" => members = parse_usize(it.next(), "--members")?,
             "--format" => format = parse_format(it.next())?,
             other => return Err(format!("unknown verify option {other:?}\n{CHECKS_USAGE}")),
         }
+    }
+    if model_check_mode {
+        return run_verify_model_check(stream_depth, members, depth, format);
     }
     if schedule_mode {
         return run_verify_schedule(stream_depth, members, format);

@@ -1,9 +1,15 @@
-//! End-to-end contract of `hyperedge verify --schedule`.
+//! End-to-end contract of `hyperedge verify --schedule` and
+//! `hyperedge verify --model-check`.
 //!
-//! Exercises the built binary: a clean run over the three declared
-//! production schedules exits 0, and a deliberately undersized stream
-//! channel (`--stream-depth 0`) exits 1 with a SARIF diagnostic that
-//! names the analyzer's minimal safe bound.
+//! Exercises the built binary: a clean run over the declared production
+//! schedules exits 0, and a deliberately undersized stream channel
+//! (`--stream-depth 0`) exits 1 — with a SARIF diagnostic naming the
+//! analyzer's minimal safe bound under `--schedule`, and a
+//! `schedule/interleaving-deadlock` exhibiting the wedged interleaving
+//! under `--model-check`. The model-check output is pinned as an exact
+//! snapshot: the exploration is deterministic (no wall clock, no
+//! randomness), so the state/transition counts are stable and any
+//! silent change to the search's coverage fails here.
 
 use std::process::{Command, Output};
 
@@ -95,6 +101,125 @@ fn undersized_json_reports_declared_zero_against_minimum_one() {
         "{stdout}"
     );
     assert!(stdout.contains("schedule/buffer-undersized"), "{stdout}");
+}
+
+#[test]
+fn model_check_output_is_an_exact_deterministic_snapshot() {
+    // The virtual scheduler is fully deterministic, so the clean run
+    // over all four production graphs is pinned verbatim — including
+    // the state/transition counts, so pruning can never change
+    // silently.
+    let out = run_verify(&["--model-check"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout,
+        "model-check `overlapped-invoke`: ok (158 states, 210 transitions, depth 17)\n\
+         model-check `streamed-encode-train`: ok (46 states, 55 transitions, depth 10)\n\
+         model-check `parallel-members`: ok (6487 states, 14734 transitions, depth 87)\n\
+         model-check `two-device-serve`: ok (46 states, 55 transitions, depth 10)\n"
+    );
+}
+
+#[test]
+fn model_check_flags_the_undersized_mutant_with_interleaving_deadlock() {
+    let out = run_verify(&["--model-check", "--stream-depth", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("error[schedule/interleaving-deadlock]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("`encode` is waiting for space on `encode -> update`"),
+        "{stdout}"
+    );
+    // The healthy graphs still report their coverage around the mutant.
+    assert!(
+        stdout.contains("model-check `parallel-members`: ok"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn model_check_diagnostic_order_is_deterministic_across_graphs() {
+    // Diagnostics come out in graph declaration order, and inside each
+    // graph sorted by (stage index, channel index) with whole-search
+    // findings last — pinned here as the exact code sequence.
+    let out = run_verify(&["--model-check", "--depth", "3", "--stream-depth", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let codes: Vec<&str> = stdout
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim_start();
+            (l.starts_with("error[") || l.starts_with("warning[")).then(|| {
+                let end = l.find(']').unwrap();
+                &l[..=end]
+            })
+        })
+        .collect();
+    assert_eq!(
+        codes,
+        vec![
+            "warning[schedule/interleaving-livelock]",
+            "error[schedule/interleaving-deadlock]",
+            "warning[schedule/interleaving-livelock]",
+            "warning[schedule/interleaving-livelock]",
+        ],
+        "{stdout}"
+    );
+}
+
+#[test]
+fn model_check_json_carries_exploration_statistics() {
+    let out = run_verify(&["--model-check", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"model_check\": ["), "{stdout}");
+    for needle in [
+        "\"graph\": \"overlapped-invoke\"",
+        "\"graph\": \"two-device-serve\"",
+        "\"explored\": {\"states\": 158, \"transitions\": 210, \"max_depth\": 17, \
+         \"truncated\": false}",
+        "\"violations\": 0",
+        "\"diagnostics\": [",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn model_check_sarif_registers_interleaving_rules_and_counts() {
+    let out = run_verify(&["--model-check", "--format", "sarif"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "\"schedule/interleaving-deadlock\"",
+        "\"schedule/interleaving-overflow\"",
+        "\"schedule/interleaving-lost-token\"",
+        "\"schedule/interleaving-livelock\"",
+        "\"hyperedge-verify\"",
+        "\"properties\": {\"model_check\": [",
+        "\"transitions\": 14734",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn explicit_shallow_depth_truncates_with_a_warning_not_an_error() {
+    // A user-requested depth below the analytic bound is ordinary
+    // truncation: disclosed, but not treated as a livelock witness.
+    let out = run_verify(&["--model-check", "--depth", "3"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("(TRUNCATED)"), "{stdout}");
+    assert!(
+        stdout.contains("warning[schedule/interleaving-livelock]"),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("error["), "{stdout}");
 }
 
 #[test]

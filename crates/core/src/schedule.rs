@@ -309,6 +309,23 @@ pub fn standard_schedules(stream_depth: usize, members: usize) -> Vec<SdfGraph> 
     ]
 }
 
+/// All four production schedules: the three from
+/// [`standard_schedules`] plus the two-device serving graph. This is
+/// the set `hyperedge verify --model-check` exhaustively explores —
+/// every declared graph the framework can hand to the SDF runtime.
+/// The serving graph scores 10 classes off the 10 000-dimensional
+/// encoding, matching the paper-scale defaults of the other three.
+#[must_use]
+pub fn production_schedules(stream_depth: usize, members: usize) -> Vec<SdfGraph> {
+    let cfg = DeviceConfig::default();
+    let dims = ModelDims::encoder(784, 10_000);
+    let score_dims = ModelDims::encoder(10_000, 10);
+    let chunk = 256;
+    let mut graphs = standard_schedules(stream_depth, members);
+    graphs.push(encode_score_graph(&cfg, &dims, &score_dims, chunk));
+    graphs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +416,18 @@ mod tests {
         let analysis = plan.report().analysis.as_ref().unwrap();
         assert_eq!(analysis.repetition, vec![1, 4, 1]);
         assert_eq!(analysis.min_capacities, vec![4, 4]);
+    }
+
+    #[test]
+    fn production_schedules_adds_the_serving_graph() {
+        let graphs = production_schedules(STREAM_DEPTH, 8);
+        assert_eq!(graphs.len(), 4);
+        assert_eq!(graphs[3].name(), "two-device-serve");
+        for graph in graphs {
+            let name = graph.name().to_string();
+            SchedulePlan::declare(graph)
+                .unwrap_or_else(|e| panic!("schedule `{name}` rejected: {e}"));
+        }
     }
 
     #[test]

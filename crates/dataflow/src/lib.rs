@@ -1,7 +1,7 @@
 //! Synchronous-dataflow schedules: declare, solve, execute.
 //!
 //! This crate is the dependency-free core of the pipelined execution
-//! layer. It owns three things:
+//! layer. It owns four things:
 //!
 //! 1. [`graph`] — the SDF stage-graph IR: stages pinned to a
 //!    [`Resource`], token channels with produce/consume rates, declared
@@ -11,7 +11,14 @@
 //!    smallest integer repetition vector, minimal safe channel bounds,
 //!    symbolic steady-state deadlock simulation, and per-resource busy
 //!    time.
-//! 3. [`runtime`] — the executor. A validated [`ExecutablePlan`] binds
+//! 3. [`model_check`] — the exhaustive interleaving model checker: a
+//!    virtual scheduler that replays the runtime's per-token semantics
+//!    over every interleaving (with partial-order reduction), proving
+//!    deadlock freedom, bounded occupancy, termination, loss-free
+//!    teardown under injected faults, and token balance for a concrete
+//!    plan — the properties the symbolic analyzer only checks
+//!    atomically.
+//! 4. [`runtime`] — the executor. A validated [`ExecutablePlan`] binds
 //!    one executor closure per stage and runs the graph on real scoped
 //!    threads connected by bounded `sync_channel`s sized from the
 //!    solver's minimal safe bounds. This module is the single
@@ -26,8 +33,10 @@
 //! execute through one shared runtime without dependency cycles.
 
 pub mod graph;
+pub mod model_check;
 pub mod runtime;
 pub mod solve;
 
 pub use graph::{Channel, Resource, SdfGraph, Stage, StageId};
+pub use model_check::{check_graph, check_plan, CheckConfig, CheckReport, Inject, Violation};
 pub use runtime::{run, Binding, ExecutablePlan, Fire, PlanError, RunError, RunReport, StageCtx};

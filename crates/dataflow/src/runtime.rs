@@ -353,6 +353,47 @@ impl RunReport {
     }
 }
 
+/// One channel endpoint of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Port {
+    /// Index into [`SdfGraph::channels`].
+    pub channel: usize,
+    /// Tokens this stage moves on the channel per firing (the consume
+    /// rate for an input port, the produce rate for an output port).
+    pub rate: usize,
+}
+
+/// The channel endpoints of one stage, each list in graph channel
+/// order. This is the runtime's firing contract, factored out so the
+/// model checker ([`crate::model_check`]) replays exactly the endpoint
+/// layout and port order [`run`] wires with `sync_channel`s: a stage
+/// collects its input ports in order ([`collect_inputs`]) and emits its
+/// output ports in order ([`send_outputs`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StagePorts {
+    /// Channels this stage consumes from, in graph channel order.
+    pub inputs: Vec<Port>,
+    /// Channels this stage produces to, in graph channel order.
+    pub outputs: Vec<Port>,
+}
+
+/// The per-stage endpoint layout of a graph, in stage order.
+#[must_use]
+pub fn stage_ports(graph: &SdfGraph) -> Vec<StagePorts> {
+    let mut ports: Vec<StagePorts> = vec![StagePorts::default(); graph.stages().len()];
+    for (c, channel) in graph.channels().iter().enumerate() {
+        ports[channel.from.index()].outputs.push(Port {
+            channel: c,
+            rate: channel.produce,
+        });
+        ports[channel.to.index()].inputs.push(Port {
+            channel: c,
+            rate: channel.consume,
+        });
+    }
+    ports
+}
+
 /// Outcome of one stage thread.
 struct StageOutcome<E> {
     firings: u64,
@@ -399,22 +440,45 @@ where
     }
 
     // Build one bounded channel per graph channel, then hand each stage
-    // its endpoints in graph channel order.
-    let mut ios: Vec<StageIo<T>> = (0..stage_count)
-        .map(|_| StageIo {
-            inputs: Vec::new(),
-            in_rates: Vec::new(),
-            outputs: Vec::new(),
-            out_rates: Vec::new(),
+    // its endpoints in the shared [`stage_ports`] layout — the same
+    // layout the model checker replays.
+    type Endpoint<T> = (Option<SyncSender<T>>, Option<Receiver<T>>);
+    let mut endpoints: Vec<Endpoint<T>> = graph
+        .channels()
+        .iter()
+        .enumerate()
+        .map(|(c, _)| {
+            let (tx, rx) = sync_channel::<T>(plan.capacities()[c]);
+            (Some(tx), Some(rx))
         })
         .collect();
-    for (c, channel) in graph.channels().iter().enumerate() {
-        let (tx, rx) = sync_channel::<T>(plan.capacities()[c]);
-        ios[channel.from.index()].outputs.push(tx);
-        ios[channel.from.index()].out_rates.push(channel.produce);
-        ios[channel.to.index()].inputs.push(rx);
-        ios[channel.to.index()].in_rates.push(channel.consume);
-    }
+    let ios: Vec<StageIo<T>> = stage_ports(graph)
+        .into_iter()
+        .map(|ports| StageIo {
+            inputs: ports
+                .inputs
+                .iter()
+                .map(|p| {
+                    endpoints[p.channel]
+                        .1
+                        .take()
+                        .expect("one consumer per channel")
+                })
+                .collect(),
+            in_rates: ports.inputs.iter().map(|p| p.rate).collect(),
+            outputs: ports
+                .outputs
+                .iter()
+                .map(|p| {
+                    endpoints[p.channel]
+                        .0
+                        .take()
+                        .expect("one producer per channel")
+                })
+                .collect(),
+            out_rates: ports.outputs.iter().map(|p| p.rate).collect(),
+        })
+        .collect();
 
     let outcomes: Vec<StageOutcome<E>> = thread::scope(|scope| {
         let handles: Vec<_> = bindings

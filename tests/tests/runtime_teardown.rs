@@ -1,0 +1,188 @@
+//! Loss-free teardown of the SDF runtime under injected stage faults.
+//!
+//! The model checker proves on the virtual scheduler that a stage
+//! dying — by executor error or by [`Fire::Stop`] — never strands
+//! tokens a downstream receiver was obligated to drain. These tests
+//! hold the real runtime to the same law: every stage of every
+//! production graph is killed at every firing index, and the
+//! closure-side token counters must show each receiver downstream of
+//! the fault consumed every complete firing's worth of tokens that was
+//! actually produced for it. (Receivers *upstream* of the fault owe no
+//! such drain: their consumer died, so the runtime correctly fails
+//! them fast.)
+//!
+//! Counters live in the executor closures because a stage error aborts
+//! [`runtime::run`] without a [`RunReport`] — the closures are the only
+//! witnesses of what moved.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hd_dataflow::runtime::{self, Binding, ExecutablePlan, Fire, RunError};
+use hd_dataflow::SdfGraph;
+use hyperedge::schedule;
+
+#[derive(Clone, Copy, Debug)]
+enum Fault {
+    /// Executor returns an error: the firing does not count and aborts
+    /// the run.
+    Error,
+    /// Executor returns [`Fire::Stop`] with no outputs: the firing
+    /// counts, the stage retires gracefully under-producing.
+    Stop,
+}
+
+/// Stages reachable from `victim` through channel directions (the
+/// stages whose input supply the fault cuts off), victim included.
+fn downstream_of(graph: &SdfGraph, victim: usize) -> Vec<bool> {
+    let mut reach = vec![false; graph.stages().len()];
+    reach[victim] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for c in graph.channels() {
+            if reach[c.from.index()] && !reach[c.to.index()] {
+                reach[c.to.index()] = true;
+                changed = true;
+            }
+        }
+    }
+    reach
+}
+
+/// Runs `plan` with synthetic executors, killing `victim` at its
+/// `kill_at`-th firing, and returns the per-channel
+/// `(produced, consumed)` token counts the closures observed.
+fn run_with_fault(
+    plan: &ExecutablePlan,
+    iterations: u64,
+    victim: usize,
+    kill_at: u64,
+    fault: Fault,
+) -> Vec<(u64, u64)> {
+    let graph = plan.graph();
+    let produced: Vec<Arc<AtomicU64>> = (0..graph.channels().len())
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let consumed: Vec<Arc<AtomicU64>> = (0..graph.channels().len())
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let bindings: Vec<Binding<(), String>> = graph
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(s, _)| {
+            let ins: Vec<(usize, u64)> = graph
+                .channels()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.to.index() == s)
+                .map(|(i, c)| (i, c.consume as u64))
+                .collect();
+            let outs: Vec<(usize, u64)> = graph
+                .channels()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.from.index() == s)
+                .map(|(i, c)| (i, c.produce as u64))
+                .collect();
+            let produce_total: usize = outs.iter().map(|&(_, r)| r as usize).sum();
+            let produced = produced.clone();
+            let consumed = consumed.clone();
+            Binding::Map(Box::new(move |firing, _inputs| {
+                // The runtime collected this firing's full input batch
+                // before invoking us, so it counts as consumed even if
+                // the firing faults below — exactly the runtime's
+                // semantics (an erroring firing wastes its inputs).
+                for &(c, rate) in &ins {
+                    consumed[c].fetch_add(rate, Ordering::SeqCst);
+                }
+                if s == victim && firing == kill_at {
+                    return match fault {
+                        Fault::Error => Err("injected fault".to_string()),
+                        Fault::Stop => Ok((Vec::new(), Fire::Stop)),
+                    };
+                }
+                for &(c, rate) in &outs {
+                    produced[c].fetch_add(rate, Ordering::SeqCst);
+                }
+                Ok((vec![(); produce_total], Fire::Continue))
+            }))
+        })
+        .collect();
+
+    let result = runtime::run(plan, iterations, bindings);
+    match fault {
+        Fault::Error => match result {
+            Err(RunError::Stage { stage, .. }) => {
+                assert_eq!(stage, victim, "error must name the faulted stage")
+            }
+            other => panic!("expected a stage error, got {other:?}"),
+        },
+        Fault::Stop => {
+            result.expect("a graceful stop never errors the run");
+        }
+    }
+
+    produced
+        .iter()
+        .zip(&consumed)
+        .map(|(p, c)| (p.load(Ordering::SeqCst), c.load(Ordering::SeqCst)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Kill every stage of every production graph at every firing
+    /// index, both by executor error and by `Fire::Stop`: on every
+    /// channel downstream of the fault, the receiver must have drained
+    /// every complete firing's worth of tokens that was produced before
+    /// the pipeline wound down — nothing buffered is dropped.
+    #[test]
+    fn prop_downstream_receivers_drain_everything_buffered_before_a_fault(
+        iterations in 1u64..3,
+        members in 2usize..5,
+    ) {
+        let graphs = schedule::production_schedules(schedule::STREAM_DEPTH, members);
+        for graph in graphs {
+            let name = graph.name().to_string();
+            let plan = ExecutablePlan::validate(graph).expect("production graphs validate");
+            let targets: Vec<u64> =
+                plan.repetition().iter().map(|&r| r * iterations).collect();
+            for (victim, &target) in targets.iter().enumerate() {
+                for kill_at in 0..target {
+                    for fault in [Fault::Error, Fault::Stop] {
+                        let counts =
+                            run_with_fault(&plan, iterations, victim, kill_at, fault);
+                        let downstream = downstream_of(plan.graph(), victim);
+                        for (c, channel) in plan.graph().channels().iter().enumerate() {
+                            if channel.to.index() == victim
+                                || !downstream[channel.from.index()]
+                            {
+                                continue;
+                            }
+                            let (produced, consumed) = counts[c];
+                            let consume = channel.consume as u64;
+                            prop_assert_eq!(
+                                consumed,
+                                (produced / consume) * consume,
+                                "{}: victim {} ({:?}) at firing {}: channel {} \
+                                 produced {} but only {} consumed",
+                                name,
+                                victim,
+                                fault,
+                                kill_at,
+                                plan.graph().channel_label(channel),
+                                produced,
+                                consumed
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
