@@ -1,8 +1,8 @@
-use std::convert::Infallible;
-
 use serde::{Deserialize, Serialize};
 
-use hd_dataflow::runtime::{self, Binding, ExecutablePlan, Fire};
+use hd_dataflow::runtime::{
+    self, Binding, ExecutablePlan, Fire, RunError, Supervised, Supervision,
+};
 use hd_dataflow::{Resource, SdfGraph};
 use hd_tensor::rng::DetRng;
 use hd_tensor::Matrix;
@@ -202,9 +202,6 @@ fn encode_and_train(
     )?)
 }
 
-/// One member's training outcome paired with its sampled-row count.
-type MemberOutcome = (Result<(ClassHypervectors, TrainStats), BaggingError>, usize);
-
 /// Resolves one member's training rows and runs its encode→update chain;
 /// returns the outcome plus the member's sampled-row count.
 fn train_one_member(
@@ -349,6 +346,19 @@ pub fn members_graph(members: usize, member_cost_s: f64) -> SdfGraph {
     g
 }
 
+/// How one parallel member firing produced its class hypervectors — the
+/// token the member stage emits and the assembly loop folds into
+/// [`BaggingStats`] in index order.
+#[derive(Clone)]
+enum MemberYield {
+    /// Trained through the caller's executor.
+    Trained(ClassHypervectors, TrainStats),
+    /// Recovered by the stage's supervision: retrained on the host.
+    Retrained(ClassHypervectors, TrainStats),
+    /// Recovered by the stage's supervision: dropped from the ensemble.
+    Dropped,
+}
+
 /// [`train_members_with_recovery`] with member-level parallelism: up to
 /// `threads` ensemble members train concurrently, executed through the
 /// generic SDF runtime from the declared [`members_graph`] schedule.
@@ -357,6 +367,12 @@ pub fn members_graph(members: usize, member_cost_s: f64) -> SdfGraph {
 /// sequential loop; recovery and assembly still run in index order, and
 /// `threads <= 1` (or a single-member plan) delegates to the exact
 /// sequential path.
+///
+/// The member stage runs as a supervised data-parallel binding: the
+/// [`MemberRecovery`] policy *is* the stage's per-firing recovery hook,
+/// so a member whose backend fails permanently is retrained on the host
+/// or marked dropped right on its worker — firings recover
+/// independently, and there is no second hand-rolled recovery pass.
 ///
 /// Intended for host-executed members. Device-resident backends should
 /// keep `threads == 1`: the simulated accelerator holds one model at a
@@ -387,67 +403,86 @@ pub fn train_members_parallel(
         }));
     }
 
-    // Phase 1: execute the declared parallel-members schedule through
-    // the generic SDF runtime. One plan firing emits a job token per
-    // member, the member stage's worker pool trains them concurrently
+    // Execute the declared parallel-members schedule through the generic
+    // SDF runtime. One plan firing emits a job token per member, the
+    // supervised member stage's worker pool trains them concurrently
     // (the runtime preserves firing order, so firing index == member
-    // index), and one merge firing gathers every outcome in order.
+    // index) with the recovery policy attached as the stage's
+    // per-firing recovery hook, and one merge firing gathers every
+    // outcome token in order.
+    type MemberToken = Option<(usize, MemberYield)>;
     let members = specs.len();
     let plan = ExecutablePlan::validate(members_graph(members, 0.0))
         .expect("parallel-members schedule is statically valid");
-    let mut outcomes: Vec<MemberOutcome> = Vec::with_capacity(members);
+    let mut outcomes: Vec<MemberToken> = Vec::with_capacity(members);
     {
         let specs = &specs;
         let gathered = &mut outcomes;
-        let bindings: Vec<Binding<'_, Option<MemberOutcome>, Infallible>> = vec![
-            Binding::Map(Box::new(move |_, _| {
+        let bindings: Vec<Binding<'_, MemberToken, BaggingError>> = vec![
+            Supervised::map(Supervision::none(), move |_, _: &[MemberToken]| {
                 Ok(((0..members).map(|_| None).collect(), Fire::Continue))
-            })),
-            Binding::ParMap {
+            })
+            .into_binding(),
+            Binding::SupervisedParMap {
                 workers: threads.min(members),
-                f: Box::new(move |firing, _| {
-                    let spec = &specs[firing as usize];
-                    Ok(vec![Some(train_one_member(
-                        spec, features, labels, classes, exec,
-                    ))])
+                // The executor's own supervision (retry/backoff/breaker)
+                // already ran inside `exec`; a failure surfacing here is
+                // permanent, so the stage goes straight to recovery.
+                policy: Supervision::none(),
+                f: Box::new(move |ctx, _| {
+                    let spec = &specs[ctx.firing as usize];
+                    let (outcome, rows) = train_one_member(spec, features, labels, classes, exec);
+                    let (hvs, ts) = outcome?;
+                    Ok(vec![Some((rows, MemberYield::Trained(hvs, ts)))])
                 }),
+                recover: Some(Box::new(move |firing, _attempts, error, _inputs| {
+                    if !matches!(error, BaggingError::Hdc(hdc::HdcError::Backend(_))) {
+                        return None; // caller bugs always propagate
+                    }
+                    match recovery {
+                        MemberRecovery::Fail => None,
+                        MemberRecovery::RetrainOnHost => {
+                            let spec = &specs[firing as usize];
+                            let (outcome, rows) =
+                                train_one_member(spec, features, labels, classes, &HostExecutor);
+                            Some(outcome.map(|(hvs, ts)| {
+                                vec![Some((rows, MemberYield::Retrained(hvs, ts)))]
+                            }))
+                        }
+                        MemberRecovery::Drop => Some(Ok(vec![Some((0, MemberYield::Dropped))])),
+                    }
+                })),
             },
-            Binding::Map(Box::new(move |_, tokens| {
-                gathered.extend(
-                    tokens
-                        .into_iter()
-                        .map(|t| t.expect("member firings produce outcome tokens")),
-                );
+            Supervised::map(Supervision::none(), move |_, tokens: &[MemberToken]| {
+                gathered.extend(tokens.iter().cloned());
                 Ok((Vec::new(), Fire::Continue))
-            })),
+            })
+            .into_binding(),
         ];
-        runtime::run(&plan, 1, bindings).expect("parallel-members schedule cannot fail");
+        runtime::run(&plan, 1, bindings).map_err(|e| match e {
+            RunError::Stage { error, .. } => error,
+            RunError::Protocol { stage, message } => BaggingError::InvalidConfig(format!(
+                "parallel-members schedule protocol violation at stage {stage}: {message}"
+            )),
+        })?;
     }
 
-    // Phase 2: sequential recovery and assembly in index order, matching
-    // the sequential loop's semantics (first failing member wins).
+    // Assembly in index order: fold the outcome tokens into the stats
+    // and surviving sub-models, exactly as the sequential loop does.
     let mut sub_models = Vec::with_capacity(specs.len());
     let mut stats = BaggingStats::default();
-    for (spec, (outcome, sampled_rows)) in specs.into_iter().zip(outcomes) {
-        let (class_hvs, train_stats, sampled_rows) = match outcome {
-            Ok((hvs, ts)) => (hvs, ts, sampled_rows),
-            Err(BaggingError::Hdc(hdc::HdcError::Backend(reason))) => match recovery {
-                MemberRecovery::Fail => {
-                    return Err(BaggingError::Hdc(hdc::HdcError::Backend(reason)));
-                }
-                MemberRecovery::RetrainOnHost => {
-                    stats.retrained_on_host.push(spec.index);
-                    let (retrained, rows) =
-                        train_one_member(&spec, features, labels, classes, &HostExecutor);
-                    let (hvs, ts) = retrained?;
-                    (hvs, ts, rows)
-                }
-                MemberRecovery::Drop => {
-                    stats.dropped_members.push(spec.index);
-                    continue;
-                }
-            },
-            Err(e) => return Err(e),
+    for (spec, token) in specs.into_iter().zip(outcomes) {
+        let (sampled_rows, outcome) = token.expect("member firings produce outcome tokens");
+        let (class_hvs, train_stats) = match outcome {
+            MemberYield::Trained(hvs, ts) => (hvs, ts),
+            MemberYield::Retrained(hvs, ts) => {
+                stats.retrained_on_host.push(spec.index);
+                (hvs, ts)
+            }
+            MemberYield::Dropped => {
+                stats.dropped_members.push(spec.index);
+                continue;
+            }
         };
         stats.sub_models.push(SubModelStats {
             index: spec.index,

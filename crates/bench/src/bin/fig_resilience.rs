@@ -1,0 +1,16 @@
+//! Sweeps injected transient-fault rates through the supervised
+//! two-device server, asserts every run recovers bit-exact predictions,
+//! and writes the machine-readable `BENCH_resilience.json` baseline at
+//! the repository root. See `hd_bench::experiments::fig_resilience_report`.
+
+fn main() {
+    let (table, report) = hd_bench::experiments::fig_resilience_report();
+    table.emit("fig_resilience");
+    match hd_bench::report::write_bench_report("resilience", &report.to_json()) {
+        Ok(path) => println!("(report written to {})", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_resilience.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

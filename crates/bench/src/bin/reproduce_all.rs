@@ -26,6 +26,7 @@ fn main() {
     experiments::fig_fault().emit("fig_fault");
     experiments::fig_pipeline().emit("fig_pipeline");
     experiments::fig_schedule().emit("fig_schedule");
+    experiments::fig_resilience().emit("fig_resilience");
     ablations::scaling().emit("scaling");
     ablations::energy().emit("energy");
 }

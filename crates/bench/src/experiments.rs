@@ -801,6 +801,133 @@ pub fn fig_schedule() -> ResultTable {
     fig_schedule_report().0
 }
 
+/// `fig_resilience` plus its machine-readable report: the supervised
+/// two-device server swept over injected transient-fault rates. Every
+/// run must come back bit-exact with the fault-free reference — faults
+/// are only allowed to cost time (retries and backoff on the simulated
+/// clock), never correctness — and the fault-free supervised path must
+/// match the declared schedule's analytic prediction, so failover adds
+/// bounded overhead at 0% faults.
+///
+/// # Panics
+///
+/// Panics on any training/serving error, if any faulted run's
+/// predictions drift from the fault-free reference, or if a fault-free
+/// supervised serve reports non-zero fault counters.
+pub fn fig_resilience_report() -> (ResultTable, crate::report::ResilienceBenchReport) {
+    let smoke = crate::smoke_mode();
+    let mut t = ResultTable::new(
+        "Fig. resilience: recovered serve throughput vs injected fault rate",
+        &[
+            "fault rate",
+            "elapsed",
+            "throughput",
+            "faults/retries/rebinds",
+        ],
+    );
+
+    let (rows, feats, dim, classes) = if smoke {
+        (96, 24, 256, 3)
+    } else {
+        (256, 48, 1024, 4)
+    };
+    let mut rng = DetRng::new(SEED ^ 0x4E51);
+    let mut features = hd_tensor::Matrix::random_normal(rows, feats, &mut rng);
+    let labels: Vec<usize> = (0..rows).map(|i| i % classes).collect();
+    for (i, &l) in labels.iter().enumerate() {
+        features.row_mut(i)[l] += 3.0;
+    }
+    let train = hdc::TrainConfig::new(dim)
+        .with_iterations(3)
+        .with_seed(SEED);
+    let (model, _) = hdc::HdcModel::fit(&features, &labels, classes, &train).expect("fit");
+    let pipe_cfg = hyperedge::PipelineConfig::new(dim).with_batches(64, 16);
+
+    let reference = hyperedge::TwoDeviceServer::new(&model, &pipe_cfg, &features).expect("server");
+    let expected = reference
+        .predict_sequential(&features)
+        .expect("sequential reference");
+    let predicted_s = reference
+        .predicted_elapsed_s(rows)
+        .expect("declared schedule predicts");
+
+    // One supervised serve per injected transient-fault rate. Elapsed is
+    // the busiest device's simulated busy time plus every retry's
+    // deterministic backoff — the full price of recovery on the
+    // simulated clock.
+    let rates = [0.0, 0.02, 0.10, 0.30];
+    let mut throughputs = [0.0f64; 4];
+    let mut total_faults = 0u64;
+    for (i, &rate) in rates.iter().enumerate() {
+        let mut cfg = pipe_cfg.clone();
+        cfg.device.fault = tpu_sim::FaultConfig::default()
+            .with_seed(SEED ^ 0xFA17)
+            .with_transient_rate(rate);
+        let server = hyperedge::TwoDeviceServer::with_spares(&model, &cfg, &features, 1)
+            .expect("pooled server");
+        let outcome = server
+            .predict_supervised(&features)
+            .expect("supervised serve");
+        let report = outcome.report();
+        assert_eq!(
+            report.predictions, expected,
+            "rate {rate}: failover must recover bit-exact predictions"
+        );
+        let (faults, retries, rebinds, backoff_s) =
+            report.supervision.iter().fold((0, 0, 0, 0.0), |acc, s| {
+                (
+                    acc.0 + s.faults,
+                    acc.1 + s.retries,
+                    acc.2 + s.rebinds,
+                    acc.3 + s.backoff_s,
+                )
+            });
+        if i == 0 {
+            assert_eq!(
+                (faults, retries, rebinds),
+                (0, 0, 0),
+                "fault-free supervision must be inert"
+            );
+        } else {
+            total_faults += faults;
+        }
+        let elapsed = server.measured_elapsed_s() + backoff_s;
+        throughputs[i] = rows as f64 / elapsed;
+        t.push_row(vec![
+            format!("{:.0}%", rate * 100.0),
+            crate::fmt_secs(elapsed),
+            format!("{:.0} rows/s", throughputs[i]),
+            format!("{faults}/{retries}/{rebinds}"),
+        ]);
+    }
+
+    let supervised_clean_s = rows as f64 / throughputs[0];
+    let min_recovered_frac = throughputs
+        .iter()
+        .skip(1)
+        .fold(f64::INFINITY, |m, &x| m.min(x))
+        / throughputs[0];
+    let report = crate::report::ResilienceBenchReport {
+        rows,
+        predicted_s,
+        supervised_clean_s,
+        zero_fault_overhead: supervised_clean_s / predicted_s,
+        throughput_clean: throughputs[0],
+        throughput_2pct: throughputs[1],
+        throughput_10pct: throughputs[2],
+        throughput_30pct: throughputs[3],
+        min_recovered_frac,
+        total_faults,
+        smoke,
+    };
+    (t, report)
+}
+
+/// `fig_resilience`: the table half of [`fig_resilience_report`].
+pub fn fig_resilience() -> ResultTable {
+    fig_resilience_report().0
+}
+
 /// The per-iteration default profile used when a measured one is not
 /// available (kept public so tests can pin its shape).
 pub fn reference_profile(iterations: usize) -> UpdateProfile {

@@ -113,6 +113,65 @@ impl ScheduleBenchReport {
     }
 }
 
+/// Measurements of one `fig_resilience` run: recovered throughput of
+/// the supervised two-device server under seeded fault injection, as a
+/// function of the injected fault rate, plus the failover machinery's
+/// overhead on the fault-free path. Every run in the sweep must return
+/// predictions bit-exact with the fault-free reference (asserted inside
+/// the bench), so "recovered" throughput is the honest kind: the rows
+/// all came back correct, faults only cost time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceBenchReport {
+    /// Rows served per run.
+    pub rows: usize,
+    /// Analyzer-predicted fault-free serve seconds (declared schedule).
+    pub predicted_s: f64,
+    /// Measured seconds for the supervised fault-free serve.
+    pub supervised_clean_s: f64,
+    /// `supervised_clean_s / predicted_s` — the supervision layer's
+    /// fault-free overhead (the failover win must be ~free when nothing
+    /// fails).
+    pub zero_fault_overhead: f64,
+    /// Recovered throughput (rows/simulated-second, retries and backoff
+    /// charged) at 0% injected faults.
+    pub throughput_clean: f64,
+    /// Recovered throughput at a 2% transient-fault rate.
+    pub throughput_2pct: f64,
+    /// Recovered throughput at a 10% transient-fault rate.
+    pub throughput_10pct: f64,
+    /// Recovered throughput at a 30% transient-fault rate.
+    pub throughput_30pct: f64,
+    /// `min(throughput_at_rate) / throughput_clean` over the sweep.
+    pub min_recovered_frac: f64,
+    /// Total supervised faults observed across the faulted runs
+    /// (evidence the injection actually fired).
+    pub total_faults: u64,
+    /// Whether the run was at `HD_BENCH_SMOKE` scale.
+    pub smoke: bool,
+}
+
+impl ResilienceBenchReport {
+    /// Renders the flat JSON form (same conventions as
+    /// [`PipelineBenchReport::to_json`]: one key per line, no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"resilience\",\n  \"git_describe\": null,\n  \"smoke\": {},\n  \"rows\": {},\n  \"predicted_s\": {:.12},\n  \"supervised_clean_s\": {:.12},\n  \"zero_fault_overhead\": {:.6},\n  \"throughput_clean\": {:.3},\n  \"throughput_2pct\": {:.3},\n  \"throughput_10pct\": {:.3},\n  \"throughput_30pct\": {:.3},\n  \"min_recovered_frac\": {:.6},\n  \"total_faults\": {}\n}}\n",
+            self.smoke,
+            self.rows,
+            self.predicted_s,
+            self.supervised_clean_s,
+            self.zero_fault_overhead,
+            self.throughput_clean,
+            self.throughput_2pct,
+            self.throughput_10pct,
+            self.throughput_30pct,
+            self.min_recovered_frac,
+            self.total_faults,
+        )
+    }
+}
+
 /// Repository-root path of the `BENCH_<name>.json` artifact.
 #[must_use]
 pub fn bench_report_path(name: &str) -> PathBuf {
@@ -174,6 +233,35 @@ mod tests {
     fn report_path_lands_at_repo_root() {
         let path = bench_report_path("pipeline");
         assert!(path.ends_with("../../BENCH_pipeline.json"));
+    }
+
+    #[test]
+    fn resilience_json_is_flat_and_line_parsable() {
+        let json = ResilienceBenchReport {
+            rows: 96,
+            predicted_s: 0.008,
+            supervised_clean_s: 0.008,
+            zero_fault_overhead: 1.0,
+            throughput_clean: 12000.0,
+            throughput_2pct: 11000.0,
+            throughput_10pct: 9000.0,
+            throughput_30pct: 6000.0,
+            min_recovered_frac: 0.5,
+            total_faults: 7,
+            smoke: true,
+        }
+        .to_json();
+        for key in [
+            "\"bench\": \"resilience\"",
+            "\"git_describe\": null",
+            "\"smoke\": true",
+            "\"zero_fault_overhead\": 1.000000",
+            "\"min_recovered_frac\": 0.500000",
+            "\"total_faults\": 7",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in\n{json}");
+        }
+        assert_eq!(json.lines().count(), 15);
     }
 
     #[test]

@@ -30,6 +30,12 @@ COMMANDS:
                                       exact sequential path)
     evaluate   --model <model.hdm> --dataset <name>
                [--test N] [--seed N]  evaluate a saved model
+    serve      --model <model.hdm> --dataset <name>
+               [--test N] [--seed N] [--batch N] [--spares N]
+               [--fault transient|link|weight-upset|hang] [--fault-rate R]
+               [--fault-seed N]       serve through the supervised two-device
+                                      pipeline and print per-stage fault,
+                                      retry and failover counters
     info       --model <model.hdm>    describe a saved model
     runtime    --dataset <name> [--setting ...] [--platform i5|a53]
                                       paper-scale runtime & energy breakdown
@@ -237,6 +243,103 @@ pub fn evaluate(args: &ParsedArgs) -> CmdResult {
     Ok(out)
 }
 
+/// `hyperedge serve`
+pub fn serve(args: &ParsedArgs) -> CmdResult {
+    check_flags(
+        args,
+        &[
+            "model",
+            "dataset",
+            "csv",
+            "header",
+            "train",
+            "test",
+            "seed",
+            "batch",
+            "spares",
+            "fault",
+            "fault-rate",
+            "fault-seed",
+        ],
+    )?;
+    let model = hdm::load_model(args.required("model")?)?;
+    let data = load_dataset(args, 1, 400)?;
+    if data.feature_count() != model.feature_count() {
+        return Err(format!(
+            "model expects {} features but dataset has {}",
+            model.feature_count(),
+            data.feature_count()
+        )
+        .into());
+    }
+    let batch = args.get_or("batch", 16usize)?.max(1);
+    let spares = args.get_or("spares", 0usize)?;
+
+    let mut config = PipelineConfig::new(model.dim()).with_batches(batch, batch);
+    if let Some(kind) = args.get("fault") {
+        let rate: f64 = args
+            .get("fault-rate")
+            .unwrap_or("1.0")
+            .parse()
+            .map_err(|_| "--fault-rate expects a number in [0, 1]".to_string())?;
+        let fault_seed = args.get_or("fault-seed", 1u64)?;
+        let fault = hyperedge::fleet::FaultConfig::default().with_seed(fault_seed);
+        config.device.fault = match kind {
+            "transient" => fault.with_transient_rate(rate),
+            "link" => fault.with_link_corruption_rate(rate),
+            "weight-upset" => fault.with_weight_upset_rate(rate),
+            "hang" => {
+                // A hang is only survivable under a firing deadline; the
+                // stall is sized past it so every hang trips the
+                // supervisor instead of blocking the run.
+                config.resilience = config.resilience.with_deadline(Some(0.5));
+                fault.with_hang(rate, 1.0)
+            }
+            other => {
+                return Err(format!(
+                    "unknown fault kind `{other}` (transient | link | weight-upset | hang)"
+                )
+                .into())
+            }
+        };
+    }
+
+    let server =
+        hyperedge::TwoDeviceServer::with_spares(&model, &config, &data.test.features, spares)?;
+    let outcome = server.predict_supervised(&data.test.features)?;
+    let report = outcome.report();
+    let accuracy = hdc::eval::accuracy(&report.predictions, &data.test.labels)?;
+
+    let mut out = format!(
+        "served {} samples in chunks of {batch} across {} pooled device(s)\n\
+         accuracy: {:.1}%\n\
+         outcome: {}\n",
+        data.test.len(),
+        server.pool().len(),
+        100.0 * accuracy,
+        if outcome.is_degraded() {
+            format!("degraded (quarantined device(s): {:?})", report.quarantined)
+        } else {
+            "clean".to_string()
+        },
+    );
+    for (name, s) in ["encode", "score"].iter().zip(&report.supervision) {
+        out.push_str(&format!(
+            "stage {name}: {} fault(s), {} retry(ies), {:.4}s backoff, \
+             {} substitution(s), {} rebind(s)\n",
+            s.faults, s.retries, s.backoff_s, s.substitutions, s.rebinds
+        ));
+    }
+    for d in &report.device_faults {
+        out.push_str(&format!(
+            "device {}: {} fault record(s)\n",
+            d.ordinal,
+            d.records.len()
+        ));
+    }
+    Ok(out)
+}
+
 /// `hyperedge info`
 pub fn info(args: &ParsedArgs) -> CmdResult {
     check_flags(args, &["model"])?;
@@ -363,6 +466,7 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
         "datasets" => datasets(args),
         "train" => train(args),
         "evaluate" | "eval" => evaluate(args),
+        "serve" => serve(args),
         "info" => info(args),
         "runtime" => runtime_report(args),
         "federated" => federated(args),
@@ -491,6 +595,86 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("accuracy:"), "{out}");
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn serve_reports_per_stage_counters_clean_and_degraded() {
+        let dir = std::env::temp_dir().join("hyperedge-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("serve-model.hdm");
+        let model_str = model_path.to_str().unwrap();
+        train(&parsed(&[
+            "train",
+            "--dataset",
+            "pamap2",
+            "--out",
+            model_str,
+            "--dim",
+            "256",
+            "--iterations",
+            "3",
+            "--train",
+            "120",
+            "--test",
+            "40",
+            "--setting",
+            "cpu",
+        ]))
+        .unwrap();
+
+        // Fault-free: clean outcome, zeroed counters for both stages.
+        let out = serve(&parsed(&[
+            "serve",
+            "--model",
+            model_str,
+            "--dataset",
+            "pamap2",
+            "--test",
+            "40",
+        ]))
+        .unwrap();
+        assert!(out.contains("outcome: clean"), "{out}");
+        assert!(
+            out.contains(
+                "stage encode: 0 fault(s), 0 retry(ies), 0.0000s backoff, \
+                 0 substitution(s), 0 rebind(s)"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("stage score:"), "{out}");
+
+        // A permanently faulting pool drains to the host: degraded
+        // outcome naming quarantined devices, counters non-zero.
+        let out = serve(&parsed(&[
+            "serve",
+            "--model",
+            model_str,
+            "--dataset",
+            "pamap2",
+            "--test",
+            "40",
+            "--fault",
+            "transient",
+            "--fault-rate",
+            "1.0",
+        ]))
+        .unwrap();
+        assert!(out.contains("degraded (quarantined device(s):"), "{out}");
+        assert!(out.contains("accuracy:"), "{out}");
+        assert!(out.contains("fault record(s)"), "{out}");
+
+        let err = serve(&parsed(&[
+            "serve",
+            "--model",
+            model_str,
+            "--dataset",
+            "pamap2",
+            "--fault",
+            "gamma-ray",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown fault kind"), "{err}");
         std::fs::remove_file(&model_path).ok();
     }
 

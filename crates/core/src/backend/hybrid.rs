@@ -109,29 +109,41 @@ impl Executor for HybridBackend {
         let mut trained: Option<hdc::Result<(ClassHypervectors, TrainStats)>> = None;
         {
             let slot = &mut trained;
+            // Supervised with no fallback: device-side faults already
+            // degrade *inside* encode_batch_streamed (retry/breaker/host
+            // completion under the TPU backend's stage supervision), so
+            // a primary-stream error here is a programming error, not a
+            // device fault — it aborts with the stage named.
             let bindings: Vec<Binding<'_, hdc::Result<Matrix>, HdcError>> = vec![
-                Binding::Stream(Box::new(move |ctx| {
-                    let streamed = self.tpu.encode_batch_streamed(encoder, batch, |chunk| {
-                        // A refused send means the consumer already
-                        // failed; the remaining chunks are simply dropped.
-                        let _ = ctx.send(Ok(chunk));
-                    });
-                    if let Err(e) = streamed {
-                        let _ = ctx.send(Err(HdcError::Backend(format!(
-                            "device encoding failed: {e}"
-                        ))));
-                    }
-                    Ok(())
-                })),
-                Binding::Stream(Box::new(move |ctx| {
-                    *slot = Some(hdc::train_encoded_streamed(
-                        ctx.input_iter(0),
-                        labels,
-                        classes,
-                        config,
-                    ));
-                    Ok(())
-                })),
+                Binding::SupervisedStream {
+                    f: Box::new(move |ctx| {
+                        let streamed = self.tpu.encode_batch_streamed(encoder, batch, |chunk| {
+                            // A refused send means the consumer already
+                            // failed; the remaining chunks are simply
+                            // dropped.
+                            let _ = ctx.send(Ok(chunk));
+                        });
+                        if let Err(e) = streamed {
+                            let _ = ctx.send(Err(HdcError::Backend(format!(
+                                "device encoding failed: {e}"
+                            ))));
+                        }
+                        Ok(())
+                    }),
+                    fallback: None,
+                },
+                Binding::SupervisedStream {
+                    f: Box::new(move |ctx| {
+                        *slot = Some(hdc::train_encoded_streamed(
+                            ctx.input_iter(0),
+                            labels,
+                            classes,
+                            config,
+                        ));
+                        Ok(())
+                    }),
+                    fallback: None,
+                },
             ];
             let chunks = batch.rows().div_ceil(self.encode_chunk.max(1)) as u64;
             runtime::run(&plan, chunks, bindings).map_err(|e| match e {

@@ -4,7 +4,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use hd_dataflow::runtime::{self, Binding, Fire, RunError};
+use hd_dataflow::runtime::{self, Binding, Fire, FiringCtx, RunError, Supervised, Supervision};
 use parking_lot::Mutex;
 
 use cpu_model::{cost, PlatformSpec};
@@ -283,74 +283,100 @@ impl TpuBackend {
 
         // Execute the verified plan through the generic SDF runtime:
         // dma_in slices chunks onto the link, compute runs the device
-        // invoke under the resilience policy (retries, pristine reloads,
-        // breaker), dma_out hands finished chunks to the caller. The
-        // bounded stage channels are the declared INVOKE_BUFFERS
-        // double-buffer; the device serializes invocations internally,
-        // so chunk timing is charged exactly as the serial loop did.
+        // invoke under the runtime's stage supervision (the backend's
+        // resilience policy lifted into a `Supervision`: bounded retries
+        // with the same backoff schedule, pristine reloads on weight
+        // upsets, and the opened breaker escalating to a graceful stop),
+        // dma_out hands finished chunks to the caller. The bounded stage
+        // channels are the declared INVOKE_BUFFERS double-buffer; the
+        // device serializes invocations internally, so chunk timing is
+        // charged exactly as the hand-rolled retry loop did.
         let before = self.device.ledger();
-        let mut backoff_total = 0.0;
-        let mut degraded = false;
+        let backoff_total = std::sync::atomic::AtomicU64::new(0.0f64.to_bits());
+        let degraded = std::sync::atomic::AtomicBool::new(false);
         {
-            let backoff_total = &mut backoff_total;
-            let degraded = &mut degraded;
+            let backoff_total = &backoff_total;
+            let degraded = &degraded;
             let on_chunk = &mut on_chunk;
-            let mut next_start = 0usize;
             let rows = batch.rows();
+            let supervision = Supervision::retries(
+                self.policy.max_retries,
+                self.policy.backoff_base_s,
+                self.policy.backoff_factor,
+            )
+            .with_deadline(self.policy.invoke_deadline_s);
             let bindings: Vec<Binding<'_, (usize, Matrix), crate::FrameworkError>> = vec![
-                Binding::Map(Box::new(move |_, _| {
-                    let start = next_start;
+                // dma_in derives its slice from the firing index, so a
+                // replayed firing is idempotent by construction.
+                Supervised::map(Supervision::none(), move |ctx: FiringCtx, _inputs| {
+                    let start = (ctx.firing as usize) * chunk;
                     let end = (start + chunk).min(rows);
-                    next_start = end;
                     Ok((vec![(start, batch.slice_rows(start, end)?)], Fire::Continue))
-                })),
-                Binding::Map(Box::new(move |_, mut tokens| {
-                    let (start, part) = tokens.pop().expect("one chunk per compute firing");
-                    let mut attempt: u32 = 0;
-                    loop {
-                        match self
-                            .device
-                            .invoke_overlapped_with_deadline(&part, self.policy.invoke_deadline_s)
-                        {
-                            Ok((out, _stats)) => {
-                                self.breaker.lock().consecutive_failures = 0;
-                                return Ok((vec![(start, out)], Fire::Continue));
-                            }
-                            Err(e) if e.is_fault() => {
-                                self.ledger.lock().faults_observed += 1;
-                                if self.note_failure() {
-                                    // Breaker open: stop the stream; the
-                                    // chunks already past dma_out stand.
-                                    *degraded = true;
-                                    return Ok((Vec::new(), Fire::Stop));
-                                }
-                                if e == SimError::WeightCorruption {
-                                    // Detected upset: put pristine weights
-                                    // back before (or without) retrying.
-                                    self.reload_pristine(&mut self.cache.lock(), key)?;
-                                }
-                                if attempt >= self.policy.max_retries {
-                                    // Retry budget exhausted with the
-                                    // breaker still closed: a hard, typed
-                                    // failure.
-                                    return Err(e.into());
-                                }
-                                attempt += 1;
-                                let backoff = self.policy.backoff_s(attempt);
-                                *backoff_total += backoff;
-                                let mut ledger = self.ledger.lock();
-                                ledger.retries += 1;
-                                ledger.backoff_s += backoff;
-                            }
-                            Err(e) => return Err(e.into()),
-                        }
+                })
+                .into_binding(),
+                Supervised::map(supervision, move |ctx: FiringCtx, tokens: &[_]| {
+                    if ctx.attempt > 0 {
+                        // The supervisor granted a retry: charge its
+                        // simulated backoff to the backend ledgers.
+                        let mut bits = backoff_total.load(std::sync::atomic::Ordering::SeqCst);
+                        bits = (f64::from_bits(bits) + ctx.backoff_s).to_bits();
+                        backoff_total.store(bits, std::sync::atomic::Ordering::SeqCst);
+                        let mut ledger = self.ledger.lock();
+                        ledger.retries += 1;
+                        ledger.backoff_s += ctx.backoff_s;
                     }
-                })),
-                Binding::Map(Box::new(move |_, mut tokens| {
-                    let (start, out) = tokens.pop().expect("one chunk per dma_out firing");
-                    on_chunk(start, out);
+                    let (start, part) = &tokens[0];
+                    match self
+                        .device
+                        .invoke_overlapped_with_deadline(part, ctx.deadline_s)
+                    {
+                        Ok((out, _stats)) => {
+                            self.breaker.lock().consecutive_failures = 0;
+                            Ok((vec![(*start, out)], Fire::Continue))
+                        }
+                        Err(e) if e.is_fault() => {
+                            self.ledger.lock().faults_observed += 1;
+                            let open = self.note_failure();
+                            if e == SimError::WeightCorruption && !open {
+                                // Detected upset: put pristine weights
+                                // back before (or without) retrying.
+                                self.reload_pristine(&mut self.cache.lock(), key)?;
+                            }
+                            Err(e.into())
+                        }
+                        Err(e) => Err(e.into()),
+                    }
+                })
+                .retry_when(move |e: &crate::FrameworkError| {
+                    e.device_fault() && !self.breaker_open()
+                })
+                .or_quarantine(move |_firing, _attempts, e: &crate::FrameworkError| {
+                    // The only in-run escape hatch is the opened breaker:
+                    // re-bind the stage to a stop executor so the chunks
+                    // already past dma_out stand and the caller degrades
+                    // the remaining rows to the host. Any other
+                    // exhaustion (hard fault with the breaker closed,
+                    // non-fault error) aborts with the typed error.
+                    if !(e.device_fault() && self.breaker_open()) {
+                        return None;
+                    }
+                    degraded.store(true, std::sync::atomic::Ordering::SeqCst);
+                    Some(Box::new(|_ctx: FiringCtx, _tokens: &[(usize, Matrix)]| {
+                        Ok((Vec::new(), Fire::Stop))
+                    })
+                        as runtime::SupervisedFn<
+                            '_,
+                            (usize, Matrix),
+                            crate::FrameworkError,
+                        >)
+                })
+                .into_binding(),
+                Supervised::map(Supervision::none(), move |_ctx: FiringCtx, tokens: &[_]| {
+                    let (start, out): &(usize, Matrix) = &tokens[0];
+                    on_chunk(*start, out.clone());
                     Ok((Vec::new(), Fire::Continue))
-                })),
+                })
+                .into_binding(),
             ];
             let chunks = rows.div_ceil(chunk.max(1)) as u64;
             runtime::run(&plan, chunks, bindings).map_err(|e| match e {
@@ -365,6 +391,8 @@ impl TpuBackend {
             let mut ledger = self.ledger.lock();
             ledger.invocations += after.invocations.saturating_sub(before.invocations);
         }
+        let backoff_total = f64::from_bits(backoff_total.load(std::sync::atomic::Ordering::SeqCst));
+        let degraded = degraded.load(std::sync::atomic::Ordering::SeqCst);
         let device_s = (after.total_s - before.total_s).max(0.0) + backoff_total;
         Ok((!degraded, device_s))
     }

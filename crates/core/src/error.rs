@@ -29,6 +29,18 @@ pub enum FrameworkError {
     Schedule(Vec<Diagnostic>),
 }
 
+impl FrameworkError {
+    /// True when this error wraps an injected/simulated device fault
+    /// (transient invoke failure, link corruption, weight upset, hang) —
+    /// the class of errors stage supervision retries and the fleet's
+    /// quarantine logic acts on. Configuration and shape errors are
+    /// never device faults.
+    #[must_use]
+    pub fn device_fault(&self) -> bool {
+        matches!(self, FrameworkError::Sim(e) if e.is_fault())
+    }
+}
+
 impl fmt::Display for FrameworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

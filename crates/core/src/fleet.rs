@@ -1,0 +1,621 @@
+//! A health-tracked pool of simulated accelerators with fleet-level
+//! failover.
+//!
+//! PR 4 gave a *single* device retry/backoff/breaker resilience inside
+//! `TpuBackend`; the runtime's [`Supervision`] layer
+//! ([`hd_dataflow::runtime`]) generalizes the loop. This module supplies
+//! the other half of the ROADMAP's serving-fleet north star: a
+//! [`DevicePool`] of N simulated devices with per-device health states
+//! (`Healthy → Degraded → Quarantined`), pristine-model reload on weight
+//! upsets, fingerprint-residency-aware placement, and drain-to-sibling
+//! failover through a [`StageSeat`] — when a stage's device is
+//! quarantined mid-run, its remaining firings re-bind to a sibling
+//! holding (or loading) the same compiled model, falling back to the
+//! bit-exact host executor only when the pool is exhausted.
+//!
+//! The host fallback is [`CompiledModel::quantized`]'s int8 forward —
+//! the exact arithmetic the simulated device executes — so a drained or
+//! exhausted pool still produces **bit-exact** outputs; degradation is a
+//! *report* (which devices were lost), never a numeric change.
+//!
+//! [`Supervision`]: hd_dataflow::runtime::Supervision
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use hd_tensor::Matrix;
+use tpu_sim::{Device, DeviceConfig, FaultRecord, SimError};
+use wide_nn::compile::CompiledModel;
+
+use crate::backend::ResiliencePolicy;
+
+pub use tpu_sim::{FaultConfig, FaultKind};
+
+/// Health of one pooled device. Transitions are monotone within a
+/// pool's lifetime: a fault degrades a healthy device, enough
+/// consecutive failures quarantine it, and quarantine is permanent
+/// (matching the backend circuit breaker's latching semantics).
+/// Successes reset the consecutive-failure count but never promote a
+/// degraded device back to healthy — the scar is part of the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// No faults observed.
+    Healthy,
+    /// At least one fault observed; still serving.
+    Degraded,
+    /// Permanently removed from placement; remaining work drains to
+    /// siblings (or the host executor).
+    Quarantined,
+}
+
+/// Book-keeping for one pooled device.
+#[derive(Debug, Clone, Copy)]
+struct SeatState {
+    health: DeviceHealth,
+    consecutive_failures: u32,
+    /// Fingerprint of the compiled model resident on the device.
+    resident: Option<u64>,
+    leased: bool,
+}
+
+/// Per-ordinal summary of what a pooled device reported during one
+/// supervised run: the slice of its [`FaultTrace`] the run appended.
+///
+/// [`FaultTrace`]: tpu_sim::FaultTrace
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceFaultSummary {
+    /// Device ordinal within the pool (its schedule `Resource::Device`
+    /// index).
+    pub ordinal: usize,
+    /// Fault records the device appended during the observed window.
+    pub records: Vec<FaultRecord>,
+}
+
+/// A pool of N simulated devices sharing a registry of pristine
+/// compiled models, with health tracking and residency-aware placement.
+///
+/// Ordinals are dense (`0..n`) and match the devices' schedule
+/// resources, so a graph stage pinned to `Resource::Device(k)` binds
+/// pool member `k`.
+pub struct DevicePool {
+    devices: Vec<Device>,
+    seats: Mutex<Vec<SeatState>>,
+    /// Pristine compiled models by fingerprint — the reload source for
+    /// weight-upset recovery and the host-fallback executor.
+    models: Mutex<HashMap<u64, CompiledModel>>,
+    policy: ResiliencePolicy,
+}
+
+impl std::fmt::Debug for DevicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DevicePool")
+            .field("devices", &self.devices.len())
+            .field("seats", &*self.seats.lock())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DevicePool {
+    /// Creates a pool of `n` devices (ordinals `0..n`) sharing `config`,
+    /// under the default [`ResiliencePolicy`].
+    #[must_use]
+    pub fn new(config: &DeviceConfig, n: usize) -> Self {
+        Self::with_policy(config, n, ResiliencePolicy::default())
+    }
+
+    /// Creates a pool of `n` devices under an explicit policy (the
+    /// breaker threshold decides when a degraded device quarantines).
+    #[must_use]
+    pub fn with_policy(config: &DeviceConfig, n: usize, policy: ResiliencePolicy) -> Self {
+        let devices = (0..n)
+            .map(|ordinal| Device::with_ordinal(config.clone(), ordinal))
+            .collect();
+        DevicePool {
+            devices,
+            seats: Mutex::new(vec![
+                SeatState {
+                    health: DeviceHealth::Healthy,
+                    consecutive_failures: 0,
+                    resident: None,
+                    leased: false,
+                };
+                n
+            ]),
+            models: Mutex::new(HashMap::new()),
+            policy,
+        }
+    }
+
+    /// Number of pooled devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True for an empty pool (every lease falls through to the host).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The pool's resilience policy.
+    #[must_use]
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    /// Registers a pristine compiled model under its fingerprint `key`.
+    /// The copy is the reload source after weight upsets and the
+    /// bit-exact host fallback once the pool is exhausted.
+    pub fn register(&self, key: u64, model: CompiledModel) {
+        self.models.lock().insert(key, model);
+    }
+
+    /// The device at `ordinal`.
+    ///
+    /// # Panics
+    ///
+    /// If `ordinal` is out of range.
+    #[must_use]
+    pub fn device(&self, ordinal: usize) -> &Device {
+        &self.devices[ordinal]
+    }
+
+    /// Health of the device at `ordinal`.
+    ///
+    /// # Panics
+    ///
+    /// If `ordinal` is out of range.
+    #[must_use]
+    pub fn health(&self, ordinal: usize) -> DeviceHealth {
+        self.seats.lock()[ordinal].health
+    }
+
+    /// Ordinals currently quarantined, ascending.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.seats
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.health == DeviceHealth::Quarantined)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Leases a device for model `key`, loading the model if it is not
+    /// already resident. Placement prefers, in order: a device with
+    /// `key` resident (no reload cost), then an idle device with
+    /// nothing resident, then any idle non-quarantined device (evicting
+    /// its resident model). Returns `None` when the pool is exhausted —
+    /// the caller degrades to [`DevicePool::host_forward`].
+    ///
+    /// # Errors
+    ///
+    /// `key` was never [`register`](DevicePool::register)ed, or the
+    /// model load fails.
+    pub fn lease(&self, key: u64) -> crate::Result<Option<usize>> {
+        let mut seats = self.seats.lock();
+        let available = |s: &SeatState| s.health != DeviceHealth::Quarantined && !s.leased;
+        let chosen = seats
+            .iter()
+            .position(|s| available(s) && s.resident == Some(key))
+            .or_else(|| {
+                seats
+                    .iter()
+                    .position(|s| available(s) && s.resident.is_none())
+            })
+            .or_else(|| seats.iter().position(available));
+        let Some(ordinal) = chosen else {
+            return Ok(None);
+        };
+        if seats[ordinal].resident != Some(key) {
+            let model = self.models.lock().get(&key).cloned().ok_or_else(|| {
+                crate::FrameworkError::InvalidConfig(format!(
+                    "model {key:#x} was never registered with the pool"
+                ))
+            })?;
+            self.devices[ordinal].load_model(model)?;
+            seats[ordinal].resident = Some(key);
+        }
+        seats[ordinal].leased = true;
+        Ok(Some(ordinal))
+    }
+
+    /// Returns a leased device to the pool (model stays resident).
+    pub fn release(&self, ordinal: usize) {
+        if let Some(seat) = self.seats.lock().get_mut(ordinal) {
+            seat.leased = false;
+        }
+    }
+
+    /// Permanently quarantines `ordinal` and releases its lease.
+    pub fn quarantine(&self, ordinal: usize) {
+        if let Some(seat) = self.seats.lock().get_mut(ordinal) {
+            seat.health = DeviceHealth::Quarantined;
+            seat.leased = false;
+        }
+    }
+
+    /// One supervised invocation on pooled device `ordinal` for model
+    /// `key`, with the fleet's health book-keeping folded in: success
+    /// resets the consecutive-failure count; a device fault degrades
+    /// the device, reloads the pristine model after a weight upset, and
+    /// quarantines the device once `policy.breaker_threshold`
+    /// consecutive failures accumulate. The typed error is always
+    /// returned — retry/escalation belongs to the caller's
+    /// [`Supervision`](hd_dataflow::runtime::Supervision) policy.
+    ///
+    /// # Errors
+    ///
+    /// The device's [`SimError`] (faults and non-faults alike), or a
+    /// pristine-reload failure.
+    ///
+    /// # Panics
+    ///
+    /// If `ordinal` is out of range.
+    pub fn invoke(&self, ordinal: usize, key: u64, batch: &Matrix) -> crate::Result<Matrix> {
+        let deadline = self.policy.invoke_deadline_s;
+        match self.devices[ordinal].invoke_overlapped_with_deadline(batch, deadline) {
+            Ok((out, _stats)) => {
+                self.seats.lock()[ordinal].consecutive_failures = 0;
+                Ok(out)
+            }
+            Err(e) => {
+                if e.is_fault() {
+                    let quarantined = {
+                        let mut seats = self.seats.lock();
+                        let seat = &mut seats[ordinal];
+                        seat.consecutive_failures += 1;
+                        if seat.health == DeviceHealth::Healthy {
+                            seat.health = DeviceHealth::Degraded;
+                        }
+                        if seat.consecutive_failures >= self.policy.breaker_threshold
+                            && seat.health != DeviceHealth::Quarantined
+                        {
+                            seat.health = DeviceHealth::Quarantined;
+                            seat.leased = false;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if e == SimError::WeightCorruption && !quarantined {
+                        self.reload_pristine(ordinal, key)?;
+                    }
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Reloads the pristine registered copy of `key` onto `ordinal`
+    /// (weight-upset recovery).
+    fn reload_pristine(&self, ordinal: usize, key: u64) -> crate::Result<()> {
+        let model = self.models.lock().get(&key).cloned().ok_or_else(|| {
+            crate::FrameworkError::InvalidConfig(format!(
+                "model {key:#x} was never registered with the pool"
+            ))
+        })?;
+        self.devices[ordinal].load_model(model)?;
+        self.seats.lock()[ordinal].resident = Some(key);
+        Ok(())
+    }
+
+    /// The bit-exact host executor for model `key`: the compiled
+    /// model's int8 quantized forward — the exact datapath the
+    /// simulated device runs, so outputs match device outputs bit for
+    /// bit (pinned by the device's own equivalence test).
+    ///
+    /// # Errors
+    ///
+    /// `key` was never registered, or the forward pass fails.
+    pub fn host_forward(&self, key: u64, batch: &Matrix) -> crate::Result<Matrix> {
+        let models = self.models.lock();
+        let model = models.get(&key).ok_or_else(|| {
+            crate::FrameworkError::InvalidConfig(format!(
+                "model {key:#x} was never registered with the pool"
+            ))
+        })?;
+        Ok(model.quantized().forward(batch)?)
+    }
+
+    /// Per-device fault-trace lengths right now — pass to
+    /// [`DevicePool::fault_delta`] after a run to recover exactly the
+    /// records that run appended.
+    #[must_use]
+    pub fn fault_snapshot(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .map(|d| d.fault_trace().records().len())
+            .collect()
+    }
+
+    /// The fault records every pooled device appended since `snapshot`
+    /// ([`DevicePool::fault_snapshot`]), ordinals with no new records
+    /// omitted.
+    #[must_use]
+    pub fn fault_delta(&self, snapshot: &[usize]) -> Vec<DeviceFaultSummary> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter_map(|(ordinal, device)| {
+                let trace = device.fault_trace();
+                let skip = snapshot.get(ordinal).copied().unwrap_or(0);
+                let records: Vec<FaultRecord> =
+                    trace.records().iter().skip(skip).copied().collect();
+                if records.is_empty() {
+                    None
+                } else {
+                    Some(DeviceFaultSummary { ordinal, records })
+                }
+            })
+            .collect()
+    }
+}
+
+/// Where a [`StageSeat`] currently executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seat {
+    /// On pooled device `ordinal`.
+    Device(usize),
+    /// On the pool's bit-exact host executor.
+    Host,
+}
+
+/// One schedule stage's seat in the fleet: the device currently bound
+/// to the stage, with drain-to-sibling failover. Built to back a
+/// [`Quarantine`](hd_dataflow::runtime::Escalation::Quarantine)
+/// escalation: the supervised executor invokes through the seat, and
+/// the rebind handler calls [`StageSeat::rebind`] — quarantining the
+/// current device and leasing a sibling that holds (or loads) the same
+/// compiled model, degrading to the host executor only when the pool is
+/// exhausted. Rebinding therefore always succeeds, and outputs stay
+/// bit-exact throughout.
+pub struct StageSeat<'p> {
+    pool: &'p DevicePool,
+    key: u64,
+    seat: Mutex<Seat>,
+}
+
+impl<'p> StageSeat<'p> {
+    /// Seats a stage for model `key`, leasing a pooled device (host
+    /// fallback immediately if the pool is already exhausted).
+    ///
+    /// # Errors
+    ///
+    /// `key` was never registered, or the initial model load fails.
+    pub fn new(pool: &'p DevicePool, key: u64) -> crate::Result<Self> {
+        let seat = match pool.lease(key)? {
+            Some(ordinal) => Seat::Device(ordinal),
+            None => Seat::Host,
+        };
+        Ok(StageSeat {
+            pool,
+            key,
+            seat: Mutex::new(seat),
+        })
+    }
+
+    /// The pooled ordinal currently seated, `None` once on the host.
+    #[must_use]
+    pub fn ordinal(&self) -> Option<usize> {
+        match *self.seat.lock() {
+            Seat::Device(ordinal) => Some(ordinal),
+            Seat::Host => None,
+        }
+    }
+
+    /// True once the stage has drained to the host executor.
+    #[must_use]
+    pub fn is_host(&self) -> bool {
+        matches!(*self.seat.lock(), Seat::Host)
+    }
+
+    /// One invocation on the current seat (device with health
+    /// book-keeping, or bit-exact host forward).
+    ///
+    /// # Errors
+    ///
+    /// Device faults/errors from the pooled device; host-side shape
+    /// errors.
+    pub fn invoke(&self, batch: &Matrix) -> crate::Result<Matrix> {
+        let seat = *self.seat.lock();
+        match seat {
+            Seat::Device(ordinal) => self.pool.invoke(ordinal, self.key, batch),
+            Seat::Host => self.pool.host_forward(self.key, batch),
+        }
+    }
+
+    /// Drains the stage off its current device: quarantines it, leases
+    /// a sibling with the same model (loading it if needed), and falls
+    /// back to the host executor when the pool is exhausted or the
+    /// sibling's load fails. Infallible by design — after `rebind` the
+    /// stage always has a working, bit-exact executor.
+    pub fn rebind(&self) {
+        let mut seat = self.seat.lock();
+        if let Seat::Device(ordinal) = *seat {
+            self.pool.quarantine(ordinal);
+            *seat = match self.pool.lease(self.key) {
+                Ok(Some(sibling)) => Seat::Device(sibling),
+                Ok(None) | Err(_) => Seat::Host,
+            };
+        }
+    }
+
+    /// Releases the seat's device lease (no-op on the host).
+    pub fn release(&self) {
+        if let Seat::Device(ordinal) = *self.seat.lock() {
+            self.pool.release(ordinal);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::CALIBRATION_ROWS;
+    use crate::wide_model;
+    use hd_tensor::rng::DetRng;
+    use hdc::{HdcModel, TrainConfig};
+    use tpu_sim::FaultConfig;
+    use wide_nn::compile;
+
+    fn compiled_encoder() -> (CompiledModel, Matrix) {
+        let mut rng = DetRng::new(171);
+        let mut features = Matrix::random_normal(40, 8, &mut rng);
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        for (i, &l) in labels.iter().enumerate() {
+            features.row_mut(i)[l] += 3.0;
+        }
+        let config = TrainConfig::new(128).with_iterations(2).with_seed(172);
+        let (model, _) = HdcModel::fit(&features, &labels, 2, &config).unwrap();
+        let rows = features.rows().min(CALIBRATION_ROWS);
+        let cal = features.slice_rows(0, rows).unwrap();
+        let compiled = compile::compile(
+            &wide_model::encoder_network(model.encoder()).unwrap(),
+            &cal,
+            &wide_nn::TargetSpec::default(),
+        )
+        .unwrap();
+        (compiled, features)
+    }
+
+    #[test]
+    fn placement_prefers_residency_then_empty_seats() {
+        let (compiled, _) = compiled_encoder();
+        let pool = DevicePool::new(&DeviceConfig::default(), 3);
+        pool.register(7, compiled.clone());
+        pool.register(8, compiled);
+
+        let first = pool.lease(7).unwrap().unwrap();
+        assert_eq!(first, 0);
+        pool.release(first);
+        // Residency wins: re-leasing the same key lands on the same
+        // device, not a fresh one.
+        assert_eq!(pool.lease(7).unwrap(), Some(0));
+        // A different key prefers an empty seat over evicting.
+        assert_eq!(pool.lease(8).unwrap(), Some(1));
+        // Both leased; a second lease of key 7 takes the last empty
+        // seat and loads there.
+        assert_eq!(pool.lease(7).unwrap(), Some(2));
+        // Pool exhausted.
+        assert_eq!(pool.lease(8).unwrap(), None);
+    }
+
+    #[test]
+    fn unregistered_key_is_a_typed_error() {
+        let pool = DevicePool::new(&DeviceConfig::default(), 1);
+        let err = pool.lease(99).unwrap_err();
+        assert!(matches!(err, crate::FrameworkError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn faults_degrade_then_quarantine_at_the_breaker_threshold() {
+        let (compiled, features) = compiled_encoder();
+        let config = DeviceConfig {
+            fault: FaultConfig::default()
+                .with_seed(1201)
+                .with_transient_rate(1.0),
+            ..DeviceConfig::default()
+        };
+        let policy = ResiliencePolicy::default().with_breaker_threshold(2);
+        let pool = DevicePool::with_policy(&config, 2, policy);
+        pool.register(7, compiled);
+        let ordinal = pool.lease(7).unwrap().unwrap();
+
+        assert_eq!(pool.health(ordinal), DeviceHealth::Healthy);
+        pool.invoke(ordinal, 7, &features).unwrap_err();
+        assert_eq!(pool.health(ordinal), DeviceHealth::Degraded);
+        pool.invoke(ordinal, 7, &features).unwrap_err();
+        assert_eq!(pool.health(ordinal), DeviceHealth::Quarantined);
+        assert_eq!(pool.quarantined(), vec![ordinal]);
+        // A quarantined device is out of placement: the next lease
+        // lands on the sibling.
+        assert_eq!(pool.lease(7).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn weight_upset_reloads_the_pristine_model() {
+        let (compiled, features) = compiled_encoder();
+        let config = DeviceConfig {
+            fault: FaultConfig::default()
+                .with_seed(1301)
+                .with_weight_upset_rate(1.0),
+            ..DeviceConfig::default()
+        };
+        // Generous breaker so the reload path is what we observe.
+        let policy = ResiliencePolicy::default().with_breaker_threshold(100);
+        let pool = DevicePool::with_policy(&config, 1, policy);
+        pool.register(7, compiled);
+        let ordinal = pool.lease(7).unwrap().unwrap();
+
+        let err = pool.invoke(ordinal, 7, &features).unwrap_err();
+        assert!(err.device_fault());
+        // The pool already reloaded the pristine copy.
+        assert!(!pool.device(ordinal).weights_corrupt());
+        assert_eq!(pool.health(ordinal), DeviceHealth::Degraded);
+    }
+
+    #[test]
+    fn host_forward_is_bit_exact_with_the_device() {
+        let (compiled, features) = compiled_encoder();
+        let pool = DevicePool::new(&DeviceConfig::default(), 1);
+        pool.register(7, compiled);
+        let ordinal = pool.lease(7).unwrap().unwrap();
+        let on_device = pool.invoke(ordinal, 7, &features).unwrap();
+        let on_host = pool.host_forward(7, &features).unwrap();
+        assert_eq!(on_device, on_host);
+    }
+
+    #[test]
+    fn seat_drains_to_sibling_then_host() {
+        let (compiled, features) = compiled_encoder();
+        let pool = DevicePool::new(&DeviceConfig::default(), 2);
+        pool.register(7, compiled);
+        let seat = StageSeat::new(&pool, 7).unwrap();
+        assert_eq!(seat.ordinal(), Some(0));
+
+        let clean = seat.invoke(&features).unwrap();
+
+        seat.rebind();
+        assert_eq!(seat.ordinal(), Some(1), "drains to the sibling first");
+        assert_eq!(pool.health(0), DeviceHealth::Quarantined);
+        assert_eq!(seat.invoke(&features).unwrap(), clean);
+
+        seat.rebind();
+        assert!(seat.is_host(), "exhausted pool degrades to the host");
+        assert_eq!(pool.quarantined(), vec![0, 1]);
+        assert_eq!(
+            seat.invoke(&features).unwrap(),
+            clean,
+            "host executor is bit-exact with the device datapath"
+        );
+    }
+
+    #[test]
+    fn fault_delta_slices_only_the_observed_window() {
+        let (compiled, features) = compiled_encoder();
+        let config = DeviceConfig {
+            fault: FaultConfig::default()
+                .with_seed(1401)
+                .with_transient_rate(1.0),
+            ..DeviceConfig::default()
+        };
+        let policy = ResiliencePolicy::default().with_breaker_threshold(100);
+        let pool = DevicePool::with_policy(&config, 2, policy);
+        pool.register(7, compiled);
+        let ordinal = pool.lease(7).unwrap().unwrap();
+
+        pool.invoke(ordinal, 7, &features).unwrap_err();
+        let snapshot = pool.fault_snapshot();
+        pool.invoke(ordinal, 7, &features).unwrap_err();
+        let delta = pool.fault_delta(&snapshot);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].ordinal, ordinal);
+        let full = pool.device(ordinal).fault_trace().records().len();
+        assert_eq!(delta[0].records.len(), full - snapshot[ordinal]);
+        assert!(!delta[0].records.is_empty());
+    }
+}

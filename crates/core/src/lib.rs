@@ -69,6 +69,7 @@ mod pipeline;
 
 pub mod backend;
 pub mod federated;
+pub mod fleet;
 pub mod runtime;
 pub mod schedule;
 pub mod serving;
@@ -80,6 +81,7 @@ pub use backend::{
 };
 pub use config::{ExecutionSetting, PipelineConfig};
 pub use error::FrameworkError;
+pub use fleet::{DeviceFaultSummary, DeviceHealth, DevicePool, StageSeat};
 pub use inference::{InferenceEngine, InferenceReport};
 pub use pipeline::{EvaluationReport, Pipeline, TrainingOutcome, TrainingTelemetry};
 pub use runtime::{EnergyBreakdown, RuntimeBreakdown, UpdateProfile, WorkloadSpec};

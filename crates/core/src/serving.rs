@@ -1,5 +1,5 @@
 //! Two-device pipelined serving, executed purely from a declared SDF
-//! graph.
+//! graph with fleet-level failover.
 //!
 //! The paper's inference model `F -> tanh(F x B) x C` is usually merged
 //! onto one accelerator. This module splits it across two simulated
@@ -11,32 +11,144 @@
 //! SDF runtime, this one never had a hand-written implementation: it is
 //! born as the declared [`schedule::encode_score_graph`], verified by the
 //! same analyzer that backs `hyperedge verify --schedule`, and executed
-//! by binding the two [`Device`] handles to its stages via
-//! [`hd_dataflow::runtime::run`]. The only code here is the per-firing
-//! work; ordering, buffering, and thread structure come from the graph.
+//! by binding the pool's [`Device`](tpu_sim::Device) handles to its
+//! stages via [`hd_dataflow::runtime::run`].
+//!
+//! Every stage runs under the runtime's [`Supervision`]: device faults
+//! retry with the configured backoff, and once a device accumulates
+//! enough consecutive failures the [`DevicePool`] quarantines it and the
+//! stage's remaining firings re-bind to a sibling holding (or loading)
+//! the same compiled half-network — falling back to the pool's bit-exact
+//! host executor only when the pool is exhausted. Predictions are
+//! therefore **always bit-exact** with the fault-free run; losing
+//! devices degrades the *report* ([`ServeOutcome::Degraded`] names the
+//! quarantined ordinals), never the numbers.
 
-use hd_dataflow::runtime::{self, Binding, Fire, RunError};
+use hd_dataflow::runtime::{
+    self, Binding, Fire, FiringCtx, RunError, StageSupervision, Supervised, SupervisedFn,
+    Supervision,
+};
 use hd_tensor::{ops, Matrix};
 use hdc::{Encoder, HdcModel};
 use tpu_sim::timing::ModelDims;
 use tpu_sim::{Device, DeviceConfig};
 use wide_nn::compile;
 
-use crate::backend::CALIBRATION_ROWS;
+use crate::backend::{fingerprint, ResiliencePolicy, CALIBRATION_ROWS};
 use crate::config::PipelineConfig;
+use crate::fleet::{DeviceFaultSummary, DevicePool, StageSeat};
 use crate::schedule::{self, SchedulePlan};
 use crate::wide_model;
 
-/// A two-accelerator inference server: the encoder half-network resident
-/// on one device, the scoring half-network on a second, driven chunk by
-/// chunk through the declared two-device serve schedule.
+/// Fingerprint tags for the two serving half-networks (distinct from the
+/// TPU backend's encoder/inference tags so pool keys never collide with
+/// cache keys conceptually, even though the stores are separate).
+const TAG_SERVE_ENCODER: u64 = 11;
+const TAG_SERVE_SCORE: u64 = 12;
+
+/// The encode stage's supervised executor: slice the firing's chunk out
+/// of the batch (derived from `ctx.firing`, so retries are idempotent)
+/// and encode it on whatever device the seat currently holds.
+fn encode_executor<'env>(
+    seat: &'env StageSeat<'env>,
+    features: &'env Matrix,
+    chunk: usize,
+) -> SupervisedFn<'env, Matrix, crate::FrameworkError> {
+    let rows = features.rows();
+    Box::new(move |ctx: FiringCtx, _inputs: &[Matrix]| {
+        let start = (ctx.firing as usize) * chunk;
+        let end = (start + chunk).min(rows);
+        let part = features.slice_rows(start, end)?;
+        Ok((vec![seat.invoke(&part)?], Fire::Continue))
+    })
+}
+
+/// The score stage's supervised executor: score the encoded chunk on the
+/// seat's device and push per-row argmax predictions into the shared
+/// sink. The push happens only after a fully successful invocation, so a
+/// retried firing never double-counts.
+fn score_executor<'env>(
+    seat: &'env StageSeat<'env>,
+    predictions: &'env std::sync::Mutex<Vec<usize>>,
+) -> SupervisedFn<'env, Matrix, crate::FrameworkError> {
+    Box::new(move |_ctx: FiringCtx, tokens: &[Matrix]| {
+        let scores = seat.invoke(&tokens[0])?;
+        let mut out = predictions.lock().expect("predictions sink");
+        for r in 0..scores.rows() {
+            out.push(ops::argmax(scores.row(r))?);
+        }
+        Ok((Vec::new(), Fire::Continue))
+    })
+}
+
+/// What a supervised serve actually did: the predictions plus the
+/// per-stage supervision counters and per-device fault traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Predicted class per input row, in batch order.
+    pub predictions: Vec<usize>,
+    /// Per-stage supervision counters and fault traces, in graph stage
+    /// order (`encode`, `score`).
+    pub supervision: Vec<StageSupervision>,
+    /// Fault records each pooled device appended during this serve.
+    pub device_faults: Vec<DeviceFaultSummary>,
+    /// Pool ordinals quarantined as of the end of the serve, ascending.
+    pub quarantined: Vec<usize>,
+}
+
+/// Outcome of a supervised serve. Both arms carry bit-exact
+/// predictions — the sibling devices and the host executor run the same
+/// int8 datapath — so `Degraded` reports *capacity* loss, not accuracy
+/// loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeOutcome {
+    /// Every firing completed on the originally seated devices.
+    Clean(ServeReport),
+    /// At least one device was quarantined; remaining firings drained
+    /// to siblings or the host. The report names the lost ordinals.
+    Degraded(ServeReport),
+}
+
+impl ServeOutcome {
+    /// The report, whichever arm.
+    #[must_use]
+    pub fn report(&self) -> &ServeReport {
+        match self {
+            ServeOutcome::Clean(r) | ServeOutcome::Degraded(r) => r,
+        }
+    }
+
+    /// Consumes the outcome into its report.
+    #[must_use]
+    pub fn into_report(self) -> ServeReport {
+        match self {
+            ServeOutcome::Clean(r) | ServeOutcome::Degraded(r) => r,
+        }
+    }
+
+    /// True for the degraded arm.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ServeOutcome::Degraded(_))
+    }
+}
+
+/// A two-accelerator inference server over a health-tracked
+/// [`DevicePool`]: the encoder half-network seated on device 0, the
+/// scoring half-network on device 1, driven chunk by chunk through the
+/// declared two-device serve schedule under per-stage supervision.
 ///
-/// Both halves are compiled once at construction (with calibration data
-/// for their respective input spaces) and stay resident, so repeated
-/// [`predict`](TwoDeviceServer::predict) calls pay invocation cost only.
+/// Both halves are compiled once at construction, registered with the
+/// pool as pristine reload/fallback copies, and loaded onto their
+/// devices, so repeated [`predict`](TwoDeviceServer::predict) calls pay
+/// invocation cost only. Extra pool members
+/// ([`with_spares`](TwoDeviceServer::with_spares)) serve as failover
+/// siblings: they hold no model until a quarantine drains a stage onto
+/// them.
 pub struct TwoDeviceServer {
-    encode_device: Device,
-    score_device: Device,
+    pool: DevicePool,
+    encoder_key: u64,
+    score_key: u64,
     encoder_dims: ModelDims,
     score_dims: ModelDims,
     device_config: DeviceConfig,
@@ -44,15 +156,15 @@ pub struct TwoDeviceServer {
 }
 
 impl TwoDeviceServer {
-    /// Compiles the model's two half-networks and loads each onto its own
-    /// simulated device (ordinals 0 and 1 — the resources the declared
-    /// schedule's stages are pinned to). `calibration` rows calibrate the
-    /// encoder half directly; the scoring half calibrates on their
-    /// host-encoded image, since its inputs live in hypervector space.
+    /// Compiles the model's two half-networks onto a two-device pool
+    /// (ordinals 0 and 1 — the resources the declared schedule's stages
+    /// are pinned to). `calibration` rows calibrate the encoder half
+    /// directly; the scoring half calibrates on their host-encoded
+    /// image, since its inputs live in hypervector space.
     ///
-    /// Both device ledgers are reset after the model loads, so measured
-    /// elapsed time covers invocations only — directly comparable to the
-    /// schedule's analytic critical path.
+    /// Both device ledgers are reset after the models load, so measured
+    /// elapsed time covers invocations only — directly comparable to
+    /// the schedule's analytic critical path.
     ///
     /// # Errors
     ///
@@ -62,6 +174,21 @@ impl TwoDeviceServer {
         model: &HdcModel,
         config: &PipelineConfig,
         calibration: &Matrix,
+    ) -> crate::Result<Self> {
+        Self::with_spares(model, config, calibration, 0)
+    }
+
+    /// [`TwoDeviceServer::new`] with `spares` extra pooled devices
+    /// available as quarantine-failover siblings.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TwoDeviceServer::new`].
+    pub fn with_spares(
+        model: &HdcModel,
+        config: &PipelineConfig,
+        calibration: &Matrix,
+        spares: usize,
     ) -> crate::Result<Self> {
         let rows = calibration.rows().min(CALIBRATION_ROWS);
         let feature_cal = calibration.slice_rows(0, rows)?;
@@ -78,15 +205,28 @@ impl TwoDeviceServer {
         )?;
         let encoder_dims = ModelDims::from_compiled(&encoder_compiled);
         let score_dims = ModelDims::from_compiled(&score_compiled);
-        let encode_device = Device::with_ordinal(config.device.clone(), 0);
-        let score_device = Device::with_ordinal(config.device.clone(), 1);
-        encode_device.load_model(encoder_compiled)?;
-        score_device.load_model(score_compiled)?;
-        encode_device.reset_ledger();
-        score_device.reset_ledger();
+        let encoder_key = fingerprint(TAG_SERVE_ENCODER, &[&feature_cal]);
+        let score_key = fingerprint(TAG_SERVE_SCORE, &[&encoded_cal]);
+
+        let pool = DevicePool::with_policy(&config.device, 2 + spares, config.resilience);
+        pool.register(encoder_key, encoder_compiled);
+        pool.register(score_key, score_compiled);
+        // Seat the halves on their schedule resources now (encoder →
+        // device 0, score → device 1 by the pool's placement order) so
+        // construction pays the load cost once, then release the leases
+        // for predict-time seating.
+        let e = pool.lease(encoder_key)?.expect("fresh pool has capacity");
+        let s = pool.lease(score_key)?.expect("fresh pool has capacity");
+        debug_assert_eq!((e, s), (0, 1));
+        pool.release(e);
+        pool.release(s);
+        pool.device(0).reset_ledger();
+        pool.device(1).reset_ledger();
+
         Ok(TwoDeviceServer {
-            encode_device,
-            score_device,
+            pool,
+            encoder_key,
+            score_key,
             encoder_dims,
             score_dims,
             device_config: config.device.clone(),
@@ -94,16 +234,22 @@ impl TwoDeviceServer {
         })
     }
 
+    /// The server's device pool.
+    #[must_use]
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
     /// The device holding the encoder half (schedule resource
     /// `Device(0)`).
     pub fn encode_device(&self) -> &Device {
-        &self.encode_device
+        self.pool.device(0)
     }
 
     /// The device holding the scoring half (schedule resource
     /// `Device(1)`).
     pub fn score_device(&self) -> &Device {
-        &self.score_device
+        self.pool.device(1)
     }
 
     /// The verified, executable plan for serving `rows` samples: the
@@ -125,41 +271,68 @@ impl TwoDeviceServer {
         .executable()
     }
 
-    /// Serves `features` through the pipelined two-device schedule,
-    /// returning the predicted class per row. Chunk results collect in
-    /// firing order, so the output order is the batch order and the
-    /// predictions are bit-exact with
-    /// [`predict_sequential`](TwoDeviceServer::predict_sequential).
+    /// Serves `features` through the pipelined two-device schedule under
+    /// full stage supervision, returning the typed outcome: per-stage
+    /// fault/retry/failover counters, per-device fault traces, and
+    /// whether any device was quarantined along the way. Chunk results
+    /// collect in firing order, so the output order is the batch order
+    /// and the predictions are bit-exact with
+    /// [`predict_sequential`](TwoDeviceServer::predict_sequential) —
+    /// faults or no faults.
     ///
     /// # Errors
     ///
-    /// Device errors (batch width mismatch, injected faults — this
-    /// schedule carries no resilience loop) or shape errors.
-    pub fn predict(&self, features: &Matrix) -> crate::Result<Vec<usize>> {
+    /// Non-fault device errors (e.g. batch width mismatch) or shape
+    /// errors; injected device faults are absorbed by supervision and
+    /// the fleet's failover instead.
+    pub fn predict_supervised(&self, features: &Matrix) -> crate::Result<ServeOutcome> {
         let rows = features.rows();
         let plan = self.plan(rows)?;
         let chunk = self.chunk;
-        let mut predictions: Vec<usize> = Vec::with_capacity(rows);
-        {
-            let out = &mut predictions;
-            let mut next_start = 0usize;
+        let policy = *self.pool.policy();
+        let supervision = Supervision::retries(
+            policy.max_retries,
+            policy.backoff_base_s,
+            policy.backoff_factor,
+        )
+        .with_deadline(policy.invoke_deadline_s);
+
+        let encode_seat = StageSeat::new(&self.pool, self.encoder_key)?;
+        let score_seat = StageSeat::new(&self.pool, self.score_key)?;
+        let fault_snapshot = self.pool.fault_snapshot();
+        let quarantined_before = self.pool.quarantined();
+        let predictions = std::sync::Mutex::new(Vec::with_capacity(rows));
+
+        let report = {
+            let encode_seat = &encode_seat;
+            let score_seat = &score_seat;
+            let predictions = &predictions;
+            // Both executors dispatch through their seat's interior
+            // state, so a quarantine escalation just drains the seat to
+            // a sibling (or the host) and mints an identical
+            // replacement executor: the re-run of the failed firing —
+            // and every later firing — lands on the new device.
             let bindings: Vec<Binding<'_, Matrix, crate::FrameworkError>> = vec![
-                Binding::Map(Box::new(move |_, _| {
-                    let start = next_start;
-                    let end = (start + chunk).min(rows);
-                    next_start = end;
-                    let part = features.slice_rows(start, end)?;
-                    let (encoded, _stats) = self.encode_device.invoke_overlapped(&part)?;
-                    Ok((vec![encoded], Fire::Continue))
-                })),
-                Binding::Map(Box::new(move |_, mut tokens| {
-                    let encoded = tokens.pop().expect("one encoded chunk per score firing");
-                    let (scores, _stats) = self.score_device.invoke_overlapped(&encoded)?;
-                    for r in 0..scores.rows() {
-                        out.push(ops::argmax(scores.row(r))?);
-                    }
-                    Ok((Vec::new(), Fire::Continue))
-                })),
+                Supervised::map(supervision, encode_executor(encode_seat, features, chunk))
+                    .retry_when(|e: &crate::FrameworkError| e.device_fault())
+                    .or_quarantine(move |_firing, _attempts, e: &crate::FrameworkError| {
+                        if !e.device_fault() {
+                            return None;
+                        }
+                        encode_seat.rebind();
+                        Some(encode_executor(encode_seat, features, chunk))
+                    })
+                    .into_binding(),
+                Supervised::map(supervision, score_executor(score_seat, predictions))
+                    .retry_when(|e: &crate::FrameworkError| e.device_fault())
+                    .or_quarantine(move |_firing, _attempts, e: &crate::FrameworkError| {
+                        if !e.device_fault() {
+                            return None;
+                        }
+                        score_seat.rebind();
+                        Some(score_executor(score_seat, predictions))
+                    })
+                    .into_binding(),
             ];
             let chunks = rows.div_ceil(chunk) as u64;
             runtime::run(&plan, chunks, bindings).map_err(|e| match e {
@@ -167,28 +340,61 @@ impl TwoDeviceServer {
                 RunError::Protocol { stage, message } => crate::FrameworkError::InvalidConfig(
                     format!("serve schedule protocol violation at stage {stage}: {message}"),
                 ),
-            })?;
-        }
-        Ok(predictions)
+            })?
+        };
+        encode_seat.release();
+        score_seat.release();
+
+        let quarantined = self.pool.quarantined();
+        let degraded = quarantined != quarantined_before;
+        let report = ServeReport {
+            predictions: predictions.into_inner().expect("predictions mutex"),
+            supervision: report.supervision,
+            device_faults: self.pool.fault_delta(&fault_snapshot),
+            quarantined,
+        };
+        Ok(if degraded {
+            ServeOutcome::Degraded(report)
+        } else {
+            ServeOutcome::Clean(report)
+        })
+    }
+
+    /// Serves `features` through the pipelined two-device schedule,
+    /// returning the predicted class per row. This is
+    /// [`predict_supervised`](TwoDeviceServer::predict_supervised) with
+    /// the report dropped: faults on either device are absorbed by
+    /// supervision and fleet failover, and the predictions are bit-exact
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`predict_supervised`](TwoDeviceServer::predict_supervised).
+    pub fn predict(&self, features: &Matrix) -> crate::Result<Vec<usize>> {
+        Ok(self.predict_supervised(features)?.into_report().predictions)
     }
 
     /// The sequential reference: the same per-chunk device work as
     /// [`predict`](TwoDeviceServer::predict), executed as a plain loop
-    /// with no overlap. Identical outputs (same devices, same compiled
-    /// halves, same chunking); simulated time accumulates identically per
-    /// device, but wall-clock gains nothing from the second accelerator.
+    /// with no overlap and no supervision. Identical outputs (same
+    /// devices, same compiled halves, same chunking); simulated time
+    /// accumulates identically per device, but wall-clock gains nothing
+    /// from the second accelerator.
     ///
     /// # Errors
     ///
-    /// Same as [`predict`](TwoDeviceServer::predict).
+    /// Device errors (batch width mismatch, injected faults — this
+    /// reference carries no resilience) or shape errors.
     pub fn predict_sequential(&self, features: &Matrix) -> crate::Result<Vec<usize>> {
+        let encode_device = self.pool.device(0);
+        let score_device = self.pool.device(1);
         let mut predictions = Vec::with_capacity(features.rows());
         let mut start = 0;
         while start < features.rows() {
             let end = (start + self.chunk).min(features.rows());
             let part = features.slice_rows(start, end)?;
-            let (encoded, _) = self.encode_device.invoke_overlapped(&part)?;
-            let (scores, _) = self.score_device.invoke_overlapped(&encoded)?;
+            let (encoded, _) = encode_device.invoke_overlapped(&part)?;
+            let (scores, _) = score_device.invoke_overlapped(&encoded)?;
             for r in 0..scores.rows() {
                 predictions.push(ops::argmax(scores.row(r))?);
             }
@@ -197,16 +403,15 @@ impl TwoDeviceServer {
         Ok(predictions)
     }
 
-    /// Measured pipelined elapsed seconds: the busier device's total
-    /// ledger time. The stages run on disjoint accelerators, so the
-    /// schedule's wall-clock is the bottleneck resource's busy time —
+    /// Measured pipelined elapsed seconds: the busiest pooled device's
+    /// total ledger time. The stages run on disjoint accelerators, so
+    /// the schedule's wall-clock is the bottleneck resource's busy time —
     /// exactly what [`schedule::predicted_serve_elapsed_s`] computes from
     /// the declared graph.
     pub fn measured_elapsed_s(&self) -> f64 {
-        self.encode_device
-            .ledger()
-            .total_s
-            .max(self.score_device.ledger().total_s)
+        (0..self.pool.len())
+            .map(|i| self.pool.device(i).ledger().total_s)
+            .fold(0.0, f64::max)
     }
 
     /// The analytic prediction for serving `total_samples` rows, from the
@@ -225,18 +430,27 @@ impl TwoDeviceServer {
         )
     }
 
-    /// Resets both device ledgers (keeps the resident models).
+    /// Resets every pooled device's ledger (keeps the resident models).
     pub fn reset_ledgers(&self) {
-        self.encode_device.reset_ledger();
-        self.score_device.reset_ledger();
+        for i in 0..self.pool.len() {
+            self.pool.device(i).reset_ledger();
+        }
+    }
+
+    /// The resilience policy the pool supervises under.
+    #[must_use]
+    pub fn policy(&self) -> &ResiliencePolicy {
+        self.pool.policy()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::DeviceHealth;
     use hd_tensor::rng::DetRng;
     use hdc::TrainConfig;
+    use tpu_sim::FaultConfig;
 
     fn trained() -> (HdcModel, Matrix) {
         let mut rng = DetRng::new(71);
@@ -278,6 +492,20 @@ mod tests {
     }
 
     #[test]
+    fn fault_free_serve_reports_clean_with_zero_counters() {
+        let (model, features) = trained();
+        let config = PipelineConfig::new(256).with_batches(256, 16);
+        let server = TwoDeviceServer::new(&model, &config, &features).unwrap();
+        let outcome = server.predict_supervised(&features).unwrap();
+        assert!(!outcome.is_degraded());
+        let report = outcome.report();
+        assert_eq!(report.predictions.len(), features.rows());
+        assert!(report.supervision.iter().all(|s| s.is_clean()));
+        assert!(report.device_faults.is_empty());
+        assert!(report.quarantined.is_empty());
+    }
+
+    #[test]
     fn measured_elapsed_matches_declared_prediction() {
         let (model, features) = trained();
         let config = PipelineConfig::new(256).with_batches(256, 16);
@@ -299,5 +527,30 @@ mod tests {
         let plan = server.plan(features.rows()).unwrap();
         assert_eq!(plan.repetition(), &[1, 1]);
         assert_eq!(plan.capacities(), &[crate::schedule::INVOKE_BUFFERS]);
+    }
+
+    #[test]
+    fn dead_encode_device_drains_to_spare_with_bit_exact_predictions() {
+        let (model, features) = trained();
+        let clean_config = PipelineConfig::new(256).with_batches(256, 16);
+        let reference = TwoDeviceServer::new(&model, &clean_config, &features).unwrap();
+        let expected = reference.predict_sequential(&features).unwrap();
+
+        let mut config = clean_config.clone();
+        config.device.fault = FaultConfig::default()
+            .with_seed(2024)
+            .with_transient_rate(1.0);
+        let server = TwoDeviceServer::with_spares(&model, &config, &features, 1).unwrap();
+        let outcome = server.predict_supervised(&features).unwrap();
+        assert!(outcome.is_degraded(), "a dead device must be reported");
+        let report = outcome.into_report();
+        // Faults on a rate-1.0 device quarantine it and the firing
+        // drains — first to the spare (also dead at rate 1.0), then to
+        // the host, which is bit-exact with the device datapath.
+        assert_eq!(report.predictions, expected);
+        assert!(!report.quarantined.is_empty());
+        assert!(report.supervision.iter().any(|s| s.rebinds > 0));
+        assert!(!report.device_faults.is_empty());
+        assert_eq!(server.pool.health(0), DeviceHealth::Quarantined);
     }
 }

@@ -186,6 +186,202 @@ pub enum Fire {
     Stop,
 }
 
+/// Per-stage fault policy enforced by the runtime around every firing
+/// of a supervised binding: a bounded retry budget with deterministic
+/// exponential backoff (charged to the *simulated* clock — the runtime
+/// never sleeps), and an optional per-firing deadline handed to the
+/// executor through its [`FiringCtx`].
+///
+/// What happens once the budget is spent is the stage's
+/// [`Escalation`]; the policy only decides *how long* the runtime keeps
+/// trying the current executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Supervision {
+    /// Retries per firing beyond the first attempt.
+    pub max_retries: u32,
+    /// Backoff charged before the first retry, simulated seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff on each further retry.
+    pub backoff_factor: f64,
+    /// Optional per-firing deadline, passed to the executor via
+    /// [`FiringCtx::deadline_s`] (the runtime cannot preempt an
+    /// executor; the executor enforces it, e.g. as a device watchdog).
+    pub deadline_s: Option<f64>,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision::none()
+    }
+}
+
+impl Supervision {
+    /// No retries, no deadline: every executor error escalates
+    /// immediately. The wrapper still names the stage, firing, and
+    /// attempt count in [`RunError::Stage`] and still counts faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Supervision {
+            max_retries: 0,
+            backoff_base_s: 0.0,
+            backoff_factor: 1.0,
+            deadline_s: None,
+        }
+    }
+
+    /// Bounded retries with exponential backoff.
+    #[must_use]
+    pub fn retries(max_retries: u32, backoff_base_s: f64, backoff_factor: f64) -> Self {
+        Supervision {
+            max_retries,
+            backoff_base_s,
+            backoff_factor,
+            deadline_s: None,
+        }
+    }
+
+    /// Sets the per-firing deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_s: Option<f64>) -> Self {
+        self.deadline_s = deadline_s;
+        self
+    }
+
+    /// Backoff charged before the `retry`-th retry (1-based):
+    /// `base * factor^(retry-1)` — the same schedule the backend
+    /// resilience policy uses.
+    #[must_use]
+    pub fn backoff_s(&self, retry: u32) -> f64 {
+        self.backoff_base_s * self.backoff_factor.powi(retry.saturating_sub(1) as i32)
+    }
+}
+
+/// What the runtime tells a supervised executor about the attempt it is
+/// about to run. `attempt > 0` means this call is a retry of the same
+/// firing over the same inputs; `backoff_s` is the simulated backoff
+/// charged immediately before this attempt (zero on first attempts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiringCtx {
+    /// Firing index (the same index a [`MapFn`] receives).
+    pub firing: u64,
+    /// Zero-based attempt number within this firing.
+    pub attempt: u32,
+    /// Simulated backoff seconds charged before this attempt.
+    pub backoff_s: f64,
+    /// The supervising policy's per-firing deadline, if any.
+    pub deadline_s: Option<f64>,
+}
+
+/// Serial supervised executor: like [`MapFn`], but inputs arrive by
+/// reference so the runtime can re-run the same firing after a fault
+/// without requiring `T: Clone`.
+pub type SupervisedFn<'env, T, E> =
+    Box<dyn FnMut(FiringCtx, &[T]) -> Result<(Vec<T>, Fire), E> + Send + 'env>;
+
+/// Quarantine handler: given the failing firing, the attempts spent on
+/// the current executor, and the error that exhausted them, either
+/// re-binds the stage to a replacement executor (drain to a sibling
+/// device, degrade to a host path, ...) or gives up (`None` aborts the
+/// run with the original error). May be consulted repeatedly — each
+/// replacement gets a fresh retry budget and the same escalation.
+pub type RebindFn<'env, T, E> =
+    Box<dyn FnMut(u64, u32, &E) -> Option<SupervisedFn<'env, T, E>> + Send + 'env>;
+
+/// Data-parallel supervised executor: like [`ParMapFn`], but receives a
+/// [`FiringCtx`] and borrows its inputs so a faulted firing can retry
+/// on its worker.
+pub type SupervisedParFn<'env, T, E> =
+    Box<dyn Fn(FiringCtx, &[T]) -> Result<Vec<T>, E> + Send + Sync + 'env>;
+
+/// Per-firing recovery for a supervised data-parallel stage, consulted
+/// after a firing's retry budget is spent: `None` aborts with the
+/// original error; `Some(result)` stands in for the firing (an `Err`
+/// aborts with the replacement's error). Unlike the serial
+/// [`Escalation::Substitute`], recovery is consulted independently per
+/// firing — parallel firings are independent work items, so one item's
+/// recovery must not degrade its siblings.
+pub type RecoverFn<'env, T, E> =
+    Box<dyn Fn(u64, u32, &E, &[T]) -> Option<Result<Vec<T>, E>> + Send + Sync + 'env>;
+
+/// What a supervised serial stage does once a firing's retry budget is
+/// exhausted (or the error is not retryable), in escalation order:
+/// retry < substitute < quarantine < abort.
+pub enum Escalation<'env, T, E> {
+    /// Fail the run with a [`RunError::Stage`] naming the stage,
+    /// firing, and attempt count.
+    Abort,
+    /// Permanently swap in a fallback executor (circuit-breaker
+    /// semantics: the primary is never consulted again) and re-run the
+    /// failed firing on it with a fresh retry budget. If the fallback
+    /// itself escalates, the stage aborts.
+    Substitute(SupervisedFn<'env, T, E>),
+    /// Ask a [`RebindFn`] for a replacement executor; reusable across
+    /// the run, so a stage can drain through a whole pool of siblings
+    /// before giving up.
+    Quarantine(RebindFn<'env, T, E>),
+}
+
+/// A serial stage executor under a [`Supervision`] policy: the primary
+/// executor, a retryability predicate (non-retryable errors skip the
+/// budget and escalate at once), and the escalation action.
+pub struct Supervised<'env, T, E> {
+    policy: Supervision,
+    primary: SupervisedFn<'env, T, E>,
+    retryable: Box<dyn FnMut(&E) -> bool + Send + 'env>,
+    escalation: Escalation<'env, T, E>,
+}
+
+impl<'env, T, E> Supervised<'env, T, E> {
+    /// Wraps a serial executor under `policy` with every error
+    /// retryable and [`Escalation::Abort`].
+    #[must_use]
+    pub fn map(
+        policy: Supervision,
+        f: impl FnMut(FiringCtx, &[T]) -> Result<(Vec<T>, Fire), E> + Send + 'env,
+    ) -> Self {
+        Supervised {
+            policy,
+            primary: Box::new(f),
+            retryable: Box::new(|_| true),
+            escalation: Escalation::Abort,
+        }
+    }
+
+    /// Restricts which errors consume the retry budget; the rest
+    /// escalate immediately.
+    #[must_use]
+    pub fn retry_when(mut self, pred: impl FnMut(&E) -> bool + Send + 'env) -> Self {
+        self.retryable = Box::new(pred);
+        self
+    }
+
+    /// Escalates to a permanent fallback executor.
+    #[must_use]
+    pub fn or_substitute(
+        mut self,
+        fallback: impl FnMut(FiringCtx, &[T]) -> Result<(Vec<T>, Fire), E> + Send + 'env,
+    ) -> Self {
+        self.escalation = Escalation::Substitute(Box::new(fallback));
+        self
+    }
+
+    /// Escalates through a quarantine/re-bind handler.
+    #[must_use]
+    pub fn or_quarantine(
+        mut self,
+        rebind: impl FnMut(u64, u32, &E) -> Option<SupervisedFn<'env, T, E>> + Send + 'env,
+    ) -> Self {
+        self.escalation = Escalation::Quarantine(Box::new(rebind));
+        self
+    }
+
+    /// The stage binding for this supervised executor.
+    #[must_use]
+    pub fn into_binding(self) -> Binding<'env, T, E> {
+        Binding::Supervised(Box::new(self))
+    }
+}
+
 /// Serial per-firing executor: receives this firing's consumed tokens
 /// (in channel order), returns the produced tokens (in channel order)
 /// and whether to keep firing. On [`Fire::Stop`] the produced tokens
@@ -216,6 +412,34 @@ pub enum Binding<'env, T, E> {
     },
     /// The stage paces itself against its channels.
     Stream(StreamFn<'env, T, E>),
+    /// A serial executor under a per-stage fault policy: the runtime
+    /// retries, substitutes, or quarantines around every firing per the
+    /// wrapped [`Supervision`] and [`Escalation`].
+    Supervised(Box<Supervised<'env, T, E>>),
+    /// A data-parallel executor under a fault policy: each firing
+    /// retries on its worker per `policy`, then consults `recover`
+    /// (per-firing recovery instead of the serial sticky escalation).
+    SupervisedParMap {
+        /// Worker-pool width (clamped to at least 1).
+        workers: usize,
+        /// The per-firing retry policy.
+        policy: Supervision,
+        /// The per-firing executor.
+        f: SupervisedParFn<'env, T, E>,
+        /// Per-firing recovery once the retry budget is spent; `None`
+        /// behaves like [`Escalation::Abort`].
+        recover: Option<RecoverFn<'env, T, E>>,
+    },
+    /// A self-paced executor with an optional fallback: if the primary
+    /// stream errors, the fallback resumes on the same [`StageCtx`]
+    /// (same channels, same counters) and the stage only faults if the
+    /// fallback errors too.
+    SupervisedStream {
+        /// The primary self-paced executor.
+        f: StreamFn<'env, T, E>,
+        /// Resumes the stage after a primary error.
+        fallback: Option<StreamFn<'env, T, E>>,
+    },
 }
 
 /// Channel endpoints handed to a [`Binding::Stream`] executor, with
@@ -301,6 +525,13 @@ pub enum RunError<E> {
     Stage {
         /// Stage index in graph order.
         stage: usize,
+        /// The failing stage's declared name.
+        name: String,
+        /// The firing index that failed.
+        firing: u64,
+        /// Attempts spent on that firing before giving up (1 when the
+        /// stage was unsupervised or the error was not retryable).
+        attempts: u32,
         /// The executor's error.
         error: E,
     },
@@ -319,7 +550,17 @@ pub enum RunError<E> {
 impl<E: fmt::Display> fmt::Display for RunError<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Stage { stage, error } => write!(f, "stage {stage} failed: {error}"),
+            RunError::Stage {
+                stage,
+                name,
+                firing,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "stage {stage} ({name}) failed at firing {firing} after {attempts} attempt(s): \
+                 {error}"
+            ),
             RunError::Protocol { stage, message } => {
                 write!(f, "stage {stage} protocol violation: {message}")
             }
@@ -327,8 +568,67 @@ impl<E: fmt::Display> fmt::Display for RunError<E> {
     }
 }
 
+/// How one supervised firing attempt was resolved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// The firing will be retried after charging `backoff_s` to the
+    /// simulated clock.
+    Retried {
+        /// Simulated backoff charged before the retry.
+        backoff_s: f64,
+    },
+    /// The stage permanently swapped to its fallback executor.
+    Substituted,
+    /// The stage's quarantine handler re-bound it to a replacement
+    /// executor.
+    Rebound,
+    /// No recovery remained: the stage aborts the run.
+    Aborted,
+}
+
+/// One entry of a stage's fault trace: which firing faulted, on which
+/// attempt, and what the supervisor did about it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Firing index of the faulted attempt.
+    pub firing: u64,
+    /// Zero-based attempt number that faulted.
+    pub attempt: u32,
+    /// How the supervisor resolved it.
+    pub action: FaultAction,
+}
+
+/// Per-stage supervision counters and fault trace, reported in
+/// [`RunReport::supervision`]. All-zero (and trace empty) for
+/// unsupervised bindings and for supervised stages that never faulted.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageSupervision {
+    /// Executor errors observed (every failed attempt counts one).
+    pub faults: u64,
+    /// Attempts beyond the first, per firing, summed over the run.
+    pub retries: u64,
+    /// Total simulated backoff charged across all retries.
+    pub backoff_s: f64,
+    /// Permanent fallback swaps ([`Escalation::Substitute`] taken, or a
+    /// parallel firing recovered by its [`RecoverFn`]).
+    pub substitutions: u64,
+    /// Quarantine re-binds ([`Escalation::Quarantine`] produced a
+    /// replacement executor).
+    pub rebinds: u64,
+    /// The fault trace, in (firing, attempt) order.
+    pub trace: Vec<FaultEvent>,
+}
+
+impl StageSupervision {
+    /// True when the stage saw no faults at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.faults == 0 && self.trace.is_empty()
+    }
+}
+
 /// What actually happened during a [`run`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Completed firings per stage, in graph order.
     pub firings: Vec<u64>,
@@ -337,6 +637,8 @@ pub struct RunReport {
     /// Whether every stage met its full `repetition × iterations`
     /// target (false after a [`Fire::Stop`] or early teardown).
     pub completed: bool,
+    /// Per-stage supervision counters and fault traces, in graph order.
+    pub supervision: Vec<StageSupervision>,
 }
 
 impl RunReport {
@@ -398,10 +700,15 @@ pub fn stage_ports(graph: &SdfGraph) -> Vec<StagePorts> {
 struct StageOutcome<E> {
     firings: u64,
     fault: Option<Fault<E>>,
+    supervision: StageSupervision,
 }
 
 enum Fault<E> {
-    Stage(E),
+    Stage {
+        error: E,
+        firing: u64,
+        attempts: u32,
+    },
     Protocol(String),
 }
 
@@ -497,12 +804,24 @@ where
     });
 
     let mut firings = Vec::with_capacity(stage_count);
+    let mut supervision = Vec::with_capacity(stage_count);
     let mut first_fault: Option<RunError<E>> = None;
     for (s, outcome) in outcomes.into_iter().enumerate() {
         firings.push(outcome.firings);
+        supervision.push(outcome.supervision);
         if first_fault.is_none() {
             first_fault = outcome.fault.map(|fault| match fault {
-                Fault::Stage(error) => RunError::Stage { stage: s, error },
+                Fault::Stage {
+                    error,
+                    firing,
+                    attempts,
+                } => RunError::Stage {
+                    stage: s,
+                    name: graph.stages()[s].name.clone(),
+                    firing,
+                    attempts,
+                    error,
+                },
                 Fault::Protocol(message) => RunError::Protocol { stage: s, message },
             });
         }
@@ -518,6 +837,7 @@ where
         firings,
         iterations,
         completed,
+        supervision,
     })
 }
 
@@ -530,7 +850,15 @@ fn run_stage<T: Send, E: Send>(
     match binding {
         Binding::Map(f) => run_map(f, io, target),
         Binding::ParMap { workers, f } => run_parmap(&f, io, target, workers),
-        Binding::Stream(f) => run_stream(f, io),
+        Binding::Stream(f) => run_stream(f, None, io),
+        Binding::Supervised(sup) => run_supervised(*sup, io, target),
+        Binding::SupervisedParMap {
+            workers,
+            policy,
+            f,
+            recover,
+        } => run_supervised_parmap(&f, recover.as_deref(), policy, io, target, workers),
+        Binding::SupervisedStream { f, fallback } => run_stream(f, fallback, io),
     }
 }
 
@@ -588,6 +916,7 @@ fn run_map<T: Send, E: Send>(
                             "executor returned {} token(s), the graph declares {total_produce}",
                             outs.len()
                         ))),
+                        supervision: StageSupervision::default(),
                     };
                 }
                 firings += 1;
@@ -598,7 +927,12 @@ fn run_map<T: Send, E: Send>(
             Err(error) => {
                 return StageOutcome {
                     firings,
-                    fault: Some(Fault::Stage(error)),
+                    fault: Some(Fault::Stage {
+                        error,
+                        firing,
+                        attempts: 1,
+                    }),
+                    supervision: StageSupervision::default(),
                 };
             }
         }
@@ -606,6 +940,145 @@ fn run_map<T: Send, E: Send>(
     StageOutcome {
         firings,
         fault: None,
+        supervision: StageSupervision::default(),
+    }
+}
+
+/// Runs one stage under a [`Supervision`] policy: per firing, attempt →
+/// retry (within budget, retryable errors only) → escalate
+/// (substitute / quarantine-rebind, each granting a fresh budget for the
+/// same firing over the same inputs) → abort. Substitution is sticky —
+/// the primary is never consulted again — while quarantine may re-bind
+/// repeatedly, draining the stage across a pool of replacements.
+fn run_supervised<T: Send, E: Send>(
+    mut sup: Supervised<'_, T, E>,
+    io: StageIo<T>,
+    target: u64,
+) -> StageOutcome<E> {
+    let total_produce: usize = io.out_rates.iter().sum();
+    let mut stats = StageSupervision::default();
+    let mut firings = 0u64;
+    'firing: for firing in 0..target {
+        let Some(inputs) = collect_inputs(&io) else {
+            break;
+        };
+        let mut attempt = 0u32;
+        let mut backoff_s = 0.0f64;
+        loop {
+            let ctx = FiringCtx {
+                firing,
+                attempt,
+                backoff_s,
+                deadline_s: sup.policy.deadline_s,
+            };
+            match (sup.primary)(ctx, &inputs) {
+                Ok((outs, fire)) => {
+                    let stop = matches!(fire, Fire::Stop);
+                    if outs.len() != total_produce && !(stop && outs.is_empty()) {
+                        return StageOutcome {
+                            firings,
+                            fault: Some(Fault::Protocol(format!(
+                                "executor returned {} token(s), the graph declares \
+                                 {total_produce}",
+                                outs.len()
+                            ))),
+                            supervision: stats,
+                        };
+                    }
+                    firings += 1;
+                    if !send_outputs(&io, outs) || stop {
+                        break 'firing;
+                    }
+                    continue 'firing;
+                }
+                Err(error) => {
+                    stats.faults += 1;
+                    if attempt < sup.policy.max_retries && (sup.retryable)(&error) {
+                        attempt += 1;
+                        backoff_s = sup.policy.backoff_s(attempt);
+                        stats.retries += 1;
+                        stats.backoff_s += backoff_s;
+                        stats.trace.push(FaultEvent {
+                            firing,
+                            attempt: attempt - 1,
+                            action: FaultAction::Retried { backoff_s },
+                        });
+                        continue;
+                    }
+                    let attempts = attempt + 1;
+                    // Take the escalation by value so a chosen fallback
+                    // can move into `primary`; quarantine puts its
+                    // handler back (it is reusable), substitute decays
+                    // to abort (it is one-shot).
+                    match std::mem::replace(&mut sup.escalation, Escalation::Abort) {
+                        Escalation::Abort => {
+                            stats.trace.push(FaultEvent {
+                                firing,
+                                attempt,
+                                action: FaultAction::Aborted,
+                            });
+                            return StageOutcome {
+                                firings,
+                                fault: Some(Fault::Stage {
+                                    error,
+                                    firing,
+                                    attempts,
+                                }),
+                                supervision: stats,
+                            };
+                        }
+                        Escalation::Substitute(fallback) => {
+                            sup.primary = fallback;
+                            stats.substitutions += 1;
+                            stats.trace.push(FaultEvent {
+                                firing,
+                                attempt,
+                                action: FaultAction::Substituted,
+                            });
+                        }
+                        Escalation::Quarantine(mut rebind) => {
+                            match rebind(firing, attempts, &error) {
+                                Some(replacement) => {
+                                    sup.primary = replacement;
+                                    sup.escalation = Escalation::Quarantine(rebind);
+                                    stats.rebinds += 1;
+                                    stats.trace.push(FaultEvent {
+                                        firing,
+                                        attempt,
+                                        action: FaultAction::Rebound,
+                                    });
+                                }
+                                None => {
+                                    stats.trace.push(FaultEvent {
+                                        firing,
+                                        attempt,
+                                        action: FaultAction::Aborted,
+                                    });
+                                    return StageOutcome {
+                                        firings,
+                                        fault: Some(Fault::Stage {
+                                            error,
+                                            firing,
+                                            attempts,
+                                        }),
+                                        supervision: stats,
+                                    };
+                                }
+                            }
+                        }
+                    }
+                    // Fresh budget for the replacement executor; the
+                    // same firing re-runs over the same inputs.
+                    attempt = 0;
+                    backoff_s = 0.0;
+                }
+            }
+        }
+    }
+    StageOutcome {
+        firings,
+        fault: None,
+        supervision: stats,
     }
 }
 
@@ -668,6 +1141,7 @@ fn run_parmap<T: Send, E: Send>(
                                  {total_produce}",
                                 outs.len()
                             ))),
+                            supervision: StageSupervision::default(),
                         };
                     }
                     firings += 1;
@@ -678,7 +1152,12 @@ fn run_parmap<T: Send, E: Send>(
                 Ok(Err(error)) => {
                     return StageOutcome {
                         firings,
-                        fault: Some(Fault::Stage(error)),
+                        fault: Some(Fault::Stage {
+                            error,
+                            firing,
+                            attempts: 1,
+                        }),
+                        supervision: StageSupervision::default(),
                     };
                 }
                 Err(_) => break,
@@ -687,11 +1166,188 @@ fn run_parmap<T: Send, E: Send>(
         StageOutcome {
             firings,
             fault: None,
+            supervision: StageSupervision::default(),
         }
     })
 }
 
-fn run_stream<T: Send, E: Send>(f: StreamFn<'_, T, E>, io: StageIo<T>) -> StageOutcome<E> {
+/// Per-firing supervised work item outcome, reassembled in firing
+/// order by the collector.
+type ParItem<T, E> = Result<Vec<T>, (E, u32)>;
+
+/// Borrowed form of [`RecoverFn`], as consulted by the worker loop.
+type RecoverRef<'a, T, E> =
+    &'a (dyn Fn(u64, u32, &E, &[T]) -> Option<Result<Vec<T>, E>> + Send + Sync);
+
+/// Runs a data-parallel stage under a [`Supervision`] policy. Each
+/// firing retries on its worker with the policy's budget (all errors
+/// retryable); once spent, the optional [`RecoverFn`] is consulted
+/// per firing — parallel firings are independent work items, so
+/// recovery of one never degrades its siblings (contrast the serial
+/// stage's sticky [`Escalation`]). Stats from the workers aggregate
+/// under a mutex and the trace is sorted to (firing, attempt) order,
+/// keeping the report deterministic regardless of interleaving.
+fn run_supervised_parmap<T: Send, E: Send>(
+    f: &SupervisedParFn<'_, T, E>,
+    recover: Option<RecoverRef<'_, T, E>>,
+    policy: Supervision,
+    io: StageIo<T>,
+    target: u64,
+    workers: usize,
+) -> StageOutcome<E> {
+    let workers = workers.max(1).min(target.max(1) as usize);
+    let total_produce: usize = io.out_rates.iter().sum();
+    let per_worker = (target as usize).div_ceil(workers).max(1);
+    let shared_stats = std::sync::Mutex::new(StageSupervision::default());
+
+    let (firings, fault) = thread::scope(|scope| {
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut result_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = sync_channel::<(u64, Vec<T>)>(per_worker);
+            let (result_tx, result_rx) = sync_channel::<ParItem<T, E>>(per_worker);
+            let shared_stats = &shared_stats;
+            scope.spawn(move || {
+                for (firing, inputs) in job_rx {
+                    let mut attempt = 0u32;
+                    let mut backoff_s = 0.0f64;
+                    let item: ParItem<T, E> = loop {
+                        let ctx = FiringCtx {
+                            firing,
+                            attempt,
+                            backoff_s,
+                            deadline_s: policy.deadline_s,
+                        };
+                        match f(ctx, &inputs) {
+                            Ok(outs) => break Ok(outs),
+                            Err(error) => {
+                                let mut stats = shared_stats.lock().expect("stats mutex");
+                                stats.faults += 1;
+                                if attempt < policy.max_retries {
+                                    attempt += 1;
+                                    backoff_s = policy.backoff_s(attempt);
+                                    stats.retries += 1;
+                                    stats.backoff_s += backoff_s;
+                                    stats.trace.push(FaultEvent {
+                                        firing,
+                                        attempt: attempt - 1,
+                                        action: FaultAction::Retried { backoff_s },
+                                    });
+                                    continue;
+                                }
+                                let attempts = attempt + 1;
+                                // Release the stats lock while recovery
+                                // runs: a host retrain can be slow and
+                                // sibling workers may fault meanwhile.
+                                drop(stats);
+                                let recovered =
+                                    recover.and_then(|r| r(firing, attempts, &error, &inputs));
+                                let mut stats = shared_stats.lock().expect("stats mutex");
+                                match recovered {
+                                    Some(Ok(outs)) => {
+                                        stats.substitutions += 1;
+                                        stats.trace.push(FaultEvent {
+                                            firing,
+                                            attempt,
+                                            action: FaultAction::Substituted,
+                                        });
+                                        break Ok(outs);
+                                    }
+                                    Some(Err(replacement_error)) => {
+                                        stats.trace.push(FaultEvent {
+                                            firing,
+                                            attempt,
+                                            action: FaultAction::Aborted,
+                                        });
+                                        break Err((replacement_error, attempts));
+                                    }
+                                    None => {
+                                        stats.trace.push(FaultEvent {
+                                            firing,
+                                            attempt,
+                                            action: FaultAction::Aborted,
+                                        });
+                                        break Err((error, attempts));
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    if result_tx.send(item).is_err() {
+                        break;
+                    }
+                }
+            });
+            job_txs.push(job_tx);
+            result_rxs.push(result_rx);
+        }
+
+        let mut dispatched = 0u64;
+        for firing in 0..target {
+            let Some(inputs) = collect_inputs(&io) else {
+                break;
+            };
+            if job_txs[(firing as usize) % workers]
+                .send((firing, inputs))
+                .is_err()
+            {
+                break;
+            }
+            dispatched += 1;
+        }
+        drop(job_txs);
+
+        let mut firings = 0u64;
+        for firing in 0..dispatched {
+            match result_rxs[(firing as usize) % workers].recv() {
+                Ok(Ok(outs)) => {
+                    if outs.len() != total_produce {
+                        return (
+                            firings,
+                            Some(Fault::Protocol(format!(
+                                "executor returned {} token(s), the graph declares \
+                                 {total_produce}",
+                                outs.len()
+                            ))),
+                        );
+                    }
+                    firings += 1;
+                    if !send_outputs(&io, outs) {
+                        break;
+                    }
+                }
+                Ok(Err((error, attempts))) => {
+                    return (
+                        firings,
+                        Some(Fault::Stage {
+                            error,
+                            firing,
+                            attempts,
+                        }),
+                    );
+                }
+                Err(_) => break,
+            }
+        }
+        (firings, None)
+    });
+
+    let mut stats = shared_stats.into_inner().expect("stats mutex");
+    stats
+        .trace
+        .sort_by_key(|event| (event.firing, event.attempt));
+    StageOutcome {
+        firings,
+        fault,
+        supervision: stats,
+    }
+}
+
+fn run_stream<T: Send, E: Send>(
+    f: StreamFn<'_, T, E>,
+    fallback: Option<StreamFn<'_, T, E>>,
+    io: StageIo<T>,
+) -> StageOutcome<E> {
     let consume_per_firing: usize = io.in_rates.iter().sum();
     let produce_per_firing: usize = io.out_rates.iter().sum();
     let mut ctx = StageCtx {
@@ -700,25 +1356,70 @@ fn run_stream<T: Send, E: Send>(f: StreamFn<'_, T, E>, io: StageIo<T>) -> StageO
         received: 0,
         sent: 0,
     };
+    let mut stats = StageSupervision::default();
+    let infer_firings = |ctx: &StageCtx<T>| {
+        // A stream stage's firing count is inferred from the tokens it
+        // actually moved relative to the declared per-firing rates.
+        let from_in = if consume_per_firing > 0 {
+            ctx.received / consume_per_firing as u64
+        } else {
+            0
+        };
+        let from_out = if produce_per_firing > 0 {
+            ctx.sent / produce_per_firing as u64
+        } else {
+            0
+        };
+        from_in.max(from_out)
+    };
     let fault = match f(&mut ctx) {
         Ok(()) => None,
-        Err(error) => Some(Fault::Stage(error)),
-    };
-    // A stream stage's firing count is inferred from the tokens it
-    // actually moved relative to the declared per-firing rates.
-    let from_in = if consume_per_firing > 0 {
-        ctx.received / consume_per_firing as u64
-    } else {
-        0
-    };
-    let from_out = if produce_per_firing > 0 {
-        ctx.sent / produce_per_firing as u64
-    } else {
-        0
+        Err(error) => {
+            stats.faults += 1;
+            match fallback {
+                // The fallback resumes on the same StageCtx: channels
+                // stay open and the token counters keep accumulating,
+                // so everything the primary already moved stands.
+                Some(fb) => {
+                    stats.substitutions += 1;
+                    stats.trace.push(FaultEvent {
+                        firing: infer_firings(&ctx),
+                        attempt: 0,
+                        action: FaultAction::Substituted,
+                    });
+                    match fb(&mut ctx) {
+                        Ok(()) => None,
+                        Err(error) => {
+                            stats.faults += 1;
+                            let firing = infer_firings(&ctx);
+                            stats.trace.push(FaultEvent {
+                                firing,
+                                attempt: 1,
+                                action: FaultAction::Aborted,
+                            });
+                            Some(Fault::Stage {
+                                error,
+                                firing,
+                                attempts: 2,
+                            })
+                        }
+                    }
+                }
+                None => {
+                    let firing = infer_firings(&ctx);
+                    Some(Fault::Stage {
+                        error,
+                        firing,
+                        attempts: 1,
+                    })
+                }
+            }
+        }
     };
     StageOutcome {
-        firings: from_in.max(from_out),
+        firings: infer_firings(&ctx),
         fault,
+        supervision: stats,
     }
 }
 
@@ -840,9 +1541,416 @@ mod tests {
             err,
             RunError::Stage {
                 stage: 1,
+                name: "work".to_string(),
+                firing: 3,
+                attempts: 1,
                 error: "device fault"
             }
         );
+        assert_eq!(
+            err.to_string(),
+            "stage 1 (work) failed at firing 3 after 1 attempt(s): device fault"
+        );
+    }
+
+    #[test]
+    fn supervised_retries_within_budget_to_success() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let attempts_seen = AtomicU64::new(0);
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Supervised::map(
+                Supervision::retries(3, 1e-3, 2.0),
+                |ctx: FiringCtx, inputs| {
+                    if ctx.firing == 2 && ctx.attempt < 2 {
+                        attempts_seen.fetch_add(1, Ordering::SeqCst);
+                        Err("transient fault")
+                    } else {
+                        Ok((vec![inputs[0] * 10], Fire::Continue))
+                    }
+                },
+            )
+            .into_binding(),
+            Binding::Map(Box::new(|_, _| Ok((vec![], Fire::Continue)))),
+        ];
+        let report = run(&plan, 5, bindings).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.firings, vec![5, 5, 5]);
+        let sup = &report.supervision[1];
+        assert_eq!(sup.faults, 2);
+        assert_eq!(sup.retries, 2);
+        // backoff: base·1 + base·2 = 3e-3, exactly.
+        assert!((sup.backoff_s - 3e-3).abs() < 1e-15);
+        assert_eq!(sup.substitutions, 0);
+        assert_eq!(sup.rebinds, 0);
+        assert_eq!(
+            sup.trace,
+            vec![
+                FaultEvent {
+                    firing: 2,
+                    attempt: 0,
+                    action: FaultAction::Retried { backoff_s: 1e-3 }
+                },
+                FaultEvent {
+                    firing: 2,
+                    attempt: 1,
+                    action: FaultAction::Retried { backoff_s: 2e-3 }
+                },
+            ]
+        );
+        // Unsupervised neighbours report clean all-zero supervision.
+        assert!(report.supervision[0].is_clean());
+        assert!(report.supervision[2].is_clean());
+    }
+
+    #[test]
+    fn supervised_budget_exhaustion_aborts_with_firing_and_attempts() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Supervised::map(Supervision::retries(2, 1e-3, 2.0), |ctx: FiringCtx, _| {
+                if ctx.firing == 1 {
+                    Err("dead device")
+                } else {
+                    Ok((vec![0], Fire::Continue))
+                }
+            })
+            .into_binding(),
+            Binding::Map(Box::new(|_, _| Ok((vec![], Fire::Continue)))),
+        ];
+        let err = run(&plan, 4, bindings).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Stage {
+                stage: 1,
+                name: "work".to_string(),
+                firing: 1,
+                attempts: 3,
+                error: "dead device"
+            }
+        );
+    }
+
+    #[test]
+    fn supervised_non_retryable_error_skips_the_budget() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Supervised::map(Supervision::retries(5, 1e-3, 2.0), |ctx: FiringCtx, _| {
+                if ctx.firing == 0 {
+                    Err("config error")
+                } else {
+                    Ok((vec![0], Fire::Continue))
+                }
+            })
+            .retry_when(|e: &&'static str| *e != "config error")
+            .into_binding(),
+            Binding::Map(Box::new(|_, _| Ok((vec![], Fire::Continue)))),
+        ];
+        let err = run(&plan, 2, bindings).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Stage {
+                stage: 1,
+                name: "work".to_string(),
+                firing: 0,
+                attempts: 1,
+                error: "config error"
+            }
+        );
+    }
+
+    #[test]
+    fn supervised_substitute_swaps_permanently_and_rereuns_the_firing() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let primary_calls = AtomicU64::new(0);
+        let seen = Mutex::new(Vec::new());
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Supervised::map(Supervision::none(), |ctx: FiringCtx, inputs| {
+                primary_calls.fetch_add(1, Ordering::SeqCst);
+                if ctx.firing >= 2 {
+                    Err("device quarantined")
+                } else {
+                    Ok((vec![inputs[0] * 10], Fire::Continue))
+                }
+            })
+            .or_substitute(|_ctx: FiringCtx, inputs: &[u64]| {
+                // Host fallback: same arithmetic, different executor.
+                Ok((vec![inputs[0] * 10], Fire::Continue))
+            })
+            .into_binding(),
+            Binding::Map(Box::new(|_, inputs| {
+                seen.lock().unwrap().push(inputs[0]);
+                Ok((vec![], Fire::Continue))
+            })),
+        ];
+        let report = run(&plan, 6, bindings).unwrap();
+        assert!(report.completed);
+        // The failed firing re-ran on the fallback over the same
+        // inputs: no token lost, bit-exact sequence.
+        assert_eq!(*seen.lock().unwrap(), vec![0, 10, 20, 30, 40, 50]);
+        // Substitution is sticky: primary consulted for firings 0, 1
+        // and the failed attempt at 2, never again.
+        assert_eq!(primary_calls.load(Ordering::SeqCst), 3);
+        let sup = &report.supervision[1];
+        assert_eq!(sup.faults, 1);
+        assert_eq!(sup.substitutions, 1);
+        assert_eq!(
+            sup.trace,
+            vec![FaultEvent {
+                firing: 2,
+                attempt: 0,
+                action: FaultAction::Substituted
+            }]
+        );
+    }
+
+    #[test]
+    fn supervised_quarantine_rebinds_through_a_pool_then_aborts() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        // Two healthy siblings; each replacement executor dies two
+        // firings after taking over, driving repeated re-binds until
+        // the pool is exhausted and the handler returns None.
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Supervised::map(Supervision::none(), |ctx: FiringCtx, _| {
+                if ctx.firing >= 2 {
+                    Err("device 0 down")
+                } else {
+                    Ok((vec![0], Fire::Continue))
+                }
+            })
+            .or_quarantine({
+                let mut siblings = 2u64;
+                move |rebind_at, attempts, _e: &&'static str| {
+                    assert_eq!(attempts, 1, "Supervision::none escalates on attempt 1");
+                    if siblings == 0 {
+                        return None;
+                    }
+                    siblings -= 1;
+                    let die_at = rebind_at + 2;
+                    Some(Box::new(move |ctx: FiringCtx, _inputs: &[u64]| {
+                        if ctx.firing >= die_at {
+                            Err("sibling down")
+                        } else {
+                            Ok((vec![0u64], Fire::Continue))
+                        }
+                    })
+                        as SupervisedFn<'_, u64, &'static str>)
+                }
+            })
+            .into_binding(),
+            Binding::Map(Box::new(|_, _| Ok((vec![], Fire::Continue)))),
+        ];
+        let err = run(&plan, 10, bindings).unwrap_err();
+        // Device 0 dies at firing 2, sibling A at 4, sibling B at 6;
+        // pool exhausted there.
+        assert_eq!(
+            err,
+            RunError::Stage {
+                stage: 1,
+                name: "work".to_string(),
+                firing: 6,
+                attempts: 1,
+                error: "sibling down"
+            }
+        );
+    }
+
+    #[test]
+    fn supervised_quarantine_rebind_counters_appear_in_the_report() {
+        let plan = ExecutablePlan::validate(unit_chain(2)).unwrap();
+        let seen = Mutex::new(Vec::new());
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Supervised::map(Supervision::none(), |ctx: FiringCtx, inputs| {
+                if ctx.firing >= 1 {
+                    Err("device 0 down")
+                } else {
+                    Ok((vec![inputs[0] + 100], Fire::Continue))
+                }
+            })
+            .or_quarantine(|_f, _a, _e: &&'static str| {
+                Some(Box::new(|_ctx: FiringCtx, inputs: &[u64]| {
+                    Ok((vec![inputs[0] + 100], Fire::Continue))
+                }) as SupervisedFn<'_, u64, &'static str>)
+            })
+            .into_binding(),
+            Binding::Map(Box::new(|_, inputs| {
+                seen.lock().unwrap().push(inputs[0]);
+                Ok((vec![], Fire::Continue))
+            })),
+        ];
+        let report = run(&plan, 4, bindings).unwrap();
+        assert!(report.completed);
+        assert_eq!(*seen.lock().unwrap(), vec![100, 101, 102, 103]);
+        let sup = &report.supervision[1];
+        assert_eq!(sup.faults, 1);
+        assert_eq!(sup.rebinds, 1);
+        assert_eq!(sup.substitutions, 0);
+        assert_eq!(
+            sup.trace,
+            vec![FaultEvent {
+                firing: 1,
+                attempt: 0,
+                action: FaultAction::Rebound
+            }]
+        );
+    }
+
+    #[test]
+    fn supervised_parmap_recovers_firings_independently() {
+        let mut g = SdfGraph::new("fan");
+        let src = g.add_stage("src", Resource::Host, 0.0);
+        let work = g.add_stage("work", Resource::Host, 1.0);
+        let sink = g.add_stage("sink", Resource::Host, 0.0);
+        g.add_channel(src, work, 1, 1, Some(8));
+        g.add_channel(work, sink, 1, 1, Some(8));
+        let plan = ExecutablePlan::validate(g).unwrap();
+        let seen = Mutex::new(Vec::new());
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Binding::SupervisedParMap {
+                workers: 4,
+                policy: Supervision::retries(1, 1e-3, 2.0),
+                f: Box::new(|ctx: FiringCtx, inputs: &[u64]| {
+                    // Firing 3 always fails; firing 5 heals on retry.
+                    if ctx.firing == 3 || (ctx.firing == 5 && ctx.attempt == 0) {
+                        Err("member fault")
+                    } else {
+                        Ok(vec![inputs[0] * 2])
+                    }
+                }),
+                recover: Some(Box::new(|firing, attempts, _e, inputs: &[u64]| {
+                    assert_eq!(firing, 3);
+                    assert_eq!(attempts, 2);
+                    // Host retrain stands in for the dead member.
+                    Some(Ok(vec![inputs[0] * 2]))
+                })),
+            },
+            Binding::Map(Box::new(|_, inputs| {
+                seen.lock().unwrap().push(inputs[0]);
+                Ok((vec![], Fire::Continue))
+            })),
+        ];
+        let report = run(&plan, 12, bindings).unwrap();
+        assert!(report.completed);
+        assert_eq!(
+            *seen.lock().unwrap(),
+            (0..12).map(|i| i * 2).collect::<Vec<u64>>()
+        );
+        let sup = &report.supervision[1];
+        // Firing 3: fault, retry-fault, recovered. Firing 5: fault,
+        // retry succeeds.
+        assert_eq!(sup.faults, 3);
+        assert_eq!(sup.retries, 2);
+        assert_eq!(sup.substitutions, 1);
+        assert_eq!(
+            sup.trace,
+            vec![
+                FaultEvent {
+                    firing: 3,
+                    attempt: 0,
+                    action: FaultAction::Retried { backoff_s: 1e-3 }
+                },
+                FaultEvent {
+                    firing: 3,
+                    attempt: 1,
+                    action: FaultAction::Substituted
+                },
+                FaultEvent {
+                    firing: 5,
+                    attempt: 0,
+                    action: FaultAction::Retried { backoff_s: 1e-3 }
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn supervised_parmap_without_recovery_aborts_with_attempts() {
+        let mut g = SdfGraph::new("fan");
+        let src = g.add_stage("src", Resource::Host, 0.0);
+        let work = g.add_stage("work", Resource::Host, 1.0);
+        let sink = g.add_stage("sink", Resource::Host, 0.0);
+        g.add_channel(src, work, 1, 1, Some(8));
+        g.add_channel(work, sink, 1, 1, Some(8));
+        let plan = ExecutablePlan::validate(g).unwrap();
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::Map(Box::new(|firing, _| Ok((vec![firing], Fire::Continue)))),
+            Binding::SupervisedParMap {
+                workers: 2,
+                policy: Supervision::retries(2, 1e-3, 2.0),
+                f: Box::new(|ctx: FiringCtx, inputs: &[u64]| {
+                    if ctx.firing == 4 {
+                        Err("member fault")
+                    } else {
+                        Ok(vec![inputs[0]])
+                    }
+                }),
+                recover: None,
+            },
+            Binding::Map(Box::new(|_, _| Ok((vec![], Fire::Continue)))),
+        ];
+        let err = run(&plan, 8, bindings).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::Stage {
+                stage: 1,
+                name: "work".to_string(),
+                firing: 4,
+                attempts: 3,
+                error: "member fault"
+            }
+        );
+    }
+
+    #[test]
+    fn supervised_stream_fallback_resumes_on_the_same_channels() {
+        let mut g = SdfGraph::new("stream");
+        let enc = g.add_stage("encode", Resource::DEVICE, 3e-3);
+        let upd = g.add_stage("update", Resource::Host, 1e-3);
+        g.add_channel(enc, upd, 1, 1, Some(2));
+        let plan = ExecutablePlan::validate(g).unwrap();
+        let total = Mutex::new(0u64);
+        let bindings: Vec<Binding<'_, u64, &'static str>> = vec![
+            Binding::SupervisedStream {
+                f: Box::new(|ctx| {
+                    // Device stream dies after three chunks.
+                    for v in 0..3u64 {
+                        if !ctx.send(v) {
+                            break;
+                        }
+                    }
+                    Err("device stream fault")
+                }),
+                fallback: Some(Box::new(|ctx| {
+                    // Host picks up exactly where the device stopped.
+                    for v in 3..7u64 {
+                        if !ctx.send(v) {
+                            break;
+                        }
+                    }
+                    Ok(())
+                })),
+            },
+            Binding::Stream(Box::new(|ctx| {
+                let mut sum = 0;
+                for v in ctx.input_iter(0) {
+                    sum += v;
+                }
+                *total.lock().unwrap() = sum;
+                Ok(())
+            })),
+        ];
+        let report = run(&plan, 7, bindings).unwrap();
+        assert_eq!(*total.lock().unwrap(), 21);
+        assert_eq!(report.firings, vec![7, 7]);
+        assert!(report.completed);
+        let sup = &report.supervision[0];
+        assert_eq!(sup.faults, 1);
+        assert_eq!(sup.substitutions, 1);
     }
 
     #[test]

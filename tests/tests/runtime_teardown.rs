@@ -20,7 +20,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use hd_dataflow::runtime::{self, Binding, ExecutablePlan, Fire, RunError};
+use hd_dataflow::runtime::{
+    self, Binding, ExecutablePlan, Fire, FiringCtx, RunError, Supervised, Supervision,
+};
 use hd_dataflow::SdfGraph;
 use hyperedge::schedule;
 
@@ -133,6 +135,184 @@ fn run_with_fault(
         .collect()
 }
 
+/// How the supervised victim stage escalates after its injected fault.
+#[derive(Clone, Copy, Debug)]
+enum Escalated {
+    /// `Escalation::Substitute`: a permanent fallback executor takes
+    /// over and the run completes.
+    Substitute,
+    /// `Escalation::Quarantine` whose rebind handler supplies a
+    /// replacement: the firing re-runs and the run completes.
+    QuarantineRebinds,
+    /// `Escalation::Quarantine` whose rebind handler declines: the run
+    /// aborts exactly like an unsupervised stage error.
+    QuarantineDeclines,
+}
+
+/// Runs `plan` with the victim stage wrapped in a `Supervision` policy
+/// that faults at firing `kill_at` and escalates per `mode`; healthy
+/// stages run unsupervised. Returns the per-channel
+/// `(produced, consumed)` counts the closures observed.
+///
+/// The consumed counter bumps once per *firing* (not per attempt): the
+/// runtime collects a firing's inputs once and replays the same batch
+/// into every retry, substitute, and re-bound executor, so a re-run
+/// must not double-count the drain.
+fn run_with_escalation(
+    plan: &ExecutablePlan,
+    iterations: u64,
+    victim: usize,
+    kill_at: u64,
+    mode: Escalated,
+) -> Vec<(u64, u64)> {
+    let graph = plan.graph();
+    let produced: Vec<Arc<AtomicU64>> = (0..graph.channels().len())
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let consumed: Vec<Arc<AtomicU64>> = (0..graph.channels().len())
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let bindings: Vec<Binding<(), String>> = graph
+        .stages()
+        .iter()
+        .enumerate()
+        .map(|(s, _)| {
+            let ins: Vec<(usize, u64)> = graph
+                .channels()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.to.index() == s)
+                .map(|(i, c)| (i, c.consume as u64))
+                .collect();
+            let outs: Vec<(usize, u64)> = graph
+                .channels()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.from.index() == s)
+                .map(|(i, c)| (i, c.produce as u64))
+                .collect();
+            let produce_total: usize = outs.iter().map(|&(_, r)| r as usize).sum();
+            let produced = produced.clone();
+            let consumed = consumed.clone();
+            // Healthy firing body, shared by the primary, the
+            // substitute, and the re-bound executor. `counted` tracks
+            // the next un-tallied firing so attempt replays of the same
+            // firing count its consumed inputs exactly once.
+            let counted = Arc::new(AtomicU64::new(0));
+            let healthy = {
+                let ins = ins.clone();
+                let outs = outs.clone();
+                let produced = produced.clone();
+                let consumed = consumed.clone();
+                let counted = counted.clone();
+                move |firing: u64| {
+                    if counted
+                        .compare_exchange(firing, firing + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        for &(c, rate) in &ins {
+                            consumed[c].fetch_add(rate, Ordering::SeqCst);
+                        }
+                    }
+                    for &(c, rate) in &outs {
+                        produced[c].fetch_add(rate, Ordering::SeqCst);
+                    }
+                    Ok((vec![(); produce_total], Fire::Continue))
+                }
+            };
+            if s != victim {
+                let healthy = healthy.clone();
+                return Binding::Map(Box::new(move |firing, _| healthy(firing)));
+            }
+            let primary = {
+                let healthy = healthy.clone();
+                let consumed = consumed.clone();
+                let counted = counted.clone();
+                let ins = ins.clone();
+                move |ctx: FiringCtx, _inputs: &[()]| {
+                    if ctx.firing == kill_at {
+                        // The runtime already drained this firing's
+                        // inputs off the channels; tally them even
+                        // though the attempt dies.
+                        if counted
+                            .compare_exchange(
+                                ctx.firing,
+                                ctx.firing + 1,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                            .is_ok()
+                        {
+                            for &(c, rate) in &ins {
+                                consumed[c].fetch_add(rate, Ordering::SeqCst);
+                            }
+                        }
+                        return Err("injected fault".to_string());
+                    }
+                    healthy(ctx.firing)
+                }
+            };
+            let supervised = Supervised::map(Supervision::none(), primary);
+            match mode {
+                Escalated::Substitute => {
+                    let healthy = healthy.clone();
+                    supervised
+                        .or_substitute(move |ctx: FiringCtx, _inputs: &[()]| healthy(ctx.firing))
+                        .into_binding()
+                }
+                Escalated::QuarantineRebinds => {
+                    let healthy = healthy.clone();
+                    supervised
+                        .or_quarantine(move |_firing, _attempts, _e: &String| {
+                            let healthy = healthy.clone();
+                            Some(
+                                Box::new(move |ctx: FiringCtx, _inputs: &[()]| healthy(ctx.firing))
+                                    as runtime::SupervisedFn<'_, (), String>,
+                            )
+                        })
+                        .into_binding()
+                }
+                Escalated::QuarantineDeclines => supervised
+                    .or_quarantine(|_firing, _attempts, _e: &String| None)
+                    .into_binding(),
+            }
+        })
+        .collect();
+
+    let result = runtime::run(plan, iterations, bindings);
+    match mode {
+        Escalated::Substitute | Escalated::QuarantineRebinds => {
+            let report = result.expect("escalation recovers the run");
+            assert!(report.completed, "recovered runs complete");
+            let stats = &report.supervision[victim];
+            assert_eq!(stats.faults, 1, "exactly the injected fault");
+            match mode {
+                Escalated::Substitute => assert_eq!(stats.substitutions, 1),
+                _ => assert_eq!(stats.rebinds, 1),
+            }
+        }
+        Escalated::QuarantineDeclines => match result {
+            Err(RunError::Stage {
+                stage,
+                firing,
+                attempts,
+                ..
+            }) => {
+                assert_eq!(stage, victim, "error must name the faulted stage");
+                assert_eq!(firing, kill_at);
+                assert_eq!(attempts, 1, "no retries under Supervision::none()");
+            }
+            other => panic!("expected a stage error, got {other:?}"),
+        },
+    }
+
+    produced
+        .iter()
+        .zip(&consumed)
+        .map(|(p, c)| (p.load(Ordering::SeqCst), c.load(Ordering::SeqCst)))
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
@@ -179,6 +359,89 @@ proptest! {
                                 produced,
                                 consumed
                             );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The same law under every `Supervision` escalation path: fault
+    /// every stage of every production graph at every firing index and
+    /// escalate via `Substitute`, a re-binding `Quarantine`, and a
+    /// declining `Quarantine`. Recovered runs must complete with every
+    /// channel fully drained (produced == consumed); the declining
+    /// quarantine must tear down exactly like an unsupervised stage
+    /// error, with downstream receivers draining everything buffered.
+    #[test]
+    fn prop_escalations_preserve_the_teardown_guarantees(
+        iterations in 1u64..3,
+        members in 2usize..5,
+    ) {
+        let graphs = schedule::production_schedules(schedule::STREAM_DEPTH, members);
+        for graph in graphs {
+            let name = graph.name().to_string();
+            let plan = ExecutablePlan::validate(graph).expect("production graphs validate");
+            let targets: Vec<u64> =
+                plan.repetition().iter().map(|&r| r * iterations).collect();
+            for (victim, &target) in targets.iter().enumerate() {
+                for kill_at in 0..target {
+                    for mode in [
+                        Escalated::Substitute,
+                        Escalated::QuarantineRebinds,
+                        Escalated::QuarantineDeclines,
+                    ] {
+                        let counts =
+                            run_with_escalation(&plan, iterations, victim, kill_at, mode);
+                        match mode {
+                            Escalated::Substitute | Escalated::QuarantineRebinds => {
+                                // Recovery is total: the run completed, so
+                                // every channel is fully drained.
+                                for (c, channel) in
+                                    plan.graph().channels().iter().enumerate()
+                                {
+                                    let (produced, consumed) = counts[c];
+                                    prop_assert_eq!(
+                                        produced,
+                                        consumed,
+                                        "{}: victim {} ({:?}) at firing {}: channel {} \
+                                         left tokens behind after recovery",
+                                        name,
+                                        victim,
+                                        mode,
+                                        kill_at,
+                                        plan.graph().channel_label(channel)
+                                    );
+                                    prop_assert!(produced > 0 || consumed == 0);
+                                }
+                            }
+                            Escalated::QuarantineDeclines => {
+                                let downstream = downstream_of(plan.graph(), victim);
+                                for (c, channel) in
+                                    plan.graph().channels().iter().enumerate()
+                                {
+                                    if channel.to.index() == victim
+                                        || !downstream[channel.from.index()]
+                                    {
+                                        continue;
+                                    }
+                                    let (produced, consumed) = counts[c];
+                                    let consume = channel.consume as u64;
+                                    prop_assert_eq!(
+                                        consumed,
+                                        (produced / consume) * consume,
+                                        "{}: victim {} ({:?}) at firing {}: channel {} \
+                                         produced {} but only {} consumed",
+                                        name,
+                                        victim,
+                                        mode,
+                                        kill_at,
+                                        plan.graph().channel_label(channel),
+                                        produced,
+                                        consumed
+                                    );
+                                }
+                            }
                         }
                     }
                 }
