@@ -28,6 +28,7 @@ pub const RULE_NAMES: &[&str] = &[
     "no-unseeded-rng",
     "no-adhoc-concurrency",
     "no-unsupervised-binding",
+    "no-unpacked-bipolar-hot-path",
 ];
 
 /// Static metadata about one lint rule, surfaced by `hd-lint
@@ -90,6 +91,12 @@ pub const RULES: &[RuleInfo] = &[
                       production stage executors must go through a Supervision wrapper so \
                       faults are retried, escalated, and counted",
     },
+    RuleInfo {
+        name: "no-unpacked-bipolar-hot-path",
+        severity: Severity::Error,
+        description: "no PackedBipolar unpacking (`.to_signs()`/`.sign(`) in production code — \
+                      scoring and bundling must stay on the packed word-level kernels",
+    },
 ];
 
 /// Whether a workspace-relative path is test or bench code in its
@@ -120,6 +127,7 @@ pub fn lint_source(path: &str, source: &MaskedSource) -> Vec<Diagnostic> {
     no_unseeded_rng(path, source, &mut out);
     no_adhoc_concurrency(path, source, &mut out);
     no_unsupervised_binding(path, source, &mut out);
+    no_unpacked_bipolar_hot_path(path, source, &mut out);
     out
 }
 
@@ -637,6 +645,46 @@ fn no_unsupervised_binding(path: &str, source: &MaskedSource, out: &mut Vec<Diag
     }
 }
 
+/// `no-unpacked-bipolar-hot-path`: forbids unpacking a `PackedBipolar`
+/// back into scalar signs in production code. `.to_signs()` and
+/// `.sign(i)` exist for debugging and for pinning tests against the
+/// scalar reference semantics; a production call site re-inflates 1 bit
+/// per component to an `f32` (a 32× blow-up) and silently trades the
+/// word-level XOR+popcount kernels for scalar loops, undoing the packed
+/// datapath's speedup. Scoring must go through `hamming`/`dot`/
+/// `PackedClassHypervectors::predict_batch`, and bundling through
+/// `majority_bundle`. The packed module itself is exempt: it defines the
+/// accessors and implements the reference conversions.
+fn no_unpacked_bipolar_hot_path(path: &str, source: &MaskedSource, out: &mut Vec<Diagnostic>) {
+    if path == "crates/tensor/src/packed.rs" || path.ends_with("/tensor/src/packed.rs") {
+        return;
+    }
+    const NEEDLES: &[&str] = &[".to_signs(", ".sign("];
+    for needle in NEEDLES {
+        for offset in occurrences(source, needle) {
+            out.push(
+                at(
+                    Diagnostic::error(
+                        "lint/no-unpacked-bipolar-hot-path",
+                        format!(
+                            "`{needle}..)` unpacks a bit-packed bipolar vector to scalars in \
+                             production code",
+                        ),
+                    ),
+                    path,
+                    source,
+                    offset,
+                )
+                .with_help(
+                    "stay on the packed kernels: hamming/dot for similarity, \
+                     PackedClassHypervectors::predict_batch for scoring, majority_bundle for \
+                     bundling — unpack only in tests or debug output",
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -647,6 +695,25 @@ mod tests {
 
     fn codes(diags: &[Diagnostic]) -> Vec<&str> {
         diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn unpacked_bipolar_flagged_outside_packed_module_only() {
+        let src = "fn f(v: &PackedBipolar) { let s = v.to_signs(); let b = v.sign(3); }";
+        let diags = lint("crates/hdc/src/bipolar.rs", src);
+        assert_eq!(
+            codes(&diags),
+            vec![
+                "lint/no-unpacked-bipolar-hot-path",
+                "lint/no-unpacked-bipolar-hot-path"
+            ]
+        );
+        // The packed module defines the accessors and reference paths.
+        assert!(lint("crates/tensor/src/packed.rs", src).is_empty());
+        // Test regions may unpack to pin the scalar reference semantics.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f(v: &PackedBipolar) { v.to_signs(); }\n}";
+        assert!(lint("crates/hdc/src/bipolar.rs", test_src).is_empty());
     }
 
     #[test]

@@ -298,33 +298,46 @@ pub fn robustness() -> ResultTable {
         let int8_acc = hdc::eval::accuracy(&preds, &data.test.labels).expect("accuracy");
 
         // Bipolar path: flip bits directly in the packed class vectors by
-        // flipping signs of random components.
+        // XOR-ing a random flip mask — no unpacking, so the noise model
+        // stays in the packed domain end to end.
         let mut flip_rng = DetRng::new(SEED ^ 0xB1F ^ (rate * 1e7) as u64);
-        let noisy_classes: Vec<hdc::bipolar::BipolarVector> = (0..model.class_count())
-            .map(|j| {
-                let mut signs = hdc::bipolar::binarize_classes(model.classes())[j].to_signs();
-                for v in &mut signs {
-                    if flip_rng.next_f64() < rate * 8.0 {
-                        // 8x: one weight byte carries 8 bits; flipping a
-                        // bipolar component corresponds to a whole-bit cell.
-                        *v = -*v;
-                    }
-                }
-                hdc::bipolar::BipolarVector::from_signs(&signs)
-            })
-            .collect();
+        let noisy_classes: Vec<hdc::bipolar::BipolarVector> =
+            hdc::bipolar::binarize_classes(model.classes())
+                .into_iter()
+                .map(|class| {
+                    // 8x: one weight byte carries 8 bits; flipping a bipolar
+                    // component corresponds to a whole-bit cell.
+                    let flips: Vec<f32> = (0..class.dim())
+                        .map(|_| {
+                            if flip_rng.next_f64() < rate * 8.0 {
+                                1.0
+                            } else {
+                                -1.0
+                            }
+                        })
+                        .collect();
+                    let mask = hdc::bipolar::BipolarVector::from_signs(&flips);
+                    let words: Vec<u64> = class
+                        .words()
+                        .iter()
+                        .zip(mask.words())
+                        .map(|(c, m)| c ^ m)
+                        .collect();
+                    hdc::bipolar::BipolarVector::from_words(words, class.dim()).expect("same width")
+                })
+                .collect();
         let encoded = model.encoder().encode(&data.test.features).expect("encode");
-        let mut correct = 0usize;
-        for (r, &label) in data.test.labels.iter().enumerate() {
-            let query = hdc::bipolar::BipolarVector::from_signs(encoded.row(r));
-            let best = noisy_classes
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.hamming_distance(&query).expect("same width"))
-                .map(|(j, _)| j)
-                .expect("classes non-empty");
-            correct += usize::from(best == label);
-        }
+        let noisy = hd_tensor::packed::PackedClassHypervectors::from_classes(&noisy_classes)
+            .expect("classes non-empty");
+        let queries: Vec<hdc::bipolar::BipolarVector> = (0..encoded.rows())
+            .map(|r| hdc::bipolar::BipolarVector::from_signs(encoded.row(r)))
+            .collect();
+        let bip_preds = noisy.predict_batch(&queries).expect("same width");
+        let correct = bip_preds
+            .iter()
+            .zip(&data.test.labels)
+            .filter(|(p, l)| p == l)
+            .count();
         let bip_acc = correct as f64 / data.test.labels.len() as f64;
 
         t.push_row(vec![

@@ -27,6 +27,7 @@ fn main() {
     experiments::fig_pipeline().emit("fig_pipeline");
     experiments::fig_schedule().emit("fig_schedule");
     experiments::fig_resilience().emit("fig_resilience");
+    experiments::fig_kernels().emit("fig_kernels");
     ablations::scaling().emit("scaling");
     ablations::energy().emit("energy");
 }

@@ -19,6 +19,9 @@
 //! | `fig_pipeline` | extension — pipelined execution: overlapped     |
 //! |          | DMA/compute invoke + parallel bagged member training  |
 //! |          | (also writes the `BENCH_pipeline.json` CI baseline)   |
+//! | `fig_kernels` | extension — packed bipolar + SIMD i8 host-kernel |
+//! |          | wall-clock microbenchmarks vs scalar references       |
+//! |          | (also writes the `BENCH_kernels.json` CI baseline)    |
 //! | `reproduce_all` | runs everything above in sequence              |
 //!
 //! The split between *functional* and *analytic* measurement is the same

@@ -172,6 +172,84 @@ impl ResilienceBenchReport {
     }
 }
 
+/// Machine-readable baseline for the `fig_kernels` host-kernel
+/// microbenchmarks, written to `BENCH_kernels.json` at the repository
+/// root and regression-gated in CI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelsBenchReport {
+    /// Hypervector dimensionality of the scoring and bundling runs.
+    pub dim: usize,
+    /// Query rows scored per run.
+    pub rows: usize,
+    /// Class hypervectors scored against.
+    pub classes: usize,
+    /// Best-of-3 wall-clock seconds for packed XOR+popcount batch
+    /// scoring (`PackedClassHypervectors::predict_batch`).
+    pub packed_score_s: f64,
+    /// Best-of-3 wall-clock seconds for the former `f32` GEMM + argmax
+    /// scoring path over the same queries.
+    pub scalar_score_s: f64,
+    /// `scalar_score_s / packed_score_s`.
+    pub packed_speedup: f64,
+    /// `i8` GEMM shape (rows of A).
+    pub gemm_m: usize,
+    /// `i8` GEMM shape (inner dimension).
+    pub gemm_k: usize,
+    /// `i8` GEMM shape (columns of B).
+    pub gemm_n: usize,
+    /// Best-of-3 wall-clock seconds for the dispatched `i8` GEMM.
+    pub simd_gemm_s: f64,
+    /// Best-of-3 wall-clock seconds for the naive triple-loop reference.
+    pub naive_gemm_s: f64,
+    /// Dispatched-kernel throughput in GOP/s (2·m·k·n ops).
+    pub simd_gemm_gops: f64,
+    /// Reference throughput in GOP/s.
+    pub naive_gemm_gops: f64,
+    /// `naive_gemm_s / simd_gemm_s`.
+    pub gemm_speedup: f64,
+    /// The `i8` GEMM kernel the dispatcher selected ("avx2"/"portable").
+    pub i8_kernel: String,
+    /// Vectors per majority bundle.
+    pub bundle_vectors: usize,
+    /// Best-of-3 wall-clock seconds for one vertical-counter majority
+    /// bundle over `bundle_vectors` packed vectors.
+    pub bundle_s: f64,
+    /// Bundling input bandwidth in GiB/s (packed words consumed).
+    pub bundle_gib_s: f64,
+    /// Whether the run was at `HD_BENCH_SMOKE` scale.
+    pub smoke: bool,
+}
+
+impl KernelsBenchReport {
+    /// Renders the flat JSON form (same conventions as
+    /// [`PipelineBenchReport::to_json`]: one key per line, no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"kernels\",\n  \"git_describe\": null,\n  \"smoke\": {},\n  \"dim\": {},\n  \"rows\": {},\n  \"classes\": {},\n  \"packed_score_s\": {:.12},\n  \"scalar_score_s\": {:.12},\n  \"packed_speedup\": {:.3},\n  \"gemm_m\": {},\n  \"gemm_k\": {},\n  \"gemm_n\": {},\n  \"simd_gemm_s\": {:.12},\n  \"naive_gemm_s\": {:.12},\n  \"simd_gemm_gops\": {:.3},\n  \"naive_gemm_gops\": {:.3},\n  \"gemm_speedup\": {:.3},\n  \"i8_kernel\": \"{}\",\n  \"bundle_vectors\": {},\n  \"bundle_s\": {:.12},\n  \"bundle_gib_s\": {:.3}\n}}\n",
+            self.smoke,
+            self.dim,
+            self.rows,
+            self.classes,
+            self.packed_score_s,
+            self.scalar_score_s,
+            self.packed_speedup,
+            self.gemm_m,
+            self.gemm_k,
+            self.gemm_n,
+            self.simd_gemm_s,
+            self.naive_gemm_s,
+            self.simd_gemm_gops,
+            self.naive_gemm_gops,
+            self.gemm_speedup,
+            self.i8_kernel,
+            self.bundle_vectors,
+            self.bundle_s,
+            self.bundle_gib_s,
+        )
+    }
+}
+
 /// Repository-root path of the `BENCH_<name>.json` artifact.
 #[must_use]
 pub fn bench_report_path(name: &str) -> PathBuf {
@@ -262,6 +340,44 @@ mod tests {
             assert!(json.contains(key), "missing `{key}` in\n{json}");
         }
         assert_eq!(json.lines().count(), 15);
+    }
+
+    #[test]
+    fn kernels_json_is_flat_and_line_parsable() {
+        let json = KernelsBenchReport {
+            dim: 7680,
+            rows: 256,
+            classes: 26,
+            packed_score_s: 0.001,
+            scalar_score_s: 0.02,
+            packed_speedup: 20.0,
+            gemm_m: 128,
+            gemm_k: 256,
+            gemm_n: 7680,
+            simd_gemm_s: 0.005,
+            naive_gemm_s: 0.05,
+            simd_gemm_gops: 100.0,
+            naive_gemm_gops: 10.0,
+            gemm_speedup: 10.0,
+            i8_kernel: "avx2".to_string(),
+            bundle_vectors: 33,
+            bundle_s: 0.0001,
+            bundle_gib_s: 3.0,
+            smoke: true,
+        }
+        .to_json();
+        for key in [
+            "\"bench\": \"kernels\"",
+            "\"git_describe\": null",
+            "\"smoke\": true",
+            "\"packed_speedup\": 20.000",
+            "\"gemm_speedup\": 10.000",
+            "\"i8_kernel\": \"avx2\"",
+            "\"bundle_gib_s\": 3.000",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in\n{json}");
+        }
+        assert_eq!(json.lines().count(), 23);
     }
 
     #[test]

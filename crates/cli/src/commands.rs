@@ -24,18 +24,22 @@ COMMANDS:
                --out <model.hdm>
                [--setting cpu|tpu|tpu-bagging] [--dim N] [--iterations N]
                [--train N] [--test N] [--seed N] [--threads N]
-                                      train a model and save it (CSV: label
+               [--no-simd true]       train a model and save it (CSV: label
                                       in the last column, 20% tail held out;
                                       --threads 1, or HD_THREADS, forces the
-                                      exact sequential path)
+                                      exact sequential path; --no-simd true,
+                                      or HD_NO_SIMD=1, forces the portable
+                                      i8 GEMM kernel)
     evaluate   --model <model.hdm> --dataset <name>
                [--test N] [--seed N]  evaluate a saved model
     serve      --model <model.hdm> --dataset <name>
                [--test N] [--seed N] [--batch N] [--spares N]
                [--fault transient|link|weight-upset|hang] [--fault-rate R]
-               [--fault-seed N]       serve through the supervised two-device
+               [--fault-seed N] [--no-simd true]
+                                      serve through the supervised two-device
                                       pipeline and print per-stage fault,
-                                      retry and failover counters
+                                      retry and failover counters plus the
+                                      kernel variants that served the run
     info       --model <model.hdm>    describe a saved model
     runtime    --dataset <name> [--setting ...] [--platform i5|a53]
                                       paper-scale runtime & energy breakdown
@@ -67,6 +71,38 @@ fn check_flags(args: &ParsedArgs, allowed: &[&str]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Applies the `--no-simd` flag: `--no-simd true` disables the SIMD
+/// `i8` GEMM kernel for this process so every call takes the portable
+/// blocked path (`HD_NO_SIMD=1` is the environment equivalent).
+fn apply_simd_flag(args: &ParsedArgs) -> Result<(), String> {
+    match args.get("no-simd") {
+        None => Ok(()),
+        Some("true") => {
+            hd_tensor::kernels::set_simd_enabled(false);
+            Ok(())
+        }
+        Some("false") => {
+            hd_tensor::kernels::set_simd_enabled(true);
+            Ok(())
+        }
+        Some(other) => Err(format!("--no-simd expects true or false, got `{other}`")),
+    }
+}
+
+/// One human-readable line naming which low-level kernels served a run:
+/// the `i8` GEMM variant selection plus the packed-vs-GEMM dispatch
+/// counts from a [`hd_tensor::kernels::KernelStats`] delta.
+fn kernel_report_line(delta: &hd_tensor::kernels::KernelStats) -> String {
+    format!(
+        "kernels: i8 gemm = {} ({} simd / {} portable call(s)), \
+         {} packed bipolar row(s) scored\n",
+        hd_tensor::kernels::i8_gemm_kernel_name(),
+        delta.simd_gemm_calls,
+        delta.portable_gemm_calls,
+        delta.packed_score_rows,
+    )
 }
 
 fn parse_setting(raw: &str) -> Result<ExecutionSetting, String> {
@@ -154,8 +190,10 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
             "test",
             "seed",
             "threads",
+            "no-simd",
         ],
     )?;
+    apply_simd_flag(args)?;
     let out_path = args.required("out")?.to_string();
     let setting = parse_setting(args.get("setting").unwrap_or("tpu"))?;
     let dim = args.get_or("dim", 2048usize)?;
@@ -165,6 +203,7 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
     let data = load_dataset(args, 600, 200)?;
 
     hd_tensor::gemm::set_thread_cap(threads);
+    let kernels_before = hd_tensor::kernels::stats();
     let config = PipelineConfig::new(dim)
         .with_iterations(iterations)
         .with_seed(seed)
@@ -178,6 +217,7 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
     )?;
     let report = pipeline.evaluate(&outcome, &data.test.features, &data.test.labels)?;
     hdm::save_model(&outcome.model, &out_path)?;
+    let kernel_delta = hd_tensor::kernels::stats().delta_since(&kernels_before);
 
     let measured = outcome.ledger.breakdown();
     Ok(format!(
@@ -186,6 +226,7 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
          modeled training time: {:.4}s (encode {:.4} + update {:.4} + model-gen {:.4})\n\
          measured backend time: {:.4}s over {} compilation(s), {} cache hit(s), {} new device(s)\n\
          resilience: {} fault(s) observed, {} retry(ies), {:.4}s backoff, {} fallback(s)\n\
+         {}\
          saved to {out_path}\n",
         setting.label(),
         data.name,
@@ -203,6 +244,7 @@ pub fn train(args: &ParsedArgs) -> CmdResult {
         outcome.ledger.retries,
         outcome.ledger.backoff_s,
         outcome.ledger.fallbacks,
+        kernel_report_line(&kernel_delta),
     ))
 }
 
@@ -260,8 +302,10 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
             "fault",
             "fault-rate",
             "fault-seed",
+            "no-simd",
         ],
     )?;
+    apply_simd_flag(args)?;
     let model = hdm::load_model(args.required("model")?)?;
     let data = load_dataset(args, 1, 400)?;
     if data.feature_count() != model.feature_count() {
@@ -306,7 +350,9 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
 
     let server =
         hyperedge::TwoDeviceServer::with_spares(&model, &config, &data.test.features, spares)?;
+    let kernels_before = hd_tensor::kernels::stats();
     let outcome = server.predict_supervised(&data.test.features)?;
+    let kernel_delta = hd_tensor::kernels::stats().delta_since(&kernels_before);
     let report = outcome.report();
     let accuracy = hdc::eval::accuracy(&report.predictions, &data.test.labels)?;
 
@@ -337,6 +383,7 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
             d.records.len()
         ));
     }
+    out.push_str(&kernel_report_line(&kernel_delta));
     Ok(out)
 }
 
@@ -485,6 +532,19 @@ mod tests {
     }
 
     #[test]
+    fn no_simd_flag_toggles_kernel_selection_and_rejects_bad_values() {
+        apply_simd_flag(&parsed(&["train", "--no-simd", "true"])).unwrap();
+        assert!(!hd_tensor::kernels::simd_permitted());
+        apply_simd_flag(&parsed(&["train", "--no-simd", "false"])).unwrap();
+        assert!(hd_tensor::kernels::simd_permitted());
+        let err = apply_simd_flag(&parsed(&["train", "--no-simd", "maybe"])).unwrap_err();
+        assert!(err.contains("--no-simd expects true or false"), "{err}");
+        // Absent flag leaves the process-wide selection untouched.
+        apply_simd_flag(&parsed(&["train"])).unwrap();
+        assert!(hd_tensor::kernels::simd_permitted());
+    }
+
+    #[test]
     fn threads_flag_parses_and_rejects_zero() {
         assert_eq!(resolve_threads(&parsed(&["train"])).unwrap(), 1);
         assert_eq!(
@@ -580,6 +640,7 @@ mod tests {
             ),
             "{out}"
         );
+        assert!(out.contains("kernels: i8 gemm = "), "{out}");
 
         let out = info(&parsed(&["info", "--model", model_str])).unwrap();
         assert!(out.contains("dimensionality (d):  512"), "{out}");

@@ -226,6 +226,16 @@ pub struct BackendLedger {
     /// in the affected phase's seconds).
     #[serde(default)]
     pub backoff_s: f64,
+    /// Query rows scored through the bit-packed bipolar Hamming kernel
+    /// instead of the `f32` GEMM path.
+    #[serde(default)]
+    pub packed_score_rows: u64,
+    /// `i8` GEMM calls dispatched to the SIMD kernel.
+    #[serde(default)]
+    pub simd_gemm_calls: u64,
+    /// `i8` GEMM calls dispatched to the portable blocked kernel.
+    #[serde(default)]
+    pub portable_gemm_calls: u64,
 }
 
 impl BackendLedger {
@@ -260,6 +270,9 @@ impl BackendLedger {
             faults_observed: self.faults_observed + other.faults_observed,
             fallbacks: self.fallbacks + other.fallbacks,
             backoff_s: self.backoff_s + other.backoff_s,
+            packed_score_rows: self.packed_score_rows + other.packed_score_rows,
+            simd_gemm_calls: self.simd_gemm_calls + other.simd_gemm_calls,
+            portable_gemm_calls: self.portable_gemm_calls + other.portable_gemm_calls,
         }
     }
 
@@ -285,7 +298,24 @@ impl BackendLedger {
             faults_observed: self.faults_observed.saturating_sub(earlier.faults_observed),
             fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
             backoff_s: (self.backoff_s - earlier.backoff_s).max(0.0),
+            packed_score_rows: self
+                .packed_score_rows
+                .saturating_sub(earlier.packed_score_rows),
+            simd_gemm_calls: self.simd_gemm_calls.saturating_sub(earlier.simd_gemm_calls),
+            portable_gemm_calls: self
+                .portable_gemm_calls
+                .saturating_sub(earlier.portable_gemm_calls),
         }
+    }
+
+    /// Folds a [`hd_tensor::kernels::KernelStats`] delta into this
+    /// ledger's kernel-selection counters, making which low-level kernel
+    /// variant actually ran (packed Hamming, SIMD GEMM, portable GEMM)
+    /// observable alongside the phase telemetry.
+    pub fn absorb_kernel_stats(&mut self, delta: hd_tensor::kernels::KernelStats) {
+        self.packed_score_rows += delta.packed_score_rows;
+        self.simd_gemm_calls += delta.simd_gemm_calls;
+        self.portable_gemm_calls += delta.portable_gemm_calls;
     }
 }
 

@@ -220,18 +220,16 @@ impl HdcModel {
     /// Predicts class labels for already-encoded hypervectors — the path
     /// used when encoding ran on the accelerator.
     ///
+    /// Dot-similarity scoring goes through [`crate::predict_batch`]'s
+    /// dispatch, so a fully bipolar model (±1 classes scoring ±1
+    /// queries) takes the packed XOR+popcount kernel bit-exactly.
+    ///
     /// # Errors
     ///
     /// Returns a wrapped shape error on a dimensionality mismatch.
     pub fn predict_encoded(&self, encoded: &Matrix) -> Result<Vec<usize>> {
         match self.similarity {
-            Similarity::Dot => {
-                let scores =
-                    gemm::matmul(encoded, self.classes.as_matrix()).map_err(HdcError::from)?;
-                (0..scores.rows())
-                    .map(|r| ops::argmax(scores.row(r)).map_err(HdcError::from))
-                    .collect()
-            }
+            Similarity::Dot => crate::train::predict_rows(self.classes.as_matrix(), encoded),
             Similarity::Cosine => (0..encoded.rows())
                 .map(|r| {
                     let scores = self.classes.scores(encoded.row(r), Similarity::Cosine)?;

@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 
+use hd_tensor::packed::{PackedBipolar, PackedClassHypervectors};
 use hd_tensor::{gemm, ops, Matrix};
 
 use crate::error::HdcError;
@@ -358,16 +359,63 @@ fn class_matrix(class_rows: &[Vec<f32>]) -> Matrix {
     m
 }
 
-fn predict_rows(class_matrix: &Matrix, encoded: &Matrix) -> Result<Vec<usize>> {
+pub(crate) fn predict_rows(class_matrix: &Matrix, encoded: &Matrix) -> Result<Vec<usize>> {
+    if let Some(preds) = predict_rows_packed(class_matrix, encoded) {
+        return Ok(preds);
+    }
     let scores = gemm::matmul(encoded, class_matrix).map_err(HdcError::from)?;
     (0..scores.rows())
         .map(|r| ops::argmax(scores.row(r)).map_err(HdcError::from))
         .collect()
 }
 
+/// `true` when every value is bitwise `+1.0` or `-1.0` — the probe that
+/// gates the packed fast path. Early-exits on the first other value, so
+/// the common float-model case pays one comparison.
+fn all_pm_one(values: &[f32]) -> bool {
+    const MAGNITUDE_ONE: u32 = 0x3F80_0000; // |±1.0f32| bit pattern
+    values
+        .iter()
+        .all(|&v| v.to_bits() & 0x7FFF_FFFF == MAGNITUDE_ONE)
+}
+
+/// Exact packed fast path: when both the encoded queries and the class
+/// matrix hold only ±1 values, scoring runs as packed XOR+popcount
+/// Hamming scans instead of a float GEMM.
+///
+/// This is bit-exact with the GEMM path: bipolar dot scores are integers
+/// in `[-d, d]`, represented exactly in `f32` for every supported `d`,
+/// maximum dot is minimum Hamming, and both argmaxes take the lowest
+/// index on ties. Returns `None` (fall back to the GEMM) for non-bipolar
+/// data — and for shape mismatches, so the GEMM path owns error
+/// reporting.
+fn predict_rows_packed(class_matrix: &Matrix, encoded: &Matrix) -> Option<Vec<usize>> {
+    let d = class_matrix.rows();
+    let k = class_matrix.cols();
+    if d == 0 || k == 0 || encoded.rows() == 0 || encoded.cols() != d {
+        return None;
+    }
+    if !all_pm_one(encoded.as_slice()) || !all_pm_one(class_matrix.as_slice()) {
+        return None;
+    }
+    let classes: Vec<PackedBipolar> = (0..k)
+        .map(|j| Some(PackedBipolar::from_signs(&class_matrix.col(j).ok()?)))
+        .collect::<Option<_>>()?;
+    let packed = PackedClassHypervectors::from_classes(&classes).ok()?;
+    let queries: Vec<PackedBipolar> = (0..encoded.rows())
+        .map(|r| PackedBipolar::from_signs(encoded.row(r)))
+        .collect();
+    packed.predict_batch(&queries).ok()
+}
+
 /// Batched dot-similarity classification: one GEMM of the encoded samples
 /// against the class matrix followed by a row-argmax — the vectorized
 /// replacement for per-sample score loops.
+///
+/// When both operands are exactly ±1 (a binarized model scoring
+/// binarized queries), the scores are computed by the packed
+/// XOR+popcount kernel instead; the result is bit-exact either way, and
+/// the dispatch is visible in [`hd_tensor::kernels::stats`].
 ///
 /// # Errors
 ///

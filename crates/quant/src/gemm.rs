@@ -44,22 +44,37 @@ fn check(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<()> {
 pub fn matmul_accumulate(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Result<(Vec<i32>, f32)> {
     check(a, b)?;
     let m = a.rows();
+    let k = a.cols();
     let n = b.cols();
     let za = a.params().zero_point();
     let zb = b.params().zero_point();
-    let mut acc = vec![0i32; m * n];
 
-    if n > 0 {
-        for (i, out_row) in acc.chunks_mut(n).enumerate() {
-            for (p, &aq) in a.row(i).iter().enumerate() {
-                let av = i32::from(aq) - za;
-                if av == 0 {
-                    continue;
-                }
-                let b_row = b.row(p);
-                for (o, &bq) in out_row.iter_mut().zip(b_row) {
-                    *o += av * (i32::from(bq) - zb);
-                }
+    // Raw q·q product through the SIMD-dispatched int8 kernel, then the
+    // zero-point decomposition
+    //
+    // ```text
+    // sum_p (qa - za)(qb - zb)
+    //   = sum_p qa qb - za * colsum_b[j] - zb * rowsum_a[i] + k za zb
+    // ```
+    //
+    // which is exact integer arithmetic under the same no-overflow
+    // contract the fused scalar kernel always had (`k * 127^2 < 2^31`,
+    // proven for compiled models by the `wide-nn` range verifier).
+    let mut acc = hd_tensor::gemm::matmul_i8_i32(a.as_slice(), b.as_slice(), m, k, n)?;
+
+    if za != 0 || zb != 0 {
+        let mut col_sums = vec![0i32; n];
+        for p in 0..k {
+            for (cs, &bq) in col_sums.iter_mut().zip(b.row(p)) {
+                *cs += i32::from(bq);
+            }
+        }
+        let row_sums = (0..m).map(|i| a.row(i).iter().map(|&aq| i32::from(aq)).sum::<i32>());
+        let k_za_zb = crate::narrow::saturate_i64_to_i32(i64::from(za) * i64::from(zb) * k as i64);
+        for (out_row, rs) in acc.chunks_mut(n.max(1)).zip(row_sums) {
+            let row_corr = zb * rs;
+            for (o, &cs) in out_row.iter_mut().zip(&col_sums) {
+                *o = *o - za * cs - row_corr + k_za_zb;
             }
         }
     }
@@ -192,6 +207,43 @@ mod tests {
         let approx = rq.dequantize();
         for (x, y) in full.iter().zip(approx.iter()) {
             assert!((x - y).abs() <= out_params.scale() / 2.0 + 1e-5);
+        }
+    }
+
+    /// The fused scalar kernel this module used before the SIMD reroute;
+    /// kept as the ground-truth reference for the decomposition.
+    fn fused_reference(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Vec<i32> {
+        let n = b.cols();
+        let za = a.params().zero_point();
+        let zb = b.params().zero_point();
+        let mut acc = vec![0i32; a.rows() * n];
+        for (i, out_row) in acc.chunks_mut(n.max(1)).enumerate() {
+            for (p, &aq) in a.row(i).iter().enumerate() {
+                let av = i32::from(aq) - za;
+                for (o, &bq) in out_row.iter_mut().zip(b.row(p)) {
+                    *o += av * (i32::from(bq) - zb);
+                }
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn zero_point_decomposition_matches_fused_reference() {
+        for (seed, m, k, n, za, zb) in [
+            (10u64, 4usize, 33usize, 7usize, 10i32, -3i32),
+            (11, 1, 1, 1, -128, 127),
+            (12, 6, 64, 16, 0, 5),
+            (13, 3, 17, 2, 7, 0),
+            (14, 5, 100, 9, 0, 0),
+        ] {
+            let mut rng = DetRng::new(seed);
+            let a = Matrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
+            let b = Matrix::random_uniform(k, n, -1.0, 1.0, &mut rng);
+            let qa = QuantizedMatrix::quantize(&a, QuantParams::from_raw(0.01, za).unwrap());
+            let qb = QuantizedMatrix::quantize(&b, QuantParams::from_raw(0.01, zb).unwrap());
+            let (acc, _) = matmul_accumulate(&qa, &qb).unwrap();
+            assert_eq!(acc, fused_reference(&qa, &qb), "seed {seed}");
         }
     }
 

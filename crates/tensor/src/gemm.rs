@@ -243,6 +243,296 @@ fn block_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
     }
 }
 
+/// Checks the slice lengths for an `m x k` by `k x n` int8 product.
+fn check_i8_shapes(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Result<()> {
+    if a.len() != m.saturating_mul(k) {
+        return Err(TensorError::LengthMismatch {
+            expected: m * k,
+            actual: a.len(),
+        });
+    }
+    if b.len() != k.saturating_mul(n) {
+        return Err(TensorError::LengthMismatch {
+            expected: k * n,
+            actual: b.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Whether the SIMD `i8` kernel would be selected right now: policy
+/// (`set_simd_enabled` / `HD_NO_SIMD`) plus runtime feature detection.
+fn i8_simd_selected() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        crate::kernels::simd_permitted() && std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    {
+        false
+    }
+}
+
+/// Name of the `i8` GEMM kernel the dispatcher would select right now
+/// (`"avx2"` or `"portable"`). Exposed via
+/// [`crate::kernels::i8_gemm_kernel_name`].
+pub(crate) fn selected_i8_kernel() -> &'static str {
+    if i8_simd_selected() {
+        "avx2"
+    } else {
+        "portable"
+    }
+}
+
+/// Blocked `i8 x i8 -> i32` GEMM: multiplies row-major `a (m x k)` by
+/// `b (k x n)`, returning the `m x n` accumulator matrix as a flat
+/// vector.
+///
+/// Dispatches to a runtime-detected AVX2 kernel when permitted (see
+/// [`crate::kernels::set_simd_enabled`] and the `HD_NO_SIMD` variable)
+/// and to a portable chunked kernel otherwise; both are bit-exact with
+/// [`matmul_i8_i32_reference`]. Large products split into row bands
+/// across worker threads under the same [`set_thread_cap`] /
+/// `HD_THREADS` budget as the `f32` kernel.
+///
+/// The caller owns overflow: accumulation is exact while
+/// `k * 127 * 127 < 2^31` (`k < 33022`), the same contract the scalar
+/// quantized kernel has always had and the range the static verifier in
+/// `wide-nn` proves for compiled models.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when a slice length does not
+/// match its declared shape.
+pub fn matmul_i8_i32(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Result<Vec<i32>> {
+    check_i8_shapes(a, b, m, k, n)?;
+    let mut out = vec![0i32; m.saturating_mul(n)];
+    let use_simd = i8_simd_selected();
+    if use_simd {
+        crate::kernels::note_simd_gemm();
+    } else {
+        crate::kernels::note_portable_gemm();
+    }
+    let threads = available_threads();
+    if m.saturating_mul(n) >= PARALLEL_THRESHOLD && threads > 1 && m > 1 {
+        parallel_rows_i8(a, b, &mut out, m, k, n, threads, use_simd);
+    } else {
+        i8_band_kernel(a, b, &mut out, m, k, n, use_simd);
+    }
+    Ok(out)
+}
+
+/// Reference (naive triple-loop) `i8` multiplication used by the
+/// equivalence suites to pin [`matmul_i8_i32`] bit-exact.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when a slice length does not
+/// match its declared shape.
+pub fn matmul_i8_i32_reference(
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<Vec<i32>> {
+    check_i8_shapes(a, b, m, k, n)?;
+    let mut out = vec![0i32; m.saturating_mul(n)];
+    for i in 0..m {
+        for j in 0..n {
+            let mut sum = 0i32;
+            for p in 0..k {
+                sum += i32::from(a[i * k + p]) * i32::from(b[p * n + j]);
+            }
+            out[i * n + j] = sum;
+        }
+    }
+    Ok(out)
+}
+
+/// One row-band of an `i8` product.
+struct RowJobI8<'a> {
+    a: &'a [i8],
+    out: &'a mut [i32],
+    rows: usize,
+}
+
+/// Row-band parallel driver for the `i8` kernel: the same two-stage SDF
+/// schedule (plan -> rows) as the `f32` path, executed through the
+/// generic runtime.
+#[allow(clippy::too_many_arguments)]
+fn parallel_rows_i8(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    use_simd: bool,
+) {
+    let rows_per_chunk = m.div_ceil(threads).max(1);
+    let mut jobs = Vec::new();
+    let mut remaining = out;
+    let mut row_start = 0;
+    while row_start < m {
+        let rows_here = rows_per_chunk.min(m - row_start);
+        let (chunk, rest) = remaining.split_at_mut(rows_here * n);
+        remaining = rest;
+        jobs.push(RowJobI8 {
+            a: &a[row_start * k..(row_start + rows_here) * k],
+            out: chunk,
+            rows: rows_here,
+        });
+        row_start += rows_here;
+    }
+
+    let bands = jobs.len();
+    let mut graph = SdfGraph::new("gemm-i8-rows");
+    let plan = graph.add_stage("plan", Resource::Host, 0.0);
+    let rows = graph.add_stage("rows", Resource::Host, 0.0);
+    graph.add_channel(plan, rows, bands, 1, Some(bands));
+    let plan = ExecutablePlan::validate(graph).expect("gemm row schedule is statically valid");
+
+    let mut jobs = Some(jobs);
+    let bindings: Vec<Binding<'_, RowJobI8<'_>, Infallible>> = vec![
+        Binding::Map(Box::new(move |_, _| {
+            Ok((jobs.take().unwrap_or_default(), Fire::Continue))
+        })),
+        Binding::ParMap {
+            workers: threads,
+            f: Box::new(move |_, mut inputs| {
+                let job = inputs.pop().expect("one row band per firing");
+                i8_band_kernel(job.a, b, job.out, job.rows, k, n, use_simd);
+                Ok(Vec::new())
+            }),
+        },
+    ];
+    runtime::run(&plan, 1, bindings).expect("gemm row schedule cannot fail");
+}
+
+/// Serial `i8` band kernel: dispatches one row band to the AVX2 or
+/// portable implementation. `out` must be zeroed by the caller.
+fn i8_band_kernel(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    use_simd: bool,
+) {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    if use_simd {
+        // SAFETY: `use_simd` is only true after the dispatcher observed
+        // `is_x86_feature_detected!("avx2")`; slice bounds are checked by
+        // `check_i8_shapes` and the band carving above.
+        #[allow(unsafe_code)]
+        unsafe {
+            simd::gemm_i8_avx2(a, b, out, m, k, n)
+        };
+        return;
+    }
+    let _ = use_simd;
+    i8_portable_kernel(a, b, out, m, k, n);
+}
+
+/// Portable blocked `i8` kernel: (i, p, j) loops with `i32` accumulation,
+/// written so the inner `j` loop is a flat multiply-add stream LLVM can
+/// autovectorize on any target.
+fn i8_portable_kernel(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    for ib in (0..m).step_by(BLOCK) {
+        let i_end = (ib + BLOCK).min(m);
+        for pb in (0..k).step_by(BLOCK) {
+            let p_end = (pb + BLOCK).min(k);
+            for jb in (0..n).step_by(BLOCK) {
+                let j_end = (jb + BLOCK).min(n);
+                for i in ib..i_end {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut out[i * n + jb..i * n + j_end];
+                    for p in pb..p_end {
+                        let av = i32::from(a_row[p]);
+                        if av == 0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n + jb..p * n + j_end];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * i32::from(bv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The AVX2 `i8` kernel. Isolated in its own module so the crate-level
+/// `deny(unsafe_code)` stays intact everywhere else; this is the only
+/// unsafe code in the workspace's algorithm crates.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[allow(unsafe_code)]
+mod simd {
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    /// `out (m x n) += a (m x k) * b (k x n)` with 16-lane widening
+    /// multiply-accumulate: per scalar `a[i,p]`, 16 `i8` values of the
+    /// `b` row are sign-extended to `i16`, multiplied (products fit
+    /// `i16`: |a·b| <= 127·127), widened to `i32`, and accumulated.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee AVX2 is available and that slice lengths
+    /// match the declared shapes.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_i8_avx2(
+        a: &[i8],
+        b: &[i8],
+        out: &mut [i32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &ap) in a_row.iter().enumerate() {
+                if ap == 0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                let va = _mm256_set1_epi16(i16::from(ap));
+                let mut j = 0usize;
+                while j + 16 <= n {
+                    // SAFETY: j + 16 <= n bounds every 16-lane access.
+                    unsafe {
+                        let vb8 = _mm_loadu_si128(b_row.as_ptr().add(j).cast());
+                        let vb = _mm256_cvtepi8_epi16(vb8);
+                        let prod = _mm256_mullo_epi16(va, vb);
+                        let lo = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod));
+                        let hi = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1));
+                        let out_lo: *mut __m256i = out_row.as_mut_ptr().add(j).cast();
+                        _mm256_storeu_si256(
+                            out_lo,
+                            _mm256_add_epi32(_mm256_loadu_si256(out_lo), lo),
+                        );
+                        let out_hi: *mut __m256i = out_row.as_mut_ptr().add(j + 8).cast();
+                        _mm256_storeu_si256(
+                            out_hi,
+                            _mm256_add_epi32(_mm256_loadu_si256(out_hi), hi),
+                        );
+                    }
+                    j += 16;
+                }
+                let av = i32::from(ap);
+                for (o, &bv) in out_row[j..].iter_mut().zip(&b_row[j..]) {
+                    *o += av * i32::from(bv);
+                }
+            }
+        }
+    }
+}
+
 /// Reference (naive triple-loop) multiplication used by tests to validate
 /// the blocked/parallel kernels.
 ///
@@ -398,6 +688,78 @@ mod tests {
         assert_close(&fast, &slow, 1e-3);
         set_thread_cap(0);
         assert!(available_threads() >= 1);
+    }
+
+    fn random_i8(len: usize, rng: &mut DetRng) -> Vec<i8> {
+        (0..len)
+            .map(|_| (rng.next_normal() * 50.0).clamp(-127.0, 127.0) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn i8_gemm_matches_reference_all_kernels() {
+        let _guard = crate::kernels::TEST_SIMD_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut rng = DetRng::new(8);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (17, 93, 41),
+            (64, 64, 64),
+            (5, 40, 33),
+        ] {
+            let a = random_i8(m * k, &mut rng);
+            let b = random_i8(k * n, &mut rng);
+            let slow = matmul_i8_i32_reference(&a, &b, m, k, n).unwrap();
+            let fast = matmul_i8_i32(&a, &b, m, k, n).unwrap();
+            assert_eq!(fast, slow, "({m},{k},{n}) selected kernel");
+            // Force the portable kernel and re-check bit-exactness.
+            crate::kernels::set_simd_enabled(false);
+            let portable = matmul_i8_i32(&a, &b, m, k, n).unwrap();
+            crate::kernels::set_simd_enabled(true);
+            assert_eq!(portable, slow, "({m},{k},{n}) portable kernel");
+        }
+    }
+
+    #[test]
+    fn i8_gemm_parallel_path_matches_reference() {
+        let mut rng = DetRng::new(9);
+        let (m, k, n) = (192, 80, 512);
+        let a = random_i8(m * k, &mut rng);
+        let b = random_i8(k * n, &mut rng);
+        let slow = matmul_i8_i32_reference(&a, &b, m, k, n).unwrap();
+        let fast = matmul_i8_i32(&a, &b, m, k, n).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn i8_gemm_rejects_bad_lengths() {
+        assert!(matmul_i8_i32(&[0; 5], &[0; 6], 2, 3, 2).is_err());
+        assert!(matmul_i8_i32(&[0; 6], &[0; 5], 2, 3, 2).is_err());
+        assert!(matmul_i8_i32_reference(&[0; 5], &[0; 6], 2, 3, 2).is_err());
+    }
+
+    #[test]
+    fn i8_gemm_extreme_values_do_not_overflow_within_contract() {
+        // k * 127 * 127 far below 2^31: exact accumulation required.
+        let k = 1024;
+        let a = vec![-128i8; k];
+        let b = vec![127i8; k];
+        let out = matmul_i8_i32(&a, &b, 1, k, 1).unwrap();
+        assert_eq!(out, vec![-128 * 127 * 1024]);
+    }
+
+    #[test]
+    fn i8_kernel_name_is_reported() {
+        let _guard = crate::kernels::TEST_SIMD_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let name = selected_i8_kernel();
+        assert!(name == "avx2" || name == "portable");
+        crate::kernels::set_simd_enabled(false);
+        assert_eq!(selected_i8_kernel(), "portable");
+        crate::kernels::set_simd_enabled(true);
     }
 
     #[test]

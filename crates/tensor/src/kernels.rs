@@ -1,0 +1,146 @@
+//! Kernel-selection switches and process-wide kernel counters.
+//!
+//! The packed-bipolar and SIMD int8 kernels are drop-in replacements for
+//! scalar math, so nothing in an experiment's *output* reveals which
+//! kernel actually ran. This module makes the selection observable: every
+//! kernel entry point bumps a monotone process-wide counter, and callers
+//! (the execution backends, the CLI's `train`/`serve` reports) snapshot
+//! [`stats`] before and after a workload to attribute kernel activity in
+//! the `BackendLedger`.
+//!
+//! It also owns the SIMD escape hatch: [`set_simd_enabled`] (wired to the
+//! CLI's `--no-simd` flag) and the `HD_NO_SIMD` environment variable both
+//! force the portable fallback, which is how the equivalence suite pins
+//! the non-SIMD path on machines where AVX2 would otherwise be selected.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Monotone count of rows scored through the packed Hamming kernel.
+static PACKED_SCORE_ROWS: AtomicU64 = AtomicU64::new(0);
+/// Monotone count of `i8` GEMM calls taking the SIMD (AVX2) kernel.
+static SIMD_GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Monotone count of `i8` GEMM calls taking the portable fallback kernel.
+static PORTABLE_GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Monotone count of packed words pushed through the vertical-counter
+/// bundler.
+static BUNDLE_WORDS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide SIMD kill switch; `true` forces the portable kernels.
+static SIMD_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Serializes tests that toggle the process-wide SIMD switch so they
+/// cannot race each other inside one test binary.
+#[cfg(test)]
+pub(crate) static TEST_SIMD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Snapshot of the process-wide kernel counters; subtract two snapshots
+/// (see [`KernelStats::delta_since`]) to attribute activity to one
+/// workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Rows scored through the packed XOR+popcount class scan.
+    pub packed_score_rows: u64,
+    /// `i8` GEMM calls dispatched to the SIMD kernel.
+    pub simd_gemm_calls: u64,
+    /// `i8` GEMM calls dispatched to the portable fallback kernel.
+    pub portable_gemm_calls: u64,
+    /// Packed words accumulated by the vertical-counter bundler.
+    pub bundle_words: u64,
+}
+
+impl KernelStats {
+    /// Counter increments since `earlier` (saturating, so a stale
+    /// snapshot can never underflow).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            packed_score_rows: self
+                .packed_score_rows
+                .saturating_sub(earlier.packed_score_rows),
+            simd_gemm_calls: self.simd_gemm_calls.saturating_sub(earlier.simd_gemm_calls),
+            portable_gemm_calls: self
+                .portable_gemm_calls
+                .saturating_sub(earlier.portable_gemm_calls),
+            bundle_words: self.bundle_words.saturating_sub(earlier.bundle_words),
+        }
+    }
+}
+
+/// Current process-wide kernel counters.
+pub fn stats() -> KernelStats {
+    KernelStats {
+        packed_score_rows: PACKED_SCORE_ROWS.load(Ordering::Relaxed),
+        simd_gemm_calls: SIMD_GEMM_CALLS.load(Ordering::Relaxed),
+        portable_gemm_calls: PORTABLE_GEMM_CALLS.load(Ordering::Relaxed),
+        bundle_words: BUNDLE_WORDS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn note_packed_score(rows: usize) {
+    PACKED_SCORE_ROWS.fetch_add(rows as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn note_simd_gemm() {
+    SIMD_GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_portable_gemm() {
+    PORTABLE_GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_bundle_word(words: usize) {
+    BUNDLE_WORDS.fetch_add(words as u64, Ordering::Relaxed);
+}
+
+/// Enables or disables the SIMD kernels process-wide; `false` forces the
+/// portable fallback (the CLI's `--no-simd` escape hatch).
+pub fn set_simd_enabled(enabled: bool) {
+    SIMD_DISABLED.store(!enabled, Ordering::Relaxed);
+}
+
+/// Whether SIMD kernels are permitted right now: not disabled via
+/// [`set_simd_enabled`] and not vetoed by the `HD_NO_SIMD` environment
+/// variable. Target-feature detection happens separately at the dispatch
+/// site; this is only the policy half.
+pub fn simd_permitted() -> bool {
+    if SIMD_DISABLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    std::env::var_os("HD_NO_SIMD").is_none_or(|v| v.is_empty() || v == "0")
+}
+
+/// Name of the `i8` GEMM kernel the dispatcher would select right now.
+pub fn i8_gemm_kernel_name() -> &'static str {
+    crate::gemm::selected_i8_kernel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_saturating_and_monotone() {
+        let before = stats();
+        note_packed_score(3);
+        note_bundle_word(5);
+        let after = stats();
+        let delta = after.delta_since(&before);
+        assert!(delta.packed_score_rows >= 3);
+        assert!(delta.bundle_words >= 5);
+        // A stale (future) snapshot saturates to zero instead of wrapping.
+        assert_eq!(before.delta_since(&after).packed_score_rows, 0);
+    }
+
+    #[test]
+    fn simd_switch_round_trips() {
+        let _guard = TEST_SIMD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_simd_enabled(false);
+        assert!(!simd_permitted());
+        set_simd_enabled(true);
+        // HD_NO_SIMD may veto in the environment; only assert the switch
+        // itself no longer blocks.
+        if std::env::var_os("HD_NO_SIMD").is_none() {
+            assert!(simd_permitted());
+        }
+    }
+}

@@ -7,7 +7,12 @@
 //!
 //! * [`Matrix`] — an owned, row-major, dense `f32` matrix with shape-checked
 //!   constructors, views, and stacking operations,
-//! * [`gemm`] — blocked, optionally multi-threaded matrix multiplication,
+//! * [`gemm`] — blocked, optionally multi-threaded matrix multiplication
+//!   (`f32` and SIMD-accelerated `i8`×`i8`→`i32`),
+//! * [`packed`] — bit-packed ±1 bipolar kernels: XOR+popcount scoring and
+//!   vertical-counter majority bundling,
+//! * [`kernels`] — kernel-selection switches (`--no-simd` / `HD_NO_SIMD`)
+//!   and process-wide kernel counters,
 //! * [`ops`] — vector kernels (dot, norms, `tanh`, argmax, axpy, cosine),
 //! * [`rng`] — a deterministic random number generator with normal sampling,
 //!   used everywhere a paper experiment needs reproducible randomness,
@@ -27,14 +32,19 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD int8 GEMM kernel in
+// `gemm::simd` needs `std::arch` intrinsics behind a scoped
+// `#[allow(unsafe_code)]`; everything else in the crate stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod matrix;
 
 pub mod gemm;
+pub mod kernels;
 pub mod ops;
+pub mod packed;
 pub mod rng;
 pub mod stats;
 

@@ -21,15 +21,15 @@ proptest! {
         let b_vals: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
         let a = BipolarVector::from_signs(&a_vals);
         let b = BipolarVector::from_signs(&b_vals);
-        let h = a.hamming_distance(&b).unwrap() as i64;
+        let h = a.hamming(&b).unwrap() as i64;
         prop_assert_eq!(a.dot(&b).unwrap(), dim as i64 - 2 * h);
         // Triangle-ish sanity: hamming to self is 0, to negation is dim.
         // Negate the *packed* signs (negating raw values near zero does
         // not flip the sign bit: from_signs maps v >= 0 to +1).
         let neg_vals: Vec<f32> = a.to_signs().iter().map(|v| -v).collect();
         let neg = BipolarVector::from_signs(&neg_vals);
-        prop_assert_eq!(a.hamming_distance(&a).unwrap(), 0);
-        prop_assert_eq!(a.hamming_distance(&neg).unwrap(), dim as u32);
+        prop_assert_eq!(a.hamming(&a).unwrap(), 0);
+        prop_assert_eq!(a.hamming(&neg).unwrap(), dim as u32);
     }
 
     #[test]
